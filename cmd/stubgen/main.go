@@ -1,0 +1,69 @@
+// Stubgen is the stub compiler (§7.1): it translates a Courier-subset
+// interface specification into Go client stubs and a server skeleton
+// that communicate through the circus runtime.
+//
+// Usage:
+//
+//	stubgen -o bankrpc/bankrpc.go -pkg bankrpc bank.courier
+//
+// The generated file contains Go declarations for the interface's
+// types, one client method and one server-dispatch case per procedure,
+// error values for its Courier ERRORs, and Import/Export helpers wired
+// to the binding agent under the program's name.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+
+	"circus/internal/gen"
+	"circus/internal/idl"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default: stdout)")
+	pkg := flag.String("pkg", "", "generated package name (default: lower-cased program name)")
+	iface := flag.String("interface", "", "binding-agent interface name (default: program name)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: stubgen [-o file] [-pkg name] [-interface name] spec.courier")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := idl.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	code, err := gen.Generate(prog, gen.Options{Package: *pkg, InterfaceName: *iface})
+	if err != nil {
+		fatal(err)
+	}
+	formatted, err := format.Source(code)
+	if err != nil {
+		// Emit the raw code to aid debugging, but fail.
+		os.Stdout.Write(code)
+		fatal(fmt.Errorf("generated code does not format: %w", err))
+	}
+	if *out == "" {
+		os.Stdout.Write(formatted)
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, formatted, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stubgen:", err)
+	os.Exit(1)
+}

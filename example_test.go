@@ -1,0 +1,117 @@
+package circus_test
+
+import (
+	"context"
+	"fmt"
+
+	"circus"
+)
+
+// world is the standard example scaffolding: a simulated internet with
+// a binding agent.
+func exampleWorld(seed int64) (*circus.SimNetwork, []circus.ModuleAddr) {
+	sim := circus.NewSimNetwork(seed)
+	binder, _ := sim.NewNode()
+	binder.ServeRingmaster()
+	return sim, binder.BinderAddrs()
+}
+
+// ExampleStub_Call shows transparent replication: a module written
+// with no knowledge of troupes, replicated three ways, reached with
+// one call.
+func ExampleStub_Call() {
+	sim, boot := exampleWorld(100)
+	for i := 0; i < 3; i++ {
+		n, _ := sim.NewNode(circus.WithBinder(boot))
+		n.Export("greeter", circus.ModuleFunc(
+			func(call *circus.ServerCall, proc uint16, args []byte) ([]byte, error) {
+				return append([]byte("hello, "), args...), nil
+			}))
+	}
+	client, _ := sim.NewNode(circus.WithBinder(boot))
+	stub, _ := client.Import(context.Background(), "greeter")
+	reply, _ := stub.Call(context.Background(), 1, []byte("world"))
+	fmt.Println(string(reply))
+	// Output: hello, world
+}
+
+// ExampleStub_CallEach shows explicit replication (§7.4): the caller
+// consumes the generator of per-member replies and collates them
+// itself.
+func ExampleStub_CallEach() {
+	sim, boot := exampleWorld(101)
+	for i := 0; i < 3; i++ {
+		i := i
+		n, _ := sim.NewNode(circus.WithBinder(boot))
+		n.Export("ids", circus.ModuleFunc(
+			func(call *circus.ServerCall, proc uint16, args []byte) ([]byte, error) {
+				return []byte{byte('a' + i)}, nil // members legitimately differ
+			}))
+	}
+	client, _ := sim.NewNode(circus.WithBinder(boot))
+	stub, _ := client.Import(context.Background(), "ids")
+	items, n := stub.CallEach(context.Background(), 1, nil)
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		it := <-items
+		if it.Err == nil {
+			seen[it.Data[0]-'a'] = true
+		}
+	}
+	fmt.Println(seen[0] && seen[1] && seen[2])
+	// Output: true
+}
+
+// ExampleParseSpec shows the troupe configuration language of §7.5.
+func ExampleParseSpec() {
+	spec, _ := circus.ParseSpec(
+		`troupe(x, y) where x.memory >= 10 and y.has-floating-point`)
+	universe := []circus.Machine{
+		{Name: "UCB-Monet", Attrs: map[string]circus.Value{"memory": 10.0, "has-floating-point": true}},
+		{Name: "UCB-Degas", Attrs: map[string]circus.Value{"memory": 4.0, "has-floating-point": true}},
+	}
+	machines, _ := circus.SolveSpec(spec, universe)
+	fmt.Println(machines[0].Name, machines[1].Name)
+	// Output: UCB-Monet UCB-Degas
+}
+
+// ExampleAvailability reproduces the worked example of §6.4.2: how
+// quickly must a failed member of a 3-member troupe be replaced to
+// sustain 99.9% availability with one-hour member lifetimes?
+func ExampleAvailability() {
+	repairHours := circus.RequiredRepairTime(3, 1.0, 0.999)
+	fmt.Printf("replace within %.0f minutes %.0f seconds\n",
+		float64(int(repairHours*60)), repairHours*3600-float64(int(repairHours*60))*60)
+	// Output: replace within 6 minutes 40 seconds
+}
+
+// ExampleNewCollator shows an application-specific collator (§7.4):
+// accepting the numerically smallest reply.
+func ExampleNewCollator() {
+	sim, boot := exampleWorld(102)
+	for _, v := range []byte{30, 10, 20} {
+		v := v
+		n, _ := sim.NewNode(circus.WithBinder(boot))
+		n.Export("bid", circus.ModuleFunc(
+			func(call *circus.ServerCall, proc uint16, args []byte) ([]byte, error) {
+				return []byte{v}, nil
+			}))
+	}
+	client, _ := sim.NewNode(circus.WithBinder(boot))
+	stub, _ := client.Import(context.Background(), "bid")
+
+	lowest := func(n int) circus.Collator {
+		return circus.NewCollator(n, func(items []circus.Reply) ([]byte, error) {
+			best := []byte{255}
+			for _, it := range items {
+				if it.Err == nil && it.Data[0] < best[0] {
+					best = it.Data
+				}
+			}
+			return best, nil
+		})
+	}
+	reply, _ := stub.Call(context.Background(), 1, nil, circus.WithCollator(lowest))
+	fmt.Println(reply[0])
+	// Output: 10
+}

@@ -1,0 +1,139 @@
+// Package bankimpl is a deterministic in-memory bank implementing the
+// generated bankrpc.Service interface. It is the module that gets
+// replicated in the bank example: written exactly as an unreplicated
+// bank would be, with no knowledge of troupes — replication
+// transparency at the programming-in-the-small level (§3.5).
+//
+// Determinism notes (§3.3.2): all state transitions are pure functions
+// of the call sequence; iteration for Audit is over sorted account
+// names so replicas externalize identical statements.
+package bankimpl
+
+import (
+	"sort"
+	"sync"
+
+	"circus"
+	"circus/examples/bank/bankrpc"
+)
+
+// Bank is an in-memory bank. It implements bankrpc.Service and
+// circus.StateProvider (so new troupe members can join with state
+// transfer, §6.4.1).
+type Bank struct {
+	mu       sync.Mutex
+	balances map[string]int32
+}
+
+// New returns an empty bank.
+func New() *Bank {
+	return &Bank{balances: make(map[string]int32)}
+}
+
+var _ bankrpc.Service = (*Bank)(nil)
+var _ circus.StateProvider = (*Bank)(nil)
+
+// Open creates an account with an initial balance.
+func (b *Bank) Open(call *circus.ServerCall, account bankrpc.Account, initial bankrpc.Amount) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.balances[account]; ok {
+		return bankrpc.ErrAccountExists
+	}
+	b.balances[account] = initial
+	return nil
+}
+
+// Deposit adds to an account and returns the new balance.
+func (b *Bank) Deposit(call *circus.ServerCall, account bankrpc.Account, amount bankrpc.Amount) (bankrpc.Amount, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bal, ok := b.balances[account]
+	if !ok {
+		return 0, bankrpc.ErrNoSuchAccount
+	}
+	bal += amount
+	b.balances[account] = bal
+	return bal, nil
+}
+
+// Withdraw removes from an account and returns the new balance.
+func (b *Bank) Withdraw(call *circus.ServerCall, account bankrpc.Account, amount bankrpc.Amount) (bankrpc.Amount, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bal, ok := b.balances[account]
+	if !ok {
+		return 0, bankrpc.ErrNoSuchAccount
+	}
+	if bal < amount {
+		return 0, bankrpc.ErrInsufficientFunds
+	}
+	bal -= amount
+	b.balances[account] = bal
+	return bal, nil
+}
+
+// Balance reads an account.
+func (b *Bank) Balance(call *circus.ServerCall, account bankrpc.Account) (bankrpc.Amount, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bal, ok := b.balances[account]
+	if !ok {
+		return 0, bankrpc.ErrNoSuchAccount
+	}
+	return bal, nil
+}
+
+// Transfer moves money between two accounts atomically with respect to
+// other procedures of this module (the module executes one replicated
+// call at a time per thread; cross-thread synchronization is the
+// subject of Chapter 5 and the transactions example).
+func (b *Bank) Transfer(call *circus.ServerCall, from, to bankrpc.Account, amount bankrpc.Amount) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fromBal, ok := b.balances[from]
+	if !ok {
+		return bankrpc.ErrNoSuchAccount
+	}
+	if _, ok := b.balances[to]; !ok {
+		return bankrpc.ErrNoSuchAccount
+	}
+	if fromBal < amount {
+		return bankrpc.ErrInsufficientFunds
+	}
+	b.balances[from] -= amount
+	b.balances[to] += amount
+	return nil
+}
+
+// Audit returns every account and balance, sorted by account name so
+// that replicas answer identically.
+func (b *Bank) Audit(call *circus.ServerCall) (bankrpc.Statement, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.balances))
+	for a := range b.balances {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	st := make(bankrpc.Statement, 0, len(names))
+	for _, a := range names {
+		st = append(st, bankrpc.Entry{Account: a, Balance: b.balances[a]})
+	}
+	return st, nil
+}
+
+// GetState externalizes the bank for state transfer (§6.4.1).
+func (b *Bank) GetState() ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return circus.Marshal(b.balances)
+}
+
+// SetState internalizes a transferred state.
+func (b *Bank) SetState(data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.balances = make(map[string]int32)
+	return circus.Unmarshal(data, &b.balances)
+}

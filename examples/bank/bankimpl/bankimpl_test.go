@@ -1,0 +1,177 @@
+package bankimpl
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"circus"
+	"circus/examples/bank/bankrpc"
+)
+
+// newBankWorld starts a binder, a bank troupe of the given degree, and
+// returns a connected generated client.
+func newBankWorld(t *testing.T, seed int64, degree int) (*circus.SimNetwork, *bankrpc.Client, []*circus.Node) {
+	sim, client, servers, _ := newBankWorldBoot(t, seed, degree)
+	return sim, client, servers
+}
+
+func newBankWorldBoot(t *testing.T, seed int64, degree int) (*circus.SimNetwork, *bankrpc.Client, []*circus.Node, []circus.ModuleAddr) {
+	t.Helper()
+	sim := circus.NewSimNetwork(seed)
+	binderNode, err := sim.NewNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { binderNode.Close() })
+	baddr, err := binderNode.ServeRingmaster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := []circus.ModuleAddr{baddr}
+
+	var servers []*circus.Node
+	for i := 0; i < degree; i++ {
+		n, err := sim.NewNode(circus.WithBinder(boot))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		if _, err := bankrpc.Export(n, New()); err != nil {
+			t.Fatalf("Export: %v", err)
+		}
+		servers = append(servers, n)
+	}
+
+	clientNode, err := sim.NewNode(circus.WithBinder(boot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { clientNode.Close() })
+	client, err := bankrpc.Import(context.Background(), clientNode)
+	if err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	return sim, client, servers, boot
+}
+
+// TestGeneratedStubsEndToEnd drives the generated client stubs against
+// a replicated bank: typed calls, typed results, and Courier ERRORs
+// crossing the wire.
+func TestGeneratedStubsEndToEnd(t *testing.T) {
+	_, client, _ := newBankWorld(t, 1, 3)
+	ctx := context.Background()
+
+	if err := client.Open(ctx, "alice", 100); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := client.Open(ctx, "bob", 50); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := client.Open(ctx, "alice", 1); !errors.Is(err, bankrpc.ErrAccountExists) {
+		t.Fatalf("duplicate Open err = %v, want ErrAccountExists", err)
+	}
+
+	bal, err := client.Deposit(ctx, "alice", 25)
+	if err != nil || bal != 125 {
+		t.Fatalf("Deposit: %d, %v", bal, err)
+	}
+	bal, err = client.Withdraw(ctx, "bob", 20)
+	if err != nil || bal != 30 {
+		t.Fatalf("Withdraw: %d, %v", bal, err)
+	}
+	if _, err := client.Withdraw(ctx, "bob", 1000); !errors.Is(err, bankrpc.ErrInsufficientFunds) {
+		t.Fatalf("overdraft err = %v", err)
+	}
+	if _, err := client.Balance(ctx, "carol"); !errors.Is(err, bankrpc.ErrNoSuchAccount) {
+		t.Fatalf("missing account err = %v", err)
+	}
+	if err := client.Transfer(ctx, "alice", "bob", 25); err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	st, err := client.Audit(ctx)
+	if err != nil {
+		t.Fatalf("Audit: %v", err)
+	}
+	want := bankrpc.Statement{{Account: "alice", Balance: 100}, {Account: "bob", Balance: 55}}
+	if len(st) != 2 || st[0] != want[0] || st[1] != want[1] {
+		t.Fatalf("Audit = %v, want %v", st, want)
+	}
+}
+
+// TestBankSurvivesMemberCrash: a member crash must be masked; the
+// typed client keeps working and balances stay correct.
+func TestBankSurvivesMemberCrash(t *testing.T) {
+	sim, client, servers := newBankWorld(t, 2, 3)
+	ctx := context.Background()
+	if err := client.Open(ctx, "alice", 100); err != nil {
+		t.Fatal(err)
+	}
+	sim.Crash(servers[0])
+	bal, err := client.Deposit(ctx, "alice", 1)
+	if err != nil || bal != 101 {
+		t.Fatalf("after crash: %d, %v", bal, err)
+	}
+}
+
+// TestBankConsistencyAcrossReplicas: after a sequence of operations
+// every member must externalize the same state (troupe consistency,
+// §3.5.2).
+func TestBankConsistencyAcrossReplicas(t *testing.T) {
+	_, client, _ := newBankWorld(t, 3, 3)
+	ctx := context.Background()
+	client.Open(ctx, "a", 10)
+	client.Open(ctx, "b", 20)
+	client.Transfer(ctx, "b", "a", 5)
+	client.Deposit(ctx, "a", 7)
+
+	st, err := client.Audit(ctx) // unanimous: replicas must agree bit-for-bit
+	if err != nil {
+		t.Fatalf("Audit (unanimous over 3 replicas): %v", err)
+	}
+	if st[0].Balance != 22 || st[1].Balance != 15 {
+		t.Fatalf("statement: %v", st)
+	}
+}
+
+// TestBankStateTransferJoin: a new bank member joins the running
+// troupe with get_state (§6.4.1) and then serves typed calls
+// consistently with the others.
+func TestBankStateTransferJoin(t *testing.T) {
+	sim, client, _, boot := newBankWorldBoot(t, 4, 2)
+	ctx := context.Background()
+	if err := client.Open(ctx, "alice", 500); err != nil {
+		t.Fatal(err)
+	}
+
+	joinNode, err := sim.NewNode(circus.WithBinder(boot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { joinNode.Close() })
+	joined := New()
+	if _, err := joinNode.JoinTroupe(ctx, bankrpc.ProgramName, bankrpc.NewModule(joined)); err != nil {
+		t.Fatalf("JoinTroupe: %v", err)
+	}
+	if bal, err := joined.Balance(nil, "alice"); err != nil || bal != 500 {
+		t.Fatalf("transferred balance: %d, %v", bal, err)
+	}
+	// The extended troupe of three answers unanimously.
+	client2, err := bankrpc.Import(ctx, joinNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal, err := client2.Balance(ctx, "alice"); err != nil || bal != 500 {
+		t.Fatalf("balance from extended troupe: %d, %v", bal, err)
+	}
+}
+
+func TestFirstComeTypedCall(t *testing.T) {
+	_, client, _ := newBankWorld(t, 5, 3)
+	ctx := context.Background()
+	client.Open(ctx, "x", 1)
+	bal, err := client.Balance(ctx, "x", circus.WithFirstCome())
+	if err != nil || bal != 1 {
+		t.Fatalf("first-come Balance: %d, %v", bal, err)
+	}
+}

@@ -1,0 +1,112 @@
+// A replicated bank: the motivating workload for per-operation
+// reliability (§2.1.3 — "applications where each operation must be
+// highly reliable"). The Bank interface is specified in bank.courier
+// and its stubs are produced by the stub compiler (cmd/stubgen, §7.1);
+// the implementation in bankimpl is an ordinary, unreplicated bank.
+// Replication is added here, entirely at the programming-in-the-large
+// level: three machines export the same module.
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"circus"
+	"circus/examples/bank/bankimpl"
+	"circus/examples/bank/bankrpc"
+)
+
+func main() {
+	sim := circus.NewSimNetwork(7)
+	binderNode, err := sim.NewNode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	binderAddr, err := binderNode.ServeRingmaster()
+	if err != nil {
+		log.Fatal(err)
+	}
+	boot := []circus.ModuleAddr{binderAddr}
+
+	// A bank troupe of three.
+	var bankNodes []*circus.Node
+	for i := 0; i < 3; i++ {
+		n, err := sim.NewNode(circus.WithBinder(boot))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := bankrpc.Export(n, bankimpl.New()); err != nil {
+			log.Fatal(err)
+		}
+		bankNodes = append(bankNodes, n)
+	}
+	fmt.Println("bank troupe of 3 exported")
+
+	clientNode, err := sim.NewNode(circus.WithBinder(boot))
+	if err != nil {
+		log.Fatal(err)
+	}
+	bank, err := bankrpc.Import(context.Background(), clientNode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := clientNode.Context(context.Background())
+
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(bank.Open(ctx, "alice", 100))
+	must(bank.Open(ctx, "bob", 50))
+	fmt.Println("opened alice=100, bob=50")
+
+	bal, err := bank.Deposit(ctx, "alice", 25)
+	must(err)
+	fmt.Printf("deposit 25 to alice -> %d\n", bal)
+
+	must(bank.Transfer(ctx, "alice", "bob", 75))
+	fmt.Println("transferred 75 alice -> bob")
+
+	// A declared Courier ERROR crosses the wire as a typed Go error.
+	if _, err := bank.Withdraw(ctx, "bob", 10000); errors.Is(err, bankrpc.ErrInsufficientFunds) {
+		fmt.Println("overdraft correctly refused:", err)
+	}
+
+	// Crash a member mid-session: the bank stays available and every
+	// surviving replica still agrees on the books (the unanimous
+	// collator on Audit would report any divergence, §4.3.4).
+	sim.Crash(bankNodes[2])
+	fmt.Println("crashed one bank replica")
+
+	bal, err = bank.Deposit(ctx, "bob", 1)
+	must(err)
+	fmt.Printf("deposit 1 to bob after crash -> %d\n", bal)
+
+	st, err := bank.Audit(ctx)
+	must(err)
+	fmt.Println("audited statement (replicas unanimous):")
+	for _, e := range st {
+		fmt.Printf("  %-6s %6d\n", e.Account, e.Balance)
+	}
+
+	// A replacement member joins with state transfer (§6.4.1).
+	joinNode, err := sim.NewNode(circus.WithBinder(boot))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := joinNode.JoinTroupe(context.Background(), bankrpc.ProgramName,
+		bankrpc.NewModule(bankimpl.New())); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("replacement member joined with state transfer")
+
+	st, err = bank.Audit(ctx)
+	must(err)
+	fmt.Printf("audit after rejoin (troupe of %d, still unanimous): %v\n",
+		bank.Stub.Troupe().Degree(), st)
+}

@@ -1,0 +1,156 @@
+// N-version programming (§2.1.3): a troupe whose members are
+// *independently implemented* versions of the same module
+// specification, so that majority collation masks software faults as
+// well as hardware crashes. The paper notes this technique "can be
+// used in conjunction with the replicated modules proposed in the
+// present work by using independently implemented modules instead of
+// exact replicas."
+//
+// Here three implementations of integer square root serve one troupe;
+// one of them carries a bug. The unanimous collator detects the
+// disagreement, and the majority collator masks it.
+//
+//	go run ./examples/nversion
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"circus"
+)
+
+// isqrt is the module interface: proc 1 = isqrt(n uint32) -> uint32.
+type isqrtFunc func(uint32) uint32
+
+func module(f isqrtFunc) circus.Module {
+	return circus.ModuleFunc(func(call *circus.ServerCall, proc uint16, args []byte) ([]byte, error) {
+		var n uint32
+		if err := circus.Unmarshal(args, &n); err != nil {
+			return nil, err
+		}
+		return circus.Marshal(f(n))
+	})
+}
+
+// Version 1: Newton's method.
+func newtonSqrt(n uint32) uint32 {
+	if n < 2 {
+		return n
+	}
+	x := uint64(n)
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + uint64(n)/x) / 2
+	}
+	return uint32(x)
+}
+
+// Version 2: binary search.
+func binarySqrt(n uint32) uint32 {
+	lo, hi := uint64(0), uint64(n)+1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if mid*mid <= uint64(n) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return uint32(lo)
+}
+
+// Version 3: digit-by-digit — with a deliberate off-by-one fault for
+// perfect squares above 100 (a "software fault" in one version).
+func buggySqrt(n uint32) uint32 {
+	r := binarySqrt(n)
+	if n > 100 && r*r == n {
+		return r - 1 // the bug
+	}
+	return r
+}
+
+func main() {
+	sim := circus.NewSimNetwork(5)
+	binderNode, err := sim.NewNode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	baddr, err := binderNode.ServeRingmaster()
+	if err != nil {
+		log.Fatal(err)
+	}
+	boot := []circus.ModuleAddr{baddr}
+
+	versions := []struct {
+		name string
+		impl isqrtFunc
+	}{
+		{"newton", newtonSqrt},
+		{"binary-search", binarySqrt},
+		{"digit (buggy)", buggySqrt},
+	}
+	for _, v := range versions {
+		n, err := sim.NewNode(circus.WithBinder(boot))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := n.Export("isqrt", module(v.impl)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("exported version %q\n", v.name)
+	}
+
+	client, err := sim.NewNode(circus.WithBinder(boot))
+	if err != nil {
+		log.Fatal(err)
+	}
+	stub, err := client.Import(context.Background(), "isqrt")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	query := func(n uint32, opts ...circus.CallOption) (uint32, error) {
+		args, _ := circus.Marshal(n)
+		res, err := stub.Call(context.Background(), 1, args, opts...)
+		if err != nil {
+			return 0, err
+		}
+		var r uint32
+		err = circus.Unmarshal(res, &r)
+		return r, err
+	}
+
+	// A non-square input: all three versions agree; unanimity passes.
+	r, err := query(1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("isqrt(1000) unanimous across 3 versions = %d\n", r)
+
+	// A perfect square trips the bug: unanimity detects it ...
+	if _, err := query(10000); err != nil {
+		fmt.Println("isqrt(10000): unanimous collator detected the faulty version:", err)
+	}
+
+	// ... and majority voting masks it (§2.1.3's triple-modular
+	// redundancy, in software).
+	r, err = query(10000, circus.WithMajority())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("isqrt(10000) by majority = %d (fault masked)\n", r)
+
+	// The watchdog variant (§4.3.4): proceed with the first answer,
+	// get told about the inconsistency asynchronously.
+	args, _ := circus.Marshal(uint32(40000))
+	first, verdict, err := stub.CallWatchdog(context.Background(), 1, args)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var fr uint32
+	circus.Unmarshal(first, &fr)
+	fmt.Printf("isqrt(40000) first answer = %d; watchdog verdict: %v\n", fr, <-verdict)
+}

@@ -1,0 +1,214 @@
+// Thermostat: explicit replication (§7.4). Three replicated
+// temperature sensors — a client troupe whose members legitimately
+// send different readings — call one controller, which collates the
+// arguments itself by averaging (Figure 7.7). Then three divergent
+// clock servers are read with an application-specific median collator
+// (Figure 7.10's pattern, the basis of approximate agreement for clock
+// synchronization).
+//
+//	go run ./examples/thermostat
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+
+	"circus"
+)
+
+// controller averages the set_temperature arguments of all members of
+// the calling troupe — the server of Figure 7.7. It is exported with
+// divergent arguments allowed, explicitly surrendering the
+// transparency of unanimous argument checking (§7.4).
+type controller struct {
+	mu      sync.Mutex
+	setting float64
+}
+
+func (c *controller) Dispatch(call *circus.ServerCall, proc uint16, args []byte) ([]byte, error) {
+	switch proc {
+	case 1: // set_temperature(temperature)
+		// The argument generator of Figure 7.7: one reading per
+		// client troupe member.
+		var sum float64
+		var n int
+		for _, a := range call.Args() {
+			var t float64
+			if err := circus.Unmarshal(a, &t); err != nil {
+				return nil, err
+			}
+			sum += t
+			n++
+		}
+		avg := sum / float64(n)
+		c.mu.Lock()
+		c.setting = avg
+		c.mu.Unlock()
+		return circus.Marshal(avg)
+	default:
+		return nil, circus.ErrNoSuchProc
+	}
+}
+
+// clock is a server whose replicas return deliberately divergent
+// values, standing in for unsynchronized hardware clocks.
+type clock struct{ skew float64 }
+
+func (c clock) Dispatch(call *circus.ServerCall, proc uint16, args []byte) ([]byte, error) {
+	return circus.Marshal(1000.0 + c.skew)
+}
+
+func main() {
+	sim := circus.NewSimNetwork(11)
+	binderNode, err := sim.NewNode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	binderAddr, err := binderNode.ServeRingmaster()
+	if err != nil {
+		log.Fatal(err)
+	}
+	boot := []circus.ModuleAddr{binderAddr}
+
+	// --- Part 1: server-side collation of a replicated client ------
+
+	ctrlNode, err := sim.NewNode(circus.WithBinder(boot))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl := &controller{}
+	if _, err := ctrlNode.Export("controller", ctrl, circus.WithDivergentArgs()); err != nil {
+		log.Fatal(err)
+	}
+
+	// Three sensor processes form a client troupe: they register
+	// themselves with the binding agent so the controller can learn
+	// how many call messages to expect (§4.3.2).
+	var sensors []*circus.Node
+	var sensorAddrs []circus.ModuleAddr
+	for i := 0; i < 3; i++ {
+		n, err := sim.NewNode(circus.WithBinder(boot))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sensors = append(sensors, n)
+		// Each sensor is itself a module (troupe members are module
+		// instances); registration hands these addresses to the
+		// binding agent so servers can count the troupe (§4.3.2).
+		addr := n.ExportLocal("sensor", circus.ModuleFunc(
+			func(call *circus.ServerCall, proc uint16, args []byte) ([]byte, error) {
+				return nil, circus.ErrNoSuchProc
+			}))
+		sensorAddrs = append(sensorAddrs, addr)
+	}
+	sensorTroupeID, err := sensors[0].Binder().Register(context.Background(), "sensors", sensorAddrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sensor troupe registered: %v (3 members)\n", sensorTroupeID)
+
+	// Each sensor reads its own thermometer and makes the same
+	// logical call; the controller collates all three readings and
+	// every sensor receives the same average back.
+	readings := []float64{19.0, 21.0, 23.0}
+	var wg sync.WaitGroup
+	results := make([]float64, 3)
+	for i, n := range sensors {
+		i, n := i, n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stub, err := n.Import(context.Background(), "controller")
+			if err != nil {
+				log.Fatal(err)
+			}
+			arg, _ := circus.Marshal(readings[i])
+			res, err := stub.Call(context.Background(), 1, arg,
+				circus.AsTroupe(sensorTroupeID),
+				circus.WithThread(circus.ReplicaThread(900, 1)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			circus.Unmarshal(res, &results[i])
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("sensor readings %v -> controller executed once, set to %.1f°\n", readings, results[0])
+	for i, r := range results {
+		fmt.Printf("  sensor %d received %.1f°\n", i, r)
+	}
+
+	// --- Part 2: client-side collation of divergent replies --------
+
+	for i, skew := range []float64{-3, 0.5, 2} {
+		n, err := sim.NewNode(circus.WithBinder(boot))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := n.Export("clock", clock{skew: skew}); err != nil {
+			log.Fatal(err)
+		}
+		_ = i
+	}
+	reader, err := sim.NewNode(circus.WithBinder(boot))
+	if err != nil {
+		log.Fatal(err)
+	}
+	stub, err := reader.Import(context.Background(), "clock")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The unanimous default would (rightly) report disagreement;
+	// instead collate with the median, the application-specific
+	// collator of Figure 7.10.
+	median := func(n int) circus.Collator {
+		return circus.NewCollator(n, func(items []circus.Reply) ([]byte, error) {
+			var vals []float64
+			for _, it := range items {
+				if it.Err != nil {
+					continue
+				}
+				var v float64
+				if err := circus.Unmarshal(it.Data, &v); err != nil {
+					return nil, err
+				}
+				vals = append(vals, v)
+			}
+			mid := vals[0]
+			if len(vals) > 1 {
+				// simple selection of the middle element
+				for i := range vals {
+					less, greater := 0, 0
+					for j := range vals {
+						if vals[j] < vals[i] {
+							less++
+						}
+						if vals[j] > vals[i] {
+							greater++
+						}
+					}
+					if less <= len(vals)/2 && greater <= len(vals)/2 {
+						mid = vals[i]
+						break
+					}
+				}
+			}
+			return circus.Marshal(mid)
+		})
+	}
+	res, err := stub.Call(context.Background(), 1, nil, circus.WithCollator(median))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var t float64
+	circus.Unmarshal(res, &t)
+	fmt.Printf("three skewed clocks collated by median: %.1f\n", t)
+
+	// The same read with the unanimous collator detects the skew.
+	if _, err := stub.Call(context.Background(), 1, nil); err != nil {
+		fmt.Println("unanimous collator correctly detected divergence:", err)
+	}
+}

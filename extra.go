@@ -1,0 +1,100 @@
+package circus
+
+import (
+	"math/rand"
+
+	"circus/internal/avail"
+	"circus/internal/config"
+	"circus/internal/core"
+	"circus/internal/thread"
+)
+
+// Thread is a distributed thread-of-control context (§3.2). Calls made
+// with the same thread and call path are collated by servers as one
+// replicated call (§4.3.2).
+type Thread = thread.Context
+
+// NewThread starts a fresh distributed thread rooted at this node; the
+// usual way to obtain one is Node.Context.
+func (n *Node) NewThread() *Thread { return n.rt.NewThread() }
+
+// ReplicaThread constructs the thread context a member of an
+// explicitly replicated client uses so that all members' calls carry
+// the same thread ID and call path (§7.4). Every member of the troupe
+// must pass identical arguments; successive calls on the returned
+// context get successive call paths, so members making the same calls
+// in the same order stay collated.
+func ReplicaThread(threadHost, threadProc uint32, path ...uint32) *Thread {
+	return thread.Child(thread.ID{Host: threadHost, Proc: threadProc}, path)
+}
+
+// WithThread attaches an explicit thread context to a call (§7.4
+// explicit replication; transparent callers use Node.Context instead).
+func WithThread(t *Thread) CallOption {
+	return func(o *core.CallOptions) { o.Thread = t }
+}
+
+// Configuration language and manager (§7.5), re-exported.
+type (
+	// Machine is one machine of the distributed system with its
+	// attribute list (§7.5.2).
+	Machine = config.Machine
+	// Value is a machine attribute value: string, float64, or bool.
+	Value = config.Value
+	// TroupeSpec is a parsed troupe specification: troupe(x1..xn)
+	// where φ.
+	TroupeSpec = config.Spec
+	// Spawner instantiates module instances on machines for the
+	// configuration manager (§7.5.3).
+	Spawner = config.Spawner
+	// ConfigManager instantiates and reconfigures troupes from
+	// specifications (§7.5.3).
+	ConfigManager = config.Manager
+)
+
+// ParseSpec parses a troupe specification such as
+//
+//	troupe(x, y) where x.memory >= 10 and y.has-floating-point
+func ParseSpec(src string) (TroupeSpec, error) { return config.Parse(src) }
+
+// SolveSpec finds distinct machines satisfying a specification.
+func SolveSpec(spec TroupeSpec, universe []Machine) ([]Machine, error) {
+	return config.Solve(spec, universe)
+}
+
+// ExtendTroupe solves the troupe extension problem (§7.5.3): a
+// satisfying assignment as close as possible to the old one.
+func ExtendTroupe(spec TroupeSpec, universe, old []Machine) ([]Machine, error) {
+	return config.ExtendTroupe(spec, universe, old)
+}
+
+// NewConfigManager returns a configuration manager; the node's binding
+// agent client serves as its binder.
+func NewConfigManager(spawner Spawner, n *Node, universe []Machine) *ConfigManager {
+	return config.NewManager(spawner, n.binder, universe)
+}
+
+// Troupe reliability analysis (§6.4.2), re-exported for
+// programming-in-the-large decisions about replication degree and
+// replacement urgency.
+
+// Availability returns Equation 6.1: the equilibrium probability that
+// a troupe of n members with failure rate lambda and repair rate mu is
+// functioning.
+func Availability(n int, lambda, mu float64) float64 {
+	return avail.Availability(n, lambda, mu)
+}
+
+// RequiredRepairTime returns Equation 6.2: the largest mean
+// replacement time that still achieves availability a given the mean
+// member lifetime.
+func RequiredRepairTime(n int, lifetime, a float64) float64 {
+	return avail.RequiredRepairTime(n, lifetime, a)
+}
+
+// SimulateAvailability runs the birth–death Monte-Carlo model of
+// Figure 6.3 and returns the observed availability.
+func SimulateAvailability(n int, lambda, mu, duration float64, seed int64) float64 {
+	res := avail.Simulate(n, lambda, mu, duration, rand.New(rand.NewSource(seed)))
+	return res.Availability
+}

@@ -1,0 +1,106 @@
+// Package avail implements the troupe reliability analysis of §6.4.2:
+// a troupe whose members fail at rate λ and are replaced at rate μ is
+// a birth–death process isomorphic to the M/M/n/n queue (Figure 6.3).
+// The analytic results answer the question of when to replace defunct
+// troupe members; a Monte-Carlo simulator validates them.
+package avail
+
+import (
+	"math"
+	"math/rand"
+)
+
+// StateProbability returns p_k, the equilibrium probability that
+// exactly k of the n troupe members have failed, for failure rate
+// lambda and repair rate mu (Kleinrock's M/M/n/n analysis, §6.4.2).
+// Each member is independently failed with probability λ/(λ+μ), so p_k
+// is binomial.
+func StateProbability(n, k int, lambda, mu float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	p := lambda / (lambda + mu)
+	return binomial(n, k) * math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+}
+
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1.0
+	for i := 1; i <= k; i++ {
+		r *= float64(n-k+i) / float64(i)
+	}
+	return r
+}
+
+// Availability returns Equation 6.1: the equilibrium probability that
+// a troupe of n members is functioning (not all members failed),
+//
+//	A = 1 − (λ/(λ+μ))^n.
+func Availability(n int, lambda, mu float64) float64 {
+	return 1 - math.Pow(lambda/(lambda+mu), float64(n))
+}
+
+// RequiredRepairTime returns Equation 6.2: the largest mean replacement
+// time 1/μ that still achieves availability A for a troupe of n
+// members whose mean lifetime is 1/λ,
+//
+//	1/μ = (1/λ) · x/(1−x),  x = (1−A)^(1/n).
+func RequiredRepairTime(n int, lifetime, a float64) float64 {
+	x := math.Pow(1-a, 1/float64(n))
+	return lifetime * x / (1 - x)
+}
+
+// SimResult is the outcome of a birth–death simulation.
+type SimResult struct {
+	// Availability is the fraction of simulated time with at least
+	// one member functioning.
+	Availability float64
+	// StateTime[k] is the fraction of time exactly k members were
+	// failed.
+	StateTime []float64
+	// TotalFailures counts transitions into the all-failed state.
+	TotalFailures int
+}
+
+// Simulate runs a continuous-time Monte-Carlo simulation of the
+// birth–death process of Figure 6.3 for the given simulated duration
+// (in the same time unit as the rates) and returns the observed
+// availability and state distribution.
+//
+// State k (number of failed members) rises at rate (n−k)λ and falls at
+// rate kμ; sojourn times are exponential with the sum of the two
+// rates, which is exactly the Markov process the analysis assumes.
+func Simulate(n int, lambda, mu, duration float64, rng *rand.Rand) SimResult {
+	res := SimResult{StateTime: make([]float64, n+1)}
+	state := 0
+	t := 0.0
+	for t < duration {
+		up := float64(n-state) * lambda // next failure
+		down := float64(state) * mu     // next repair
+		total := up + down
+		dwell := rng.ExpFloat64() / total
+		if t+dwell > duration {
+			dwell = duration - t
+		}
+		res.StateTime[state] += dwell
+		t += dwell
+		if t >= duration {
+			break
+		}
+		if rng.Float64() < up/total {
+			state++
+			if state == n {
+				res.TotalFailures++
+			}
+		} else {
+			state--
+		}
+	}
+	for k := range res.StateTime {
+		res.StateTime[k] /= duration
+	}
+	res.Availability = 1 - res.StateTime[n]
+	return res
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable41Report(t *testing.T) {
+	out := Table41()
+	for _, frag := range []string{"(UDP)", "(TCP)", "Table 4.1", "26.5", "109.5"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table41 missing %q\n%s", frag, out)
+		}
+	}
+}
+
+func TestTable42Report(t *testing.T) {
+	out := Table42()
+	for _, frag := range []string{"sendmsg", "8.1", "sigblock", "0.4"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table42 missing %q", frag)
+		}
+	}
+}
+
+func TestTable43Report(t *testing.T) {
+	out := Table43()
+	for _, frag := range []string{"sendmsg", "paper sendmsg", "27.2"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table43 missing %q", frag)
+		}
+	}
+}
+
+func TestFigure48Report(t *testing.T) {
+	out := Figure48()
+	if !strings.Contains(out, "linear fits") || !strings.Contains(out, "multicast") {
+		t.Errorf("Figure48 incomplete:\n%s", out)
+	}
+}
+
+func TestMulticastAnalysisReport(t *testing.T) {
+	out := MulticastAnalysis(1)
+	if !strings.Contains(out, "H_n") || !strings.Contains(out, "32") {
+		t.Errorf("MulticastAnalysis incomplete:\n%s", out)
+	}
+}
+
+func TestEq51Report(t *testing.T) {
+	out := Eq51(1, 2000)
+	if !strings.Contains(out, "0.5") || !strings.Contains(out, "analytic") {
+		t.Errorf("Eq51 incomplete:\n%s", out)
+	}
+}
+
+func TestFigure63Report(t *testing.T) {
+	out := Figure63(1)
+	for _, frag := range []string{"Eq 6.2", "6 minutes 40 seconds", "20 minutes"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Figure63 missing %q", frag)
+		}
+	}
+}
+
+func TestCollatorAblationReport(t *testing.T) {
+	out := CollatorAblation(1)
+	if !strings.Contains(out, "first-come") || !strings.Contains(out, "unanimous") {
+		t.Errorf("CollatorAblation incomplete:\n%s", out)
+	}
+}
+
+func TestNativeReplicatedCallRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out, err := NativeReplicatedCall(1, []int{1, 2}, 5)
+	if err != nil {
+		t.Fatalf("NativeReplicatedCall: %v", err)
+	}
+	if !strings.Contains(out, "linear fit") {
+		t.Errorf("native report incomplete:\n%s", out)
+	}
+}
+
+func TestOrderedBroadcastNativeRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out, err := OrderedBroadcastNative(2, 2, 2, 3)
+	if err != nil {
+		t.Fatalf("OrderedBroadcastNative: %v", err)
+	}
+	if !strings.Contains(out, "identical order at all members: true") {
+		t.Errorf("broadcast order not verified:\n%s", out)
+	}
+}
+
+func TestWaitPolicyNativeRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out, err := WaitPolicyNative(3, 5)
+	if err != nil {
+		t.Fatalf("WaitPolicyNative: %v", err)
+	}
+	if !strings.Contains(out, "speedup") {
+		t.Errorf("ablation incomplete:\n%s", out)
+	}
+}
+
+func TestClusterEcho(t *testing.T) {
+	c, err := NewCluster(9, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Call([]byte("x")); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+}
+
+func TestMulticastAblationRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out, err := MulticastAblation(5, 4)
+	if err != nil {
+		t.Fatalf("MulticastAblation: %v", err)
+	}
+	if !strings.Contains(out, "multicast sendops") {
+		t.Errorf("ablation incomplete:\n%s", out)
+	}
+}
+
+func TestRetransmitAblationRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out, err := RetransmitAblation(6, 2)
+	if err != nil {
+		t.Fatalf("RetransmitAblation: %v", err)
+	}
+	if !strings.Contains(out, "all-unacked") {
+		t.Errorf("ablation incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,326 @@
+package collate
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var errDown = errors.New("member down")
+
+func feed(c Collator, items ...Item) ([]byte, error) {
+	for _, it := range items {
+		if c.Add(it) {
+			break
+		}
+	}
+	return c.Result()
+}
+
+func TestUnanimousAgree(t *testing.T) {
+	got, err := feed(Unanimous(3),
+		Item{0, []byte("v"), nil},
+		Item{1, []byte("v"), nil},
+		Item{2, []byte("v"), nil})
+	if err != nil || string(got) != "v" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestUnanimousDisagreementDetected(t *testing.T) {
+	_, err := feed(Unanimous(3),
+		Item{0, []byte("v"), nil},
+		Item{1, []byte("w"), nil})
+	if err != ErrDisagreement {
+		t.Fatalf("err = %v, want ErrDisagreement", err)
+	}
+}
+
+func TestUnanimousDecidesEarlyOnDisagreement(t *testing.T) {
+	u := Unanimous(5)
+	u.Add(Item{0, []byte("v"), nil})
+	if done := u.Add(Item{1, []byte("w"), nil}); !done {
+		t.Fatal("disagreement did not terminate collation early")
+	}
+}
+
+func TestUnanimousToleratesCrashedMembers(t *testing.T) {
+	// The client proceeds with the messages from members still
+	// available (§4.3.1).
+	got, err := feed(Unanimous(3),
+		Item{0, nil, errDown},
+		Item{1, []byte("v"), nil},
+		Item{2, []byte("v"), nil})
+	if err != nil || string(got) != "v" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestUnanimousAllFailed(t *testing.T) {
+	_, err := feed(Unanimous(2), Item{0, nil, errDown}, Item{1, nil, errDown})
+	if err != ErrAllFailed {
+		t.Fatalf("err = %v, want ErrAllFailed", err)
+	}
+}
+
+func TestFirstComeTakesFirst(t *testing.T) {
+	f := FirstCome(3)
+	if done := f.Add(Item{2, []byte("fast"), nil}); !done {
+		t.Fatal("first message did not decide")
+	}
+	got, err := f.Result()
+	if err != nil || string(got) != "fast" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestFirstComeSkipsFailures(t *testing.T) {
+	got, err := feed(FirstCome(3),
+		Item{0, nil, errDown},
+		Item{1, []byte("slow but alive"), nil})
+	if err != nil || string(got) != "slow but alive" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestFirstComeAllFailed(t *testing.T) {
+	_, err := feed(FirstCome(2), Item{0, nil, errDown}, Item{1, nil, errDown})
+	if err != ErrAllFailed {
+		t.Fatalf("err = %v, want ErrAllFailed", err)
+	}
+}
+
+func TestMajorityWins(t *testing.T) {
+	got, err := feed(Majority(3),
+		Item{0, []byte("a"), nil},
+		Item{1, []byte("b"), nil},
+		Item{2, []byte("a"), nil})
+	if err != nil || string(got) != "a" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestMajorityDecidesEarly(t *testing.T) {
+	m := Majority(5)
+	m.Add(Item{0, []byte("a"), nil})
+	m.Add(Item{1, []byte("a"), nil})
+	if done := m.Add(Item{2, []byte("a"), nil}); !done {
+		t.Fatal("3 of 5 identical did not decide")
+	}
+}
+
+func TestNoMajority(t *testing.T) {
+	_, err := feed(Majority(3),
+		Item{0, []byte("a"), nil},
+		Item{1, []byte("b"), nil},
+		Item{2, []byte("c"), nil})
+	if err != ErrNoMajority {
+		t.Fatalf("err = %v, want ErrNoMajority", err)
+	}
+}
+
+func TestMajorityUnreachableTerminatesEarly(t *testing.T) {
+	m := Majority(3) // needs 2 identical
+	m.Add(Item{0, []byte("a"), nil})
+	m.Add(Item{1, []byte("b"), nil})
+	if done := m.Add(Item{2, nil, errDown}); !done {
+		t.Fatal("unreachable majority did not terminate")
+	}
+	if _, err := m.Result(); err != ErrNoMajority {
+		t.Fatalf("err = %v, want ErrNoMajority", err)
+	}
+}
+
+func TestQuorum(t *testing.T) {
+	got, err := feed(Quorum(5, 2),
+		Item{0, []byte("x"), nil},
+		Item{1, []byte("y"), nil},
+		Item{2, []byte("y"), nil})
+	if err != nil || string(got) != "y" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestQuorumUnreachable(t *testing.T) {
+	_, err := feed(Quorum(3, 3),
+		Item{0, []byte("x"), nil},
+		Item{1, []byte("y"), nil},
+		Item{2, []byte("x"), nil})
+	if err != ErrNoQuorum {
+		t.Fatalf("err = %v, want ErrNoQuorum", err)
+	}
+}
+
+func TestCustomCollatorAveraging(t *testing.T) {
+	// The temperature-averaging server of Figure 7.7, as a collator.
+	avg := New(3, func(items []Item) ([]byte, error) {
+		var vals []float64
+		for _, it := range items {
+			if it.Err == nil {
+				vals = append(vals, float64(it.Data[0]))
+			}
+		}
+		return []byte{byte(MeanFloat64(vals))}, nil
+	})
+	got, err := feed(avg,
+		Item{0, []byte{10}, nil},
+		Item{1, []byte{20}, nil},
+		Item{2, []byte{30}, nil})
+	if err != nil || got[0] != 20 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestCustomAllFailed(t *testing.T) {
+	c := New(2, func(items []Item) ([]byte, error) { return nil, nil })
+	_, err := feed(c, Item{0, nil, errDown}, Item{1, nil, errDown})
+	if err != ErrAllFailed {
+		t.Fatalf("err = %v, want ErrAllFailed", err)
+	}
+}
+
+func TestRunDrainsGenerator(t *testing.T) {
+	ch := make(chan Item, 3)
+	ch <- Item{0, []byte("r"), nil}
+	ch <- Item{1, []byte("r"), nil}
+	ch <- Item{2, []byte("r"), nil}
+	got, err := Run(ch, 3, Unanimous(3))
+	if err != nil || string(got) != "r" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestRunStopsEarlyOnDecision(t *testing.T) {
+	ch := make(chan Item, 1)
+	ch <- Item{0, []byte("first"), nil}
+	// No further items are ever sent; FirstCome must not block.
+	got, err := Run(ch, 3, FirstCome(3))
+	if err != nil || string(got) != "first" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestRunClosedChannel(t *testing.T) {
+	ch := make(chan Item)
+	close(ch)
+	if _, err := Run(ch, 3, Unanimous(3)); err != ErrAllFailed {
+		t.Fatalf("err = %v, want ErrAllFailed", err)
+	}
+}
+
+func TestMedianFloat64(t *testing.T) {
+	if m := MedianFloat64([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("median odd = %v, want 2", m)
+	}
+	if m := MedianFloat64([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("median even = %v, want 2.5", m)
+	}
+	if m := MedianFloat64([]float64{7}); m != 7 {
+		t.Errorf("median single = %v, want 7", m)
+	}
+}
+
+func TestMeanFloat64(t *testing.T) {
+	if m := MeanFloat64([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Errorf("mean = %v, want 2.5", m)
+	}
+}
+
+// Property: with n identical healthy replies every collator returns
+// that value.
+func TestQuickCollatorsAgreeOnIdenticalInput(t *testing.T) {
+	f := func(data []byte, nRaw uint8) bool {
+		n := int(nRaw%5) + 1
+		for _, mk := range []func(int) Collator{Unanimous, FirstCome, Majority} {
+			c := mk(n)
+			for i := 0; i < n; i++ {
+				if c.Add(Item{i, data, nil}) {
+					break
+				}
+			}
+			got, err := c.Result()
+			if err != nil || !bytes.Equal(got, data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: majority never returns a value held by <= n/2 members.
+func TestQuickMajoritySound(t *testing.T) {
+	f := func(votes []uint8) bool {
+		n := len(votes)
+		if n == 0 {
+			return true
+		}
+		c := Majority(n)
+		counts := map[uint8]int{}
+		for i, v := range votes {
+			counts[v]++
+			if c.Add(Item{i, []byte{v}, nil}) {
+				break
+			}
+		}
+		got, err := c.Result()
+		if err != nil {
+			// Valid only if no value truly has a majority.
+			for _, cnt := range counts {
+				if cnt > n/2 {
+					return false
+				}
+			}
+			return true
+		}
+		// Count the winner's true frequency over all votes.
+		total := 0
+		for _, v := range votes {
+			if v == got[0] {
+				total++
+			}
+		}
+		return total > n/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the median lies between min and max.
+func TestQuickMedianBounded(t *testing.T) {
+	f := func(vs []float64) bool {
+		if len(vs) == 0 {
+			return true
+		}
+		for _, v := range vs {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		m := MedianFloat64(vs)
+		lo, hi := vs[0], vs[0]
+		for _, v := range vs {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		return m >= lo && m <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ExampleMajority() {
+	c := Majority(3)
+	c.Add(Item{Member: 0, Data: []byte("yes")})
+	c.Add(Item{Member: 1, Data: []byte("no")})
+	c.Add(Item{Member: 2, Data: []byte("yes")})
+	v, _ := c.Result()
+	fmt.Println(string(v))
+	// Output: yes
+}

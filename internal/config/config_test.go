@@ -1,0 +1,366 @@
+package config
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"circus/internal/core"
+	"circus/internal/transport"
+)
+
+func machines() []Machine {
+	return []Machine{
+		{Name: "UCB-Monet", Attrs: map[string]Value{
+			"memory": 10.0, "has-floating-point": true, "arch": "vax"}},
+		{Name: "UCB-Degas", Attrs: map[string]Value{
+			"memory": 4.0, "has-floating-point": false, "arch": "vax"}},
+		{Name: "UCB-Renoir", Attrs: map[string]Value{
+			"memory": 16.0, "has-floating-point": true, "arch": "vax"}},
+		{Name: "UCB-Ingres", Attrs: map[string]Value{
+			"memory": 8.0, "has-floating-point": true, "arch": "sun"}},
+	}
+}
+
+func mustParse(t *testing.T, src string) Spec {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestParseBasic(t *testing.T) {
+	s := mustParse(t, `troupe(x, y) where x.memory >= 10 and y.arch = "vax"`)
+	if len(s.Vars) != 2 || s.Vars[0] != "x" || s.Vars[1] != "y" {
+		t.Fatalf("vars = %v", s.Vars)
+	}
+}
+
+func TestParsePaperExample(t *testing.T) {
+	// The example formula of §7.5.2.
+	f, err := ParseFormula(`x.name = "UCB-Monet" and x.memory = 10 and x.has-floating-point`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machines()[0]
+	ok, err := f.Eval(map[string]Machine{"x": m})
+	if err != nil || !ok {
+		t.Fatalf("paper machine does not satisfy paper formula: %v %v", ok, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`troupe() where x.a`,
+		`troupe(x where x.a`,
+		`troupe(x) x.a`,
+		`troupe(x, x) where x.a`,
+		`troupe(x) where y.a`,     // undeclared variable
+		`troupe(x) where x.a = `,  // missing literal
+		`troupe(x) where x.a ? 3`, // bad operator
+		`troupe(x) where (x.a`,    // unbalanced paren
+		`troupe(x) where x.a = "unterminated`,
+		`troupe(x) where x.a and`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestEvalOperators(t *testing.T) {
+	m := Machine{Name: "m", Attrs: map[string]Value{"mem": 8.0, "os": "unix", "up": true}}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`x.mem = 8`, true},
+		{`x.mem != 8`, false},
+		{`x.mem < 9`, true},
+		{`x.mem <= 8`, true},
+		{`x.mem > 8`, false},
+		{`x.mem >= 8`, true},
+		{`x.os = "unix"`, true},
+		{`x.os != "vms"`, true},
+		{`x.os < "vms"`, true},
+		{`x.up`, true},
+		{`not x.up`, false},
+		{`x.mem = 8 and x.os = "unix"`, true},
+		{`x.mem = 9 or x.os = "unix"`, true},
+		{`x.mem = 9 or x.os = "vms"`, false},
+		{`not (x.mem = 9) and x.up`, true},
+		{`x.missing = 3`, false}, // absent attribute fails the test
+		{`not x.missing = 3`, true},
+		{`x.name = "m"`, true}, // name is an attribute (§7.5.2)
+	}
+	for _, c := range cases {
+		f, err := ParseFormula(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		got, err := f.Eval(map[string]Machine{"x": m})
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalPropertyTypeError(t *testing.T) {
+	f, err := ParseFormula(`x.mem`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Machine{Name: "m", Attrs: map[string]Value{"mem": 8.0}}
+	if _, err := f.Eval(map[string]Machine{"x": m}); err == nil {
+		t.Fatal("non-boolean property test succeeded")
+	}
+}
+
+func TestPrecedenceAndBindsTighter(t *testing.T) {
+	// a or b and c must parse as a or (b and c).
+	f, err := ParseFormula(`x.a or x.b and x.c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Machine{Name: "m", Attrs: map[string]Value{"a": true, "b": false, "c": false}}
+	ok, err := f.Eval(map[string]Machine{"x": m})
+	if err != nil || !ok {
+		t.Fatalf("precedence wrong: %v %v", ok, err)
+	}
+}
+
+func TestSolveSimple(t *testing.T) {
+	spec := mustParse(t, `troupe(x) where x.memory >= 16`)
+	got, err := Solve(spec, machines())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Name != "UCB-Renoir" {
+		t.Fatalf("chose %s", got[0].Name)
+	}
+}
+
+func TestSolveDistinctness(t *testing.T) {
+	// Two variables with the same constraint must get two different
+	// machines (§7.5.2: members are required to be distinct).
+	spec := mustParse(t, `troupe(x, y) where x.has-floating-point and y.has-floating-point`)
+	got, err := Solve(spec, machines())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Name == got[1].Name {
+		t.Fatal("assigned the same machine twice")
+	}
+}
+
+func TestSolveUnsatisfiable(t *testing.T) {
+	spec := mustParse(t, `troupe(x, y) where x.memory >= 16 and y.memory >= 16`)
+	_, err := Solve(spec, machines())
+	var uns *ErrUnsatisfiable
+	if !errors.As(err, &uns) {
+		t.Fatalf("err = %v, want ErrUnsatisfiable", err)
+	}
+}
+
+func TestSolveCrossVariableConstraint(t *testing.T) {
+	spec := mustParse(t, `troupe(x, y) where x.arch = "vax" and y.arch = "sun"`)
+	got, err := Solve(spec, machines())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1].Name != "UCB-Ingres" {
+		t.Fatalf("y = %s, want UCB-Ingres", got[1].Name)
+	}
+}
+
+func TestExtendTroupePrefersOldMembers(t *testing.T) {
+	spec := mustParse(t, `troupe(x, y) where x.has-floating-point and y.has-floating-point`)
+	univ := machines()
+	old := []Machine{univ[2], univ[3]} // Renoir, Ingres
+	got, err := ExtendTroupe(spec, univ, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{got[0].Name: true, got[1].Name: true}
+	if !names["UCB-Renoir"] || !names["UCB-Ingres"] {
+		t.Fatalf("extension moved members unnecessarily: %v", names)
+	}
+}
+
+func TestExtendTroupeReplacesOnlyFailed(t *testing.T) {
+	spec := mustParse(t, `troupe(x, y) where x.has-floating-point and y.has-floating-point`)
+	univ := machines()
+	// Old troupe was Renoir + Monet; Monet is gone from the universe
+	// (crashed): the solver must keep Renoir and add one machine.
+	var usable []Machine
+	for _, m := range univ {
+		if m.Name != "UCB-Monet" {
+			usable = append(usable, m)
+		}
+	}
+	old := []Machine{univ[2], univ[0]}
+	got, err := ExtendTroupe(spec, usable, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := false
+	for _, m := range got {
+		if m.Name == "UCB-Renoir" {
+			keep = true
+		}
+		if m.Name == "UCB-Monet" {
+			t.Fatal("crashed machine chosen")
+		}
+	}
+	if !keep {
+		t.Fatal("surviving member displaced")
+	}
+}
+
+func TestSatisfies(t *testing.T) {
+	spec := mustParse(t, `troupe(x, y) where x.has-floating-point and y.has-floating-point`)
+	univ := machines()
+	ok, err := Satisfies(spec, []Machine{univ[0], univ[2]})
+	if err != nil || !ok {
+		t.Fatalf("Satisfies = %v, %v", ok, err)
+	}
+	if ok, _ := Satisfies(spec, []Machine{univ[0], univ[0]}); ok {
+		t.Fatal("duplicate machines accepted")
+	}
+	if ok, _ := Satisfies(spec, []Machine{univ[0]}); ok {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+// fakeSpawner instantiates fake module addresses and records calls.
+type fakeSpawner struct {
+	nextPort uint16
+	spawned  map[string]string // addr string -> machine
+	stopped  []string
+}
+
+func (f *fakeSpawner) Spawn(m Machine, name string) (core.ModuleAddr, error) {
+	f.nextPort++
+	addr := core.ModuleAddr{Addr: transport.Addr{Host: 1, Port: f.nextPort}}
+	if f.spawned == nil {
+		f.spawned = map[string]string{}
+	}
+	f.spawned[addr.String()] = m.Name
+	return addr, nil
+}
+
+func (f *fakeSpawner) Stop(addr core.ModuleAddr) error {
+	f.stopped = append(f.stopped, addr.String())
+	return nil
+}
+
+// fakeBinder records registrations.
+type fakeBinder struct {
+	nextID uint64
+	regs   map[string][]core.ModuleAddr
+}
+
+func (b *fakeBinder) Register(ctx context.Context, name string, members []core.ModuleAddr) (core.TroupeID, error) {
+	if b.regs == nil {
+		b.regs = map[string][]core.ModuleAddr{}
+	}
+	b.nextID++
+	b.regs[name] = members
+	return core.TroupeID(b.nextID), nil
+}
+
+func (b *fakeBinder) LookupByName(ctx context.Context, name string) (core.Troupe, error) {
+	ms, ok := b.regs[name]
+	if !ok {
+		return core.Troupe{}, fmt.Errorf("no %s", name)
+	}
+	return core.Troupe{ID: core.TroupeID(b.nextID), Members: ms}, nil
+}
+
+func TestManagerConfigure(t *testing.T) {
+	sp := &fakeSpawner{}
+	bd := &fakeBinder{}
+	mgr := NewManager(sp, bd, machines())
+	tr, err := mgr.Configure(context.Background(), "db",
+		`troupe(x, y) where x.has-floating-point and y.has-floating-point`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Degree() != 2 {
+		t.Fatalf("degree = %d", tr.Degree())
+	}
+	if len(bd.regs["db"]) != 2 {
+		t.Fatal("troupe not registered")
+	}
+	if len(mgr.Placements("db")) != 2 {
+		t.Fatalf("placements = %v", mgr.Placements("db"))
+	}
+}
+
+func TestManagerReconfigureAfterCrash(t *testing.T) {
+	sp := &fakeSpawner{}
+	bd := &fakeBinder{}
+	mgr := NewManager(sp, bd, machines())
+	if _, err := mgr.Configure(context.Background(), "db",
+		`troupe(x, y) where x.has-floating-point and y.has-floating-point`); err != nil {
+		t.Fatal(err)
+	}
+	before := mgr.Placements("db")
+
+	crashed := before[0]
+	tr, err := mgr.Reconfigure(context.Background(), "db", func(m Machine) bool {
+		return m.Name != crashed
+	})
+	if err != nil {
+		t.Fatalf("Reconfigure: %v", err)
+	}
+	if tr.Degree() != 2 {
+		t.Fatalf("degree = %d", tr.Degree())
+	}
+	after := mgr.Placements("db")
+	for _, name := range after {
+		if name == crashed {
+			t.Fatal("crashed machine still placed")
+		}
+	}
+	// The survivor must be retained.
+	survivor := before[1]
+	found := false
+	for _, name := range after {
+		if name == survivor {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("survivor %s displaced: %v", survivor, after)
+	}
+}
+
+func TestManagerUnknownName(t *testing.T) {
+	mgr := NewManager(&fakeSpawner{}, &fakeBinder{}, machines())
+	if _, err := mgr.Reconfigure(context.Background(), "ghost", nil); err == nil {
+		t.Fatal("reconfigure of unknown name succeeded")
+	}
+}
+
+func TestFormulaString(t *testing.T) {
+	f, err := ParseFormula(`not (x.a = 1 and x.b = "s") or x.c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.String()
+	for _, frag := range []string{"not", "and", "or", "x.a", `"s"`} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package config
+
+import "testing"
+
+// FuzzParse: the configuration language parser must never panic, and
+// anything it accepts must evaluate without panicking.
+func FuzzParse(f *testing.F) {
+	f.Add(`troupe(x) where x.memory >= 8`)
+	f.Add(`troupe(x, y) where x.has-fpu and not (y.name = "a") or y.mem < 3`)
+	f.Add(`troupe( where`)
+	f.Add(`troupe(x) where x.a = "unterminated`)
+	f.Add(`troupe(x) where x.a = -1.5`)
+	f.Fuzz(func(t *testing.T, src string) {
+		spec, err := Parse(src)
+		if err != nil {
+			return
+		}
+		m := Machine{Name: "m", Attrs: map[string]Value{"memory": 8.0, "has-fpu": true, "a": "s"}}
+		binding := map[string]Machine{}
+		for _, v := range spec.Vars {
+			binding[v] = m
+		}
+		spec.Formula.Eval(binding) // must not panic; type errors are fine
+		_ = spec.Formula.String()
+	})
+}

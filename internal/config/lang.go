@@ -1,0 +1,506 @@
+// Package config implements the troupe configuration language and
+// configuration manager of §7.5: the programming-in-the-large tools
+// for specifying, instantiating, and reconfiguring replicated
+// distributed programs.
+//
+// A troupe specification has the form
+//
+//	troupe(x1, ..., xn) where φ(x1, ..., xn)
+//
+// where φ is a formula of propositional logic whose variables range
+// over the machines of the distributed system (Figure 7.12). Each
+// machine has an extensible list of attributes — name/value pairs
+// whose values are strings, numbers, or truth values; a Boolean
+// attribute is called a property, which makes the constants true and
+// false unnecessary. Example:
+//
+//	troupe(x, y) where x.memory >= 10 and x.has-floating-point
+//	                  and not (y.name = "UCB-Monet")
+//
+// The troupe members are required to be distinct; the language
+// compares attribute values only, never machines, and a troupe of
+// variable size cannot be specified (§7.5.2).
+package config
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Value is a machine attribute value: string, float64, or bool.
+type Value any
+
+// Machine is one machine of the distributed system together with its
+// attributes. The machine's name is just another attribute (§7.5.2),
+// but it is kept as a field for convenient identification; Attrs may
+// also contain "name".
+type Machine struct {
+	Name  string
+	Attrs map[string]Value
+}
+
+// Attr returns the machine's attribute, treating Name specially.
+func (m Machine) Attr(name string) (Value, bool) {
+	if v, ok := m.Attrs[name]; ok {
+		return v, true
+	}
+	if name == "name" {
+		return m.Name, true
+	}
+	return nil, false
+}
+
+// Spec is a parsed troupe specification.
+type Spec struct {
+	Vars    []string
+	Formula Formula
+}
+
+// Degree returns the troupe size the specification demands.
+func (s Spec) Degree() int { return len(s.Vars) }
+
+// Formula is a node of the specification formula.
+type Formula interface {
+	// Eval evaluates the formula under a binding of variables to
+	// machines.
+	Eval(binding map[string]Machine) (bool, error)
+	// Vars reports the variables the formula mentions, into set.
+	vars(set map[string]bool)
+	String() string
+}
+
+type andExpr struct{ l, r Formula }
+type orExpr struct{ l, r Formula }
+type notExpr struct{ f Formula }
+
+// cmpExpr is var.attr OP literal; op "" means a bare property test.
+type cmpExpr struct {
+	v    string
+	attr string
+	op   string
+	lit  Value
+}
+
+func (e andExpr) Eval(b map[string]Machine) (bool, error) {
+	l, err := e.l.Eval(b)
+	if err != nil {
+		return false, err
+	}
+	if !l {
+		return false, nil
+	}
+	return e.r.Eval(b)
+}
+func (e andExpr) vars(s map[string]bool) { e.l.vars(s); e.r.vars(s) }
+func (e andExpr) String() string         { return "(" + e.l.String() + " and " + e.r.String() + ")" }
+
+func (e orExpr) Eval(b map[string]Machine) (bool, error) {
+	l, err := e.l.Eval(b)
+	if err != nil {
+		return false, err
+	}
+	if l {
+		return true, nil
+	}
+	return e.r.Eval(b)
+}
+func (e orExpr) vars(s map[string]bool) { e.l.vars(s); e.r.vars(s) }
+func (e orExpr) String() string         { return "(" + e.l.String() + " or " + e.r.String() + ")" }
+
+func (e notExpr) Eval(b map[string]Machine) (bool, error) {
+	v, err := e.f.Eval(b)
+	return !v, err
+}
+func (e notExpr) vars(s map[string]bool) { e.f.vars(s) }
+func (e notExpr) String() string         { return "not " + e.f.String() }
+
+func (e cmpExpr) Eval(b map[string]Machine) (bool, error) {
+	m, ok := b[e.v]
+	if !ok {
+		return false, fmt.Errorf("config: unbound variable %q", e.v)
+	}
+	val, ok := m.Attr(e.attr)
+	if !ok {
+		// A machine without the attribute simply fails the test; this
+		// lets specifications mention attributes only some machines
+		// possess.
+		return false, nil
+	}
+	if e.op == "" {
+		prop, isBool := val.(bool)
+		if !isBool {
+			return false, fmt.Errorf("config: attribute %s.%s is not a property", e.v, e.attr)
+		}
+		return prop, nil
+	}
+	switch lit := e.lit.(type) {
+	case string:
+		s, ok := val.(string)
+		if !ok {
+			return false, nil
+		}
+		return compareOrdered(strings.Compare(s, lit), e.op)
+	case float64:
+		n, ok := toFloat(val)
+		if !ok {
+			return false, nil
+		}
+		switch {
+		case n < lit:
+			return compareOrdered(-1, e.op)
+		case n > lit:
+			return compareOrdered(1, e.op)
+		default:
+			return compareOrdered(0, e.op)
+		}
+	default:
+		return false, fmt.Errorf("config: unsupported literal %v", e.lit)
+	}
+}
+func (e cmpExpr) vars(s map[string]bool) { s[e.v] = true }
+func (e cmpExpr) String() string {
+	if e.op == "" {
+		return e.v + "." + e.attr
+	}
+	switch lit := e.lit.(type) {
+	case string:
+		return fmt.Sprintf("%s.%s %s %q", e.v, e.attr, e.op, lit)
+	default:
+		return fmt.Sprintf("%s.%s %s %v", e.v, e.attr, e.op, lit)
+	}
+}
+
+func toFloat(v Value) (float64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case int:
+		return float64(n), true
+	default:
+		return 0, false
+	}
+}
+
+func compareOrdered(cmp int, op string) (bool, error) {
+	switch op {
+	case "=":
+		return cmp == 0, nil
+	case "!=":
+		return cmp != 0, nil
+	case "<":
+		return cmp < 0, nil
+	case "<=":
+		return cmp <= 0, nil
+	case ">":
+		return cmp > 0, nil
+	case ">=":
+		return cmp >= 0, nil
+	default:
+		return false, fmt.Errorf("config: bad operator %q", op)
+	}
+}
+
+// --- Lexer ---
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp    // comparison operators
+	tokPunct // ( ) , .
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			l.pos++
+		case c == '(' || c == ')' || c == ',' || c == '.':
+			l.toks = append(l.toks, token{kind: tokPunct, text: string(c), pos: l.pos})
+			l.pos++
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '=':
+			l.toks = append(l.toks, token{kind: tokOp, text: "=", pos: l.pos})
+			l.pos++
+		case c == '!' || c == '<' || c == '>':
+			op := string(c)
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				op += "="
+				l.pos++
+			}
+			if op == "!" {
+				return nil, fmt.Errorf("config: stray '!' at %d", l.pos-1)
+			}
+			l.toks = append(l.toks, token{kind: tokOp, text: op, pos: l.pos})
+		case c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(c):
+			l.lexIdent()
+		default:
+			return nil, fmt.Errorf("config: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '-'
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) && l.src[l.pos] != '"' {
+		sb.WriteByte(l.src[l.pos])
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return fmt.Errorf("config: unterminated string at %d", start)
+	}
+	l.pos++ // closing quote
+	l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+	return nil
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	n, err := strconv.ParseFloat(l.src[start:l.pos], 64)
+	if err != nil {
+		return fmt.Errorf("config: bad number at %d: %v", start, err)
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, num: n, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+// --- Parser (recursive descent over the Figure 7.12 grammar) ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) expectIdent(word string) error {
+	t := p.next()
+	if t.kind != tokIdent || t.text != word {
+		return fmt.Errorf("config: expected %q at %d, got %q", word, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(ch string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != ch {
+		return fmt.Errorf("config: expected %q at %d, got %q", ch, t.pos, t.text)
+	}
+	return nil
+}
+
+// Parse parses a complete troupe specification.
+func Parse(src string) (Spec, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return Spec{}, err
+	}
+	p := &parser{toks: toks}
+	if err := p.expectIdent("troupe"); err != nil {
+		return Spec{}, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return Spec{}, err
+	}
+	var spec Spec
+	seen := map[string]bool{}
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return Spec{}, fmt.Errorf("config: expected variable at %d", t.pos)
+		}
+		if seen[t.text] {
+			return Spec{}, fmt.Errorf("config: duplicate variable %q", t.text)
+		}
+		seen[t.text] = true
+		spec.Vars = append(spec.Vars, t.text)
+		sep := p.next()
+		if sep.kind == tokPunct && sep.text == "," {
+			continue
+		}
+		if sep.kind == tokPunct && sep.text == ")" {
+			break
+		}
+		return Spec{}, fmt.Errorf("config: expected ',' or ')' at %d", sep.pos)
+	}
+	if err := p.expectIdent("where"); err != nil {
+		return Spec{}, err
+	}
+	f, err := p.parseFormula()
+	if err != nil {
+		return Spec{}, err
+	}
+	if !p.atEOF() {
+		return Spec{}, fmt.Errorf("config: trailing input at %d", p.peek().pos)
+	}
+	// Every variable mentioned must be declared.
+	used := map[string]bool{}
+	f.vars(used)
+	for v := range used {
+		if !seen[v] {
+			return Spec{}, fmt.Errorf("config: formula mentions undeclared variable %q", v)
+		}
+	}
+	spec.Formula = f
+	return spec, nil
+}
+
+// ParseFormula parses a bare formula (used by tests and tools).
+func ParseFormula(src string) (Formula, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("config: trailing input at %d", p.peek().pos)
+	}
+	return f, nil
+}
+
+func (p *parser) parseFormula() (Formula, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokIdent && p.peek().text == "or" {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = orExpr{l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Formula, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokIdent && p.peek().text == "and" {
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = andExpr{l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Formula, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokIdent && t.text == "not":
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{f}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.next()
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	default:
+		return p.parseAtom()
+	}
+}
+
+func (p *parser) parseAtom() (Formula, error) {
+	v := p.next()
+	if v.kind != tokIdent {
+		return nil, fmt.Errorf("config: expected variable at %d, got %q", v.pos, v.text)
+	}
+	if err := p.expectPunct("."); err != nil {
+		return nil, err
+	}
+	attr := p.next()
+	if attr.kind != tokIdent {
+		return nil, fmt.Errorf("config: expected attribute at %d", attr.pos)
+	}
+	if p.peek().kind != tokOp {
+		// A bare property (Boolean attribute).
+		return cmpExpr{v: v.text, attr: attr.text}, nil
+	}
+	op := p.next().text
+	lit := p.next()
+	switch lit.kind {
+	case tokString:
+		return cmpExpr{v: v.text, attr: attr.text, op: op, lit: lit.text}, nil
+	case tokNumber:
+		return cmpExpr{v: v.text, attr: attr.text, op: op, lit: lit.num}, nil
+	default:
+		return nil, fmt.Errorf("config: expected literal at %d", lit.pos)
+	}
+}

@@ -1,0 +1,167 @@
+package config
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"circus/internal/core"
+)
+
+// Spawner abstracts the per-machine server processes a full
+// configuration manager relies on for module instantiation (§7.5.3 —
+// under 4.2BSD the remote execution utilities play this role; in this
+// repository the examples implement it over netsim).
+type Spawner interface {
+	// Spawn starts an instance of the named module on the given
+	// machine and returns its module address.
+	Spawn(machine Machine, moduleName string) (core.ModuleAddr, error)
+	// Stop tears an instance down (used when reconfiguration moves a
+	// member off a machine).
+	Stop(addr core.ModuleAddr) error
+}
+
+// Binder is the slice of the binding agent the manager needs; it is
+// implemented by ringmaster.Client.
+type Binder interface {
+	Register(ctx context.Context, name string, members []core.ModuleAddr) (core.TroupeID, error)
+	LookupByName(ctx context.Context, name string) (core.Troupe, error)
+}
+
+// Manager is the troupe configuration manager of §7.5.3: it holds a
+// troupe specification per module name, instantiates troupes, and
+// reconfigures them after partial failures or specification changes,
+// using ExtendTroupe to stay as close as possible to the running
+// configuration.
+type Manager struct {
+	spawner Spawner
+	binder  Binder
+
+	mu       sync.Mutex
+	universe []Machine
+	specs    map[string]Spec
+	placed   map[string][]placement // current placements per name
+}
+
+type placement struct {
+	machine Machine
+	addr    core.ModuleAddr
+}
+
+// NewManager returns a manager over the given machine universe.
+func NewManager(spawner Spawner, binder Binder, universe []Machine) *Manager {
+	return &Manager{
+		spawner:  spawner,
+		binder:   binder,
+		universe: append([]Machine(nil), universe...),
+		specs:    make(map[string]Spec),
+		placed:   make(map[string][]placement),
+	}
+}
+
+// SetUniverse replaces the machine attribute database.
+func (m *Manager) SetUniverse(universe []Machine) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.universe = append([]Machine(nil), universe...)
+}
+
+// Configure records (or replaces) the specification for a module name
+// and instantiates or reconfigures its troupe accordingly, registering
+// the result with the binding agent. It returns the troupe.
+func (m *Manager) Configure(ctx context.Context, name, specSrc string) (core.Troupe, error) {
+	spec, err := Parse(specSrc)
+	if err != nil {
+		return core.Troupe{}, err
+	}
+	m.mu.Lock()
+	m.specs[name] = spec
+	m.mu.Unlock()
+	return m.reconfigure(ctx, name, nil)
+}
+
+// Reconfigure re-solves the specification for name, keeping the
+// placements in keep (machine names of members known to be healthy;
+// nil keeps all current ones) and replacing the rest — the recovery
+// path after a partial failure (§6.4).
+func (m *Manager) Reconfigure(ctx context.Context, name string, healthy func(Machine) bool) (core.Troupe, error) {
+	return m.reconfigure(ctx, name, healthy)
+}
+
+func (m *Manager) reconfigure(ctx context.Context, name string, healthy func(Machine) bool) (core.Troupe, error) {
+	m.mu.Lock()
+	spec, ok := m.specs[name]
+	if !ok {
+		m.mu.Unlock()
+		return core.Troupe{}, fmt.Errorf("config: no specification for %q", name)
+	}
+	current := m.placed[name]
+	universe := append([]Machine(nil), m.universe...)
+	m.mu.Unlock()
+
+	var old []Machine
+	oldByName := map[string]placement{}
+	for _, p := range current {
+		if healthy == nil || healthy(p.machine) {
+			old = append(old, p.machine)
+			oldByName[p.machine.Name] = p
+		}
+	}
+
+	// Restrict the universe to healthy machines.
+	var usable []Machine
+	for _, mc := range universe {
+		if healthy == nil || healthy(mc) {
+			usable = append(usable, mc)
+		}
+	}
+
+	chosen, err := ExtendTroupe(spec, usable, old)
+	if err != nil {
+		return core.Troupe{}, err
+	}
+
+	// Spawn new members, reuse surviving ones, stop the displaced.
+	var members []core.ModuleAddr
+	var newPlaced []placement
+	usedOld := map[string]bool{}
+	for _, mc := range chosen {
+		if p, ok := oldByName[mc.Name]; ok {
+			members = append(members, p.addr)
+			newPlaced = append(newPlaced, p)
+			usedOld[mc.Name] = true
+			continue
+		}
+		addr, err := m.spawner.Spawn(mc, name)
+		if err != nil {
+			return core.Troupe{}, fmt.Errorf("config: spawning %s on %s: %w", name, mc.Name, err)
+		}
+		members = append(members, addr)
+		newPlaced = append(newPlaced, placement{machine: mc, addr: addr})
+	}
+	for _, p := range current {
+		if !usedOld[p.machine.Name] {
+			m.spawner.Stop(p.addr)
+		}
+	}
+
+	id, err := m.binder.Register(ctx, name, members)
+	if err != nil {
+		return core.Troupe{}, err
+	}
+	m.mu.Lock()
+	m.placed[name] = newPlaced
+	m.mu.Unlock()
+	return core.Troupe{ID: id, Members: members}, nil
+}
+
+// Placements reports the machines currently hosting the named troupe.
+func (m *Manager) Placements(name string) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	for _, p := range m.placed[name] {
+		names = append(names, p.machine.Name)
+	}
+	return names
+}

@@ -1,0 +1,149 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the troupe extension problem of §7.5.3: given a
+// specification φ(x1..xn), a universe U of machines, and a particular
+// set M ⊆ U, find M' ⊆ U that satisfies φ and is as close to M as
+// possible — minimizing the symmetric set difference |M' ⊕ M|.
+// Instantiation is the special case M = ∅.
+//
+// The search is exhaustive backtracking, as in the Lisp implementation
+// the paper describes; its exponential worst case is acceptable given
+// the small number of variables in most troupe specifications.
+
+// ErrUnsatisfiable reports that no assignment of distinct machines
+// satisfies the specification.
+type ErrUnsatisfiable struct{ Spec Spec }
+
+func (e *ErrUnsatisfiable) Error() string {
+	return fmt.Sprintf("config: no troupe of %d distinct machines satisfies %s",
+		e.Spec.Degree(), e.Spec.Formula)
+}
+
+// Solve finds an assignment of distinct machines satisfying the
+// specification, ignoring closeness. It is ExtendTroupe with an empty
+// old set.
+func Solve(spec Spec, universe []Machine) ([]Machine, error) {
+	return ExtendTroupe(spec, universe, nil)
+}
+
+// ExtendTroupe solves the troupe extension problem: the returned
+// machines (one per specification variable, in variable order) satisfy
+// the formula, are pairwise distinct, and minimize the symmetric
+// difference from old.
+func ExtendTroupe(spec Spec, universe []Machine, old []Machine) ([]Machine, error) {
+	oldSet := make(map[string]bool, len(old))
+	for _, m := range old {
+		oldSet[m.Name] = true
+	}
+
+	// Order candidates so machines in the old set are tried first;
+	// combined with branch-and-bound on the symmetric difference this
+	// finds close extensions quickly.
+	candidates := append([]Machine(nil), universe...)
+	sort.SliceStable(candidates, func(i, j int) bool {
+		return oldSet[candidates[i].Name] && !oldSet[candidates[j].Name]
+	})
+
+	n := spec.Degree()
+	binding := make(map[string]Machine, n)
+	used := make(map[string]bool, n)
+	chosen := make([]Machine, 0, n)
+
+	var best []Machine
+	bestDiff := 1 << 30
+
+	diffOf := func(sel []Machine) int {
+		inSel := make(map[string]bool, len(sel))
+		d := 0
+		for _, m := range sel {
+			inSel[m.Name] = true
+			if !oldSet[m.Name] {
+				d++ // added
+			}
+		}
+		for name := range oldSet {
+			if !inSel[name] {
+				d++ // dropped
+			}
+		}
+		return d
+	}
+
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == n {
+			ok, err := spec.Formula.Eval(binding)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			if d := diffOf(chosen); d < bestDiff {
+				bestDiff = d
+				best = append([]Machine(nil), chosen...)
+			}
+			return nil
+		}
+		for _, m := range candidates {
+			if used[m.Name] {
+				continue
+			}
+			used[m.Name] = true
+			binding[spec.Vars[i]] = m
+			chosen = append(chosen, m)
+
+			// Branch and bound: additions so far already exceed the
+			// best known difference.
+			adds := 0
+			for _, c := range chosen {
+				if !oldSet[c.Name] {
+					adds++
+				}
+			}
+			if adds < bestDiff {
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+			}
+
+			chosen = chosen[:len(chosen)-1]
+			delete(binding, spec.Vars[i])
+			delete(used, m.Name)
+			if bestDiff == 0 {
+				return nil // cannot do better than unchanged
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return nil, &ErrUnsatisfiable{Spec: spec}
+	}
+	return best, nil
+}
+
+// Satisfies reports whether the given machines (one per variable, in
+// variable order) satisfy the specification and are distinct.
+func Satisfies(spec Spec, machines []Machine) (bool, error) {
+	if len(machines) != spec.Degree() {
+		return false, nil
+	}
+	seen := map[string]bool{}
+	binding := map[string]Machine{}
+	for i, m := range machines {
+		if seen[m.Name] {
+			return false, nil
+		}
+		seen[m.Name] = true
+		binding[spec.Vars[i]] = m
+	}
+	return spec.Formula.Eval(binding)
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"circus/internal/collate"
+	"circus/internal/pairedmsg"
+	"circus/internal/thread"
+	"circus/internal/transport"
+	"circus/internal/wire"
+)
+
+// CallOptions tunes one replicated procedure call.
+type CallOptions struct {
+	// Collator constructs the collator applied to the set of return
+	// messages; nil means the unanimous default of Circus (§4.3.4).
+	Collator func(n int) collate.Collator
+	// Timeout bounds the whole call; zero means no bound, in which
+	// case termination relies on crash detection (§4.2.3).
+	Timeout time.Duration
+	// AsTroupe identifies the calling module's own troupe when the
+	// call is not made from inside a ServerCall (whose nested calls
+	// attach it automatically). Servers use it to collate the call
+	// messages of all members of that troupe (§4.3.2).
+	AsTroupe TroupeID
+	// Thread supplies the thread context explicitly when the call is
+	// not made from inside a ServerCall and the context.Context does
+	// not carry one. Replicated callers must supply equal thread IDs
+	// and call paths for their calls to collate as one (§4.3.2).
+	Thread *thread.Context
+
+	// clientTroupe and thread are filled by ServerCall.Call when a
+	// troupe member makes a nested call on behalf of a propagated
+	// thread.
+	clientTroupe TroupeID
+	thread       *thread.Context
+}
+
+// CallEach performs the one-to-many half of a replicated procedure
+// call (§4.3.1): the same call message goes to every member of the
+// server troupe, and the returned channel yields one item per member —
+// its return message, or the error that befell it. The channel is the
+// "generator of messages from a troupe" of Figure 7.11, the basis of
+// explicit replication (§7.4).
+//
+// Regardless of how many items the caller consumes, every server
+// troupe member receives the call: exactly-once execution at all
+// members does not depend on the client's collation policy.
+func (rt *Runtime) CallEach(ctx context.Context, dest Troupe, proc uint16, args []byte, opts CallOptions) <-chan collate.Item {
+	items := make(chan collate.Item, len(dest.Members))
+	tc := opts.thread
+	if tc == nil {
+		tc = opts.Thread
+	}
+	if tc == nil {
+		tc = thread.FromContext(ctx)
+	}
+	if tc == nil {
+		tc = rt.NewThread()
+	}
+	if opts.clientTroupe == 0 {
+		opts.clientTroupe = opts.AsTroupe
+	}
+	path := tc.NextCallPath()
+	callCtx := ctx
+	var cancel context.CancelFunc
+	if opts.Timeout > 0 {
+		callCtx, cancel = context.WithTimeout(ctx, opts.Timeout)
+	}
+	var wg sync.WaitGroup
+	if !rt.multicastEach(callCtx, dest, tc.ID(), path, proc, args, opts, items, &wg) {
+		for i, m := range dest.Members {
+			i, m := i, m
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rt.callMember(callCtx, i, m, dest.ID, tc.ID(), path, proc, args, opts, items)
+			}()
+		}
+	}
+	if cancel != nil {
+		go func() { wg.Wait(); cancel() }()
+	}
+	return items
+}
+
+// multicastEach attempts the multicast implementation of the
+// one-to-many call (§4.3.3): when the runtime has multicast enabled,
+// the endpoint supports it, and every member shares a module number
+// (so the call message is identical for all), the call message is
+// transmitted to the whole troupe in one network operation — m+n
+// messages instead of m·n. It reports whether it took responsibility
+// for the call.
+func (rt *Runtime) multicastEach(ctx context.Context, dest Troupe, tid thread.ID, path []uint32,
+	proc uint16, args []byte, opts CallOptions, items chan<- collate.Item, wg *sync.WaitGroup) bool {
+
+	if !rt.opts.Multicast || len(dest.Members) < 2 {
+		return false
+	}
+	mod := dest.Members[0].Module
+	for _, m := range dest.Members[1:] {
+		if m.Module != mod {
+			return false
+		}
+	}
+
+	hdr := callHeader{
+		ThreadHost:   tid.Host,
+		ThreadProc:   tid.Proc,
+		Path:         path,
+		ClientTroupe: uint64(opts.clientTroupe),
+		DestTroupe:   uint64(dest.ID),
+		Module:       mod,
+		Proc:         proc,
+		Args:         args,
+	}
+	data, err := wire.Marshal(hdr)
+	if err != nil {
+		return false
+	}
+
+	callNum := rt.conn.NextMulticastCallNum()
+	group := make([]transport.Addr, len(dest.Members))
+	chans := make([]chan returnHeader, len(dest.Members))
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return false
+	}
+	for i, m := range dest.Members {
+		group[i] = m.Addr
+		ch := make(chan returnHeader, 1)
+		chans[i] = ch
+		rt.pending[retKey{peer: m.Addr, callNum: callNum}] = ch
+	}
+	rt.mu.Unlock()
+
+	transfers, err := rt.conn.StartSendMulticast(group, pairedmsg.Call, callNum, data)
+	if err != nil {
+		rt.mu.Lock()
+		for _, m := range dest.Members {
+			delete(rt.pending, retKey{peer: m.Addr, callNum: callNum})
+		}
+		rt.mu.Unlock()
+		return false // no multicast support: fall back to unicast
+	}
+
+	for i, m := range dest.Members {
+		i, m := i, m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt.awaitReply(ctx, i, m, callNum, transfers[i], chans[i], items)
+		}()
+	}
+	return true
+}
+
+// awaitReply waits for one member's return message after its call
+// transfer is in flight.
+func (rt *Runtime) awaitReply(ctx context.Context, idx int, m ModuleAddr, callNum uint32,
+	t pairedmsg.Transfer, ch chan returnHeader, items chan<- collate.Item) {
+
+	unregister := func() {
+		rt.mu.Lock()
+		delete(rt.pending, retKey{peer: m.Addr, callNum: callNum})
+		rt.mu.Unlock()
+	}
+
+	// Phase 1: until the call message is acknowledged (the return may
+	// arrive first — it implicitly acknowledges the call, §4.2.2).
+	select {
+	case ret := <-ch:
+		items <- decodeReturn(idx, m, ret)
+		return
+	case <-t.Done():
+		if err := t.Err(); err != nil {
+			unregister()
+			items <- collate.Item{Member: idx, Err: memberErr(err)}
+			return
+		}
+	case <-ctx.Done():
+		unregister()
+		items <- collate.Item{Member: idx, Err: ctx.Err()}
+		return
+	case <-rt.done:
+		unregister()
+		items <- collate.Item{Member: idx, Err: ErrClosed}
+		return
+	}
+
+	// Phase 2: the member is computing; probe for liveness (§4.2.3).
+	w := rt.conn.WatchPeer(m.Addr, callNum)
+	defer w.Stop()
+	select {
+	case ret := <-ch:
+		items <- decodeReturn(idx, m, ret)
+	case <-w.Down():
+		unregister()
+		items <- collate.Item{Member: idx, Err: ErrMemberDown}
+	case <-ctx.Done():
+		unregister()
+		items <- collate.Item{Member: idx, Err: ctx.Err()}
+	case <-rt.done:
+		unregister()
+		items <- collate.Item{Member: idx, Err: ErrClosed}
+	}
+}
+
+// Call performs a replicated procedure call and collates the results.
+// With the default unanimous collator it waits for all members,
+// demands identical return messages, and so detects any inconsistency
+// among the troupe (§4.3.4); other collators trade that error
+// detection for latency.
+func (rt *Runtime) Call(ctx context.Context, dest Troupe, proc uint16, args []byte, opts CallOptions) ([]byte, error) {
+	n := dest.Degree()
+	if n == 0 {
+		return nil, ErrTroupeDown
+	}
+	mk := opts.Collator
+	if mk == nil {
+		mk = collate.Unanimous
+	}
+	c := mk(n)
+	items := rt.CallEach(ctx, dest, proc, args, opts)
+
+	var got []collate.Item
+	for i := 0; i < n; i++ {
+		it, ok := <-items
+		if !ok {
+			break
+		}
+		got = append(got, it)
+		if c.Add(it) {
+			break
+		}
+	}
+	res, err := c.Result()
+	if err == nil {
+		return res, nil
+	}
+	if errors.Is(err, collate.ErrAllFailed) {
+		return nil, summarizeFailure(got)
+	}
+	return nil, err
+}
+
+// summarizeFailure turns a set of all-failed items into the most
+// actionable error: a stale binding beats a crash report, because the
+// client can recover from it by rebinding (§6.1); a unanimous
+// application error is the procedure's own verdict; otherwise the
+// troupe is down.
+func summarizeFailure(items []collate.Item) error {
+	var stale *StaleBindingError
+	var app *AppError
+	appUnanimous := true
+	allDown := len(items) > 0
+	for _, it := range items {
+		var s *StaleBindingError
+		if errors.As(it.Err, &s) {
+			stale = s
+		}
+		var a *AppError
+		if errors.As(it.Err, &a) {
+			if app != nil && app.Msg != a.Msg {
+				appUnanimous = false
+			}
+			app = a
+		} else {
+			appUnanimous = false
+		}
+		if !errors.Is(it.Err, ErrMemberDown) {
+			allDown = false
+		}
+	}
+	switch {
+	case app != nil && appUnanimous:
+		return app
+	case stale != nil:
+		return stale
+	case allDown:
+		return ErrTroupeDown
+	case len(items) > 0:
+		return items[0].Err
+	default:
+		return ErrTroupeDown
+	}
+}
+
+// callMember sends one call message and awaits the return, the
+// client's half of one leg of Figure 4.3.
+func (rt *Runtime) callMember(ctx context.Context, idx int, m ModuleAddr, destID TroupeID,
+	tid thread.ID, path []uint32, proc uint16, args []byte, opts CallOptions, items chan<- collate.Item) {
+
+	hdr := callHeader{
+		ThreadHost:   tid.Host,
+		ThreadProc:   tid.Proc,
+		Path:         path,
+		ClientTroupe: uint64(opts.clientTroupe),
+		DestTroupe:   uint64(destID),
+		Module:       m.Module,
+		Proc:         proc,
+		Args:         args,
+	}
+	data, err := wire.Marshal(hdr)
+	if err != nil {
+		items <- collate.Item{Member: idx, Err: err}
+		return
+	}
+
+	callNum := rt.conn.NextCallNum(m.Addr)
+	ch := make(chan returnHeader, 1)
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		items <- collate.Item{Member: idx, Err: ErrClosed}
+		return
+	}
+	rt.pending[retKey{peer: m.Addr, callNum: callNum}] = ch
+	rt.mu.Unlock()
+
+	unregister := func() {
+		rt.mu.Lock()
+		delete(rt.pending, retKey{peer: m.Addr, callNum: callNum})
+		rt.mu.Unlock()
+	}
+
+	if err := rt.conn.Send(ctx, m.Addr, pairedmsg.Call, callNum, data); err != nil {
+		unregister()
+		items <- collate.Item{Member: idx, Err: memberErr(err)}
+		return
+	}
+
+	// The call message is acknowledged; the member may now compute for
+	// an arbitrarily long time, so probe it for liveness (§4.2.3).
+	w := rt.conn.WatchPeer(m.Addr, callNum)
+	defer w.Stop()
+
+	select {
+	case ret := <-ch:
+		items <- decodeReturn(idx, m, ret)
+	case <-w.Down():
+		unregister()
+		items <- collate.Item{Member: idx, Err: ErrMemberDown}
+	case <-ctx.Done():
+		unregister()
+		items <- collate.Item{Member: idx, Err: ctx.Err()}
+	case <-rt.done:
+		unregister()
+		items <- collate.Item{Member: idx, Err: ErrClosed}
+	}
+}
+
+func memberErr(err error) error {
+	if errors.Is(err, pairedmsg.ErrPeerDown) {
+		return ErrMemberDown
+	}
+	if errors.Is(err, pairedmsg.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}
+
+func decodeReturn(idx int, m ModuleAddr, ret returnHeader) collate.Item {
+	switch ret.Status {
+	case statusOK:
+		return collate.Item{Member: idx, Data: ret.Payload}
+	case statusAppError:
+		return collate.Item{Member: idx, Err: &AppError{Msg: string(ret.Payload)}}
+	case statusBadTroupe:
+		return collate.Item{Member: idx, Err: &StaleBindingError{Member: m}}
+	case statusNoModule:
+		return collate.Item{Member: idx, Err: ErrNoSuchModule}
+	default:
+		return collate.Item{Member: idx, Err: errors.New("core: malformed call rejected by server")}
+	}
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"circus/internal/netsim"
+	"circus/internal/thread"
+)
+
+// newMulticastCluster builds a troupe whose client runtime has the
+// multicast implementation of §4.3.3 enabled.
+func newMulticastCluster(t *testing.T, seed int64, n int) *cluster {
+	t.Helper()
+	c := &cluster{t: t, net: netsim.New(seed)}
+	c.troupe = Troupe{ID: 0x3333}
+	resolver := StaticResolver{}
+	opts := fastOpts()
+	opts.Resolver = resolver
+	opts.Multicast = true
+	for i := 0; i < n; i++ {
+		rt := newRuntime(t, c.net, opts)
+		mod := &echoModule{}
+		// ExportAt pins the module number so all members share it —
+		// the precondition for a single multicast call message.
+		addr := rt.ExportAt(5, mod, ExportOptions{})
+		rt.SetTroupeID(addr.Module, c.troupe.ID)
+		c.servers = append(c.servers, rt)
+		c.mods = append(c.mods, mod)
+		c.troupe.Members = append(c.troupe.Members, addr)
+	}
+	resolver[c.troupe.ID] = c.troupe.Members
+	c.client = newRuntime(t, c.net, opts)
+	return c
+}
+
+func TestMulticastCallExecutesAtAllMembers(t *testing.T) {
+	c := newMulticastCluster(t, 51, 3)
+	got, err := c.client.Call(context.Background(), c.troupe, 1, []byte("mc"), CallOptions{})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(got) != "mc" {
+		t.Fatalf("got %q", got)
+	}
+	for i, m := range c.mods {
+		if m.execs.Load() != 1 {
+			t.Errorf("member %d executed %d times", i, m.execs.Load())
+		}
+	}
+}
+
+func TestMulticastUsesOneSendOp(t *testing.T) {
+	c := newMulticastCluster(t, 52, 3)
+	// Warm-up (nothing to warm, but symmetric with the counted call).
+	if _, err := c.client.Call(context.Background(), c.troupe, 1, []byte("w"), CallOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	c.net.ResetStats()
+	if _, err := c.client.Call(context.Background(), c.troupe, 1, []byte("x"), CallOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.net.Stats()
+	// The call leg is one multicast op carrying 3 datagrams; returns
+	// and acks are per-member unicast. Without multicast the same call
+	// takes 3 send ops on the call leg — so strictly fewer ops here.
+	if st.SendOps >= st.Datagrams {
+		t.Fatalf("sendops %d !< datagrams %d; multicast not exercised", st.SendOps, st.Datagrams)
+	}
+}
+
+func TestMulticastExactlyOnceUnderLoss(t *testing.T) {
+	c := newMulticastCluster(t, 53, 3)
+	c.net.SetLink(netsim.LinkConfig{LossRate: 0.15, DupRate: 0.1})
+	got, err := c.client.Call(context.Background(), c.troupe, 1, []byte("lossy"), CallOptions{
+		Timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(got) != "lossy" {
+		t.Fatalf("got %q", got)
+	}
+	if c.totalExecs() != 3 {
+		t.Fatalf("execs = %d, want 3 (per-member retransmission must back up the multicast)", c.totalExecs())
+	}
+}
+
+func TestMulticastMemberCrashMasked(t *testing.T) {
+	c := newMulticastCluster(t, 54, 3)
+	c.net.Crash(c.troupe.Members[2].Addr.Host)
+	got, err := c.client.Call(context.Background(), c.troupe, 1, []byte("v"), CallOptions{})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(got) != "v" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMulticastFallsBackOnMixedModuleNumbers(t *testing.T) {
+	// Members at different module numbers cannot share one call
+	// message; the runtime must silently use unicast.
+	net := netsim.New(55)
+	resolver := StaticResolver{}
+	opts := fastOpts()
+	opts.Resolver = resolver
+	opts.Multicast = true
+
+	troupe := Troupe{ID: 0x44}
+	var mods []*echoModule
+	for i := 0; i < 2; i++ {
+		rt := newRuntime(t, net, opts)
+		mod := &echoModule{}
+		addr := rt.ExportAt(uint16(10+i), mod, ExportOptions{})
+		rt.SetTroupeID(addr.Module, troupe.ID)
+		troupe.Members = append(troupe.Members, addr)
+		mods = append(mods, mod)
+	}
+	resolver[troupe.ID] = troupe.Members
+	client := newRuntime(t, net, opts)
+
+	got, err := client.Call(context.Background(), troupe, 1, []byte("mixed"), CallOptions{})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(got) != "mixed" {
+		t.Fatalf("got %q", got)
+	}
+	for i, m := range mods {
+		if m.execs.Load() != 1 {
+			t.Errorf("member %d executed %d times", i, m.execs.Load())
+		}
+	}
+}
+
+func TestMulticastSequentialCallNumbersDistinct(t *testing.T) {
+	c := newMulticastCluster(t, 56, 2)
+	tc := c.client.NewThread()
+	ctx := thread.NewContext(context.Background(), tc)
+	for i := 0; i < 5; i++ {
+		arg := []byte{byte(i)}
+		got, err := c.client.Call(ctx, c.troupe, 1, arg, CallOptions{})
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if !bytes.Equal(got, arg) {
+			t.Fatalf("call %d: got %v", i, got)
+		}
+	}
+	if c.totalExecs() != 10 {
+		t.Fatalf("execs = %d, want 10", c.totalExecs())
+	}
+}
+
+// TestArgMajorityBlocksMinority: §4.3.5 — a server member that has
+// received only a minority of the expected call messages must not
+// proceed, even past the availability timeout.
+func TestArgMajorityBlocksMinority(t *testing.T) {
+	net := netsim.New(57)
+	resolver := StaticResolver{}
+	opts := fastOpts()
+	opts.Resolver = resolver
+
+	server := newRuntime(t, net, opts)
+	mod := &echoModule{}
+	saddr := server.Export(mod, ExportOptions{Policy: ArgMajority})
+	serverTroupe := Troupe{Members: []ModuleAddr{saddr}}
+
+	// A client troupe of 3, of which only one member ever calls.
+	clientTroupeID := TroupeID(0xc200)
+	c1 := newRuntime(t, net, opts)
+	c2 := newRuntime(t, net, opts)
+	c3 := newRuntime(t, net, opts)
+	resolver[clientTroupeID] = []ModuleAddr{
+		{Addr: c1.Addr()}, {Addr: c2.Addr()}, {Addr: c3.Addr()},
+	}
+
+	tc := thread.Child(thread.ID{Host: 91, Proc: 1}, []uint32{1})
+	done := make(chan error, 1)
+	go func() {
+		_, err := c1.Call(context.Background(), serverTroupe, 1, []byte("solo"), CallOptions{
+			thread:       tc,
+			clientTroupe: clientTroupeID,
+			Timeout:      800 * time.Millisecond,
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("minority call executed under ArgMajority")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("caller did not time out")
+	}
+	if mod.execs.Load() != 0 {
+		t.Fatalf("server executed %d times with a minority of call messages", mod.execs.Load())
+	}
+}
+
+// TestArgMajorityProceedsWithMajority: two of three client members
+// suffice.
+func TestArgMajorityProceedsWithMajority(t *testing.T) {
+	net := netsim.New(58)
+	resolver := StaticResolver{}
+	opts := fastOpts()
+	opts.Resolver = resolver
+
+	server := newRuntime(t, net, opts)
+	mod := &echoModule{}
+	saddr := server.Export(mod, ExportOptions{Policy: ArgMajority})
+	serverTroupe := Troupe{Members: []ModuleAddr{saddr}}
+
+	clientTroupeID := TroupeID(0xc201)
+	c1 := newRuntime(t, net, opts)
+	c2 := newRuntime(t, net, opts)
+	c3 := newRuntime(t, net, opts) // never calls
+	resolver[clientTroupeID] = []ModuleAddr{
+		{Addr: c1.Addr()}, {Addr: c2.Addr()}, {Addr: c3.Addr()},
+	}
+
+	tid := thread.ID{Host: 92, Proc: 1}
+	done := make(chan error, 2)
+	for _, rt := range []*Runtime{c1, c2} {
+		rt := rt
+		go func() {
+			tc := thread.Child(tid, []uint32{2})
+			_, err := rt.Call(context.Background(), serverTroupe, 1, []byte("duo"), CallOptions{
+				thread:       tc,
+				clientTroupe: clientTroupeID,
+			})
+			done <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("majority call failed: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("majority call stalled")
+		}
+	}
+	if mod.execs.Load() != 1 {
+		t.Fatalf("execs = %d, want 1", mod.execs.Load())
+	}
+}
+
+// TestArgWaitAllDetectsDivergentArgs: the §4.3.4 error detection on
+// the server side (without AllowDivergentArgs).
+func TestArgWaitAllDetectsDivergentArgs(t *testing.T) {
+	net := netsim.New(59)
+	resolver := StaticResolver{}
+	opts := fastOpts()
+	opts.Resolver = resolver
+
+	server := newRuntime(t, net, opts)
+	mod := &echoModule{}
+	saddr := server.Export(mod, ExportOptions{Policy: ArgWaitAll})
+	serverTroupe := Troupe{Members: []ModuleAddr{saddr}}
+
+	clientTroupeID := TroupeID(0xc202)
+	c1 := newRuntime(t, net, opts)
+	c2 := newRuntime(t, net, opts)
+	resolver[clientTroupeID] = []ModuleAddr{{Addr: c1.Addr()}, {Addr: c2.Addr()}}
+
+	tid := thread.ID{Host: 93, Proc: 1}
+	done := make(chan error, 2)
+	for i, rt := range []*Runtime{c1, c2} {
+		i, rt := i, rt
+		go func() {
+			tc := thread.Child(tid, []uint32{3})
+			_, err := rt.Call(context.Background(), serverTroupe, 1, []byte{byte(i)}, CallOptions{
+				thread:       tc,
+				clientTroupe: clientTroupeID,
+			})
+			done <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		err := <-done
+		var app *AppError
+		if !errors.As(err, &app) {
+			t.Fatalf("err = %v, want AppError about divergent arguments", err)
+		}
+	}
+	if mod.execs.Load() != 0 {
+		t.Fatalf("module executed despite divergent client arguments")
+	}
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"circus/internal/pairedmsg"
+	"circus/internal/thread"
+	"circus/internal/transport"
+	"circus/internal/wire"
+)
+
+// Reserved procedure numbers handled by the runtime itself rather than
+// the module. They implement the automatically generated procedures of
+// the paper: the null "are you there?" probe used for binding-agent
+// garbage collection (§6.1), get_state for initializing a new troupe
+// member (§6.4.1), and set_troupe_id for atomic troupe ID changes
+// (§6.2).
+const (
+	ProcPing        uint16 = 0xFFFF
+	ProcGetState    uint16 = 0xFFFE
+	ProcSetTroupeID uint16 = 0xFFFD
+)
+
+// Resolver maps a client troupe ID to the module addresses of its
+// members, which tells a server handling a many-to-one call how many
+// call messages to expect (§4.3.2). It is implemented by the binding
+// agent client with a local cache, and by static tables in tests.
+type Resolver interface {
+	LookupByID(id TroupeID) ([]ModuleAddr, error)
+}
+
+// StaticResolver is a fixed troupe table.
+type StaticResolver map[TroupeID][]ModuleAddr
+
+// LookupByID implements Resolver.
+func (s StaticResolver) LookupByID(id TroupeID) ([]ModuleAddr, error) {
+	members, ok := s[id]
+	if !ok {
+		return nil, &UnknownTroupeError{ID: id}
+	}
+	return members, nil
+}
+
+// UnknownTroupeError reports a troupe ID the resolver has no record
+// of.
+type UnknownTroupeError struct{ ID TroupeID }
+
+func (e *UnknownTroupeError) Error() string {
+	return "core: unknown troupe " + TroupeID(e.ID).String()
+}
+
+// String renders a troupe ID.
+func (id TroupeID) String() string {
+	const hexdigits = "0123456789abcdef"
+	buf := make([]byte, 16)
+	for i := 15; i >= 0; i-- {
+		buf[i] = hexdigits[id&0xf]
+		id >>= 4
+	}
+	return "troupe:" + string(buf)
+}
+
+// Options configures a Runtime.
+type Options struct {
+	// Message tunes the paired message protocol.
+	Message pairedmsg.Options
+	// Resolver resolves client troupe IDs for many-to-one calls. Nil
+	// means only unreplicated clients are supported until SetResolver.
+	Resolver Resolver
+	// ManyToOneTimeout bounds how long a server waits for the
+	// remaining call messages of a replicated call after the first
+	// arrives; crashed client members would otherwise stall the call
+	// forever. Zero means 2 seconds.
+	ManyToOneTimeout time.Duration
+	// CallRetention is how long a completed execution's buffered
+	// return message is kept for late client troupe members (§4.3.4).
+	// Zero means 60 seconds.
+	CallRetention time.Duration
+	// Multicast enables the multicast implementation of one-to-many
+	// calls (§4.3.3) when the transport supports it: one send
+	// operation reaches the whole server troupe, m+n messages instead
+	// of m·n.
+	Multicast bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.ManyToOneTimeout == 0 {
+		o.ManyToOneTimeout = 2 * time.Second
+	}
+	if o.CallRetention == 0 {
+		o.CallRetention = 60 * time.Second
+	}
+	return o
+}
+
+// Runtime is the replicated procedure call run-time system linked with
+// each user program (§4.3): it owns the paired message connection,
+// dispatches incoming calls to exported modules, and implements the
+// one-to-many and many-to-one algorithms.
+type Runtime struct {
+	conn *pairedmsg.Conn
+	opts Options
+
+	mu        sync.Mutex
+	modules   map[uint16]*export
+	troupeIDs map[uint16]TroupeID
+	resolver  Resolver
+	pending   map[retKey]chan returnHeader // client calls awaiting returns
+	calls     map[string]*serverCall       // many-to-one collation table
+	nextMod   uint16
+	closed    bool
+
+	nextThread uint32
+	done       chan struct{}
+	ctx        context.Context
+	cancel     context.CancelFunc
+	bg         sync.WaitGroup
+}
+
+type export struct {
+	num  uint16
+	mod  Module
+	opts ExportOptions
+}
+
+type retKey struct {
+	peer    transport.Addr
+	callNum uint32
+}
+
+// NewRuntime starts a runtime over ep.
+func NewRuntime(ep transport.Endpoint, opts Options) *Runtime {
+	rt := &Runtime{
+		conn:      pairedmsg.New(ep, opts.Message),
+		opts:      opts.withDefaults(),
+		modules:   make(map[uint16]*export),
+		troupeIDs: make(map[uint16]TroupeID),
+		resolver:  opts.Resolver,
+		pending:   make(map[retKey]chan returnHeader),
+		calls:     make(map[string]*serverCall),
+		done:      make(chan struct{}),
+	}
+	rt.ctx, rt.cancel = context.WithCancel(context.Background())
+	rt.bg.Add(2)
+	go rt.recvLoop()
+	go rt.sweepLoop()
+	return rt
+}
+
+// Addr returns the process address of this runtime.
+func (rt *Runtime) Addr() transport.Addr { return rt.conn.Addr() }
+
+// SetResolver installs the troupe resolver (typically the binding
+// agent client) after construction.
+func (rt *Runtime) SetResolver(r Resolver) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.resolver = r
+}
+
+// Export registers a module under the next free module number and
+// returns its module address. The module number is an index into the
+// table of exported interfaces managed by the export procedure (§4.3).
+func (rt *Runtime) Export(m Module, opts ExportOptions) ModuleAddr {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	num := rt.nextMod
+	for {
+		if _, used := rt.modules[num]; !used {
+			break
+		}
+		num++
+	}
+	rt.nextMod = num + 1
+	rt.modules[num] = &export{num: num, mod: m, opts: opts}
+	return ModuleAddr{Addr: rt.conn.Addr(), Module: num}
+}
+
+// ExportAt registers a module under a specific module number,
+// replacing any previous export at that number.
+func (rt *Runtime) ExportAt(num uint16, m Module, opts ExportOptions) ModuleAddr {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.modules[num] = &export{num: num, mod: m, opts: opts}
+	return ModuleAddr{Addr: rt.conn.Addr(), Module: num}
+}
+
+// Unexport removes a module; subsequent calls to it report
+// ErrNoSuchModule, stale-binding case 2 of §6.1.
+func (rt *Runtime) Unexport(num uint16) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	delete(rt.modules, num)
+	delete(rt.troupeIDs, num)
+}
+
+// SetTroupeID records the current troupe ID of an exported module; the
+// member rejects calls bearing any other destination troupe ID (§6.2).
+func (rt *Runtime) SetTroupeID(module uint16, id TroupeID) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.troupeIDs[module] = id
+}
+
+// TroupeIDOf returns the module's current troupe ID, zero if none was
+// set.
+func (rt *Runtime) TroupeIDOf(module uint16) TroupeID {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.troupeIDs[module]
+}
+
+// NewThread creates a fresh distributed thread rooted at this process
+// (§3.4.1: the base process ID plus machine ID form the thread ID).
+func (rt *Runtime) NewThread() *thread.Context {
+	n := atomic.AddUint32(&rt.nextThread, 1)
+	id := thread.ID{
+		Host: rt.conn.Addr().Host,
+		Proc: uint32(rt.conn.Addr().Port)<<16 | (n & 0xffff),
+	}
+	return thread.NewRoot(id)
+}
+
+// Close shuts the runtime down: pending calls fail, the connection and
+// endpoint close.
+func (rt *Runtime) Close() error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return nil
+	}
+	rt.closed = true
+	close(rt.done)
+	rt.cancel()
+	rt.mu.Unlock()
+	err := rt.conn.Close()
+	rt.bg.Wait()
+	return err
+}
+
+// MessageStats exposes the paired message counters for the benchmark
+// harness.
+func (rt *Runtime) MessageStats() pairedmsg.Stats { return rt.conn.Stats() }
+
+func (rt *Runtime) recvLoop() {
+	defer rt.bg.Done()
+	for msg := range rt.conn.Incoming() {
+		switch msg.Type {
+		case pairedmsg.Call:
+			rt.handleCall(msg)
+		case pairedmsg.Return:
+			rt.handleReturn(msg)
+		}
+	}
+}
+
+// handleReturn routes a return message to the client call awaiting it.
+func (rt *Runtime) handleReturn(msg pairedmsg.Message) {
+	var hdr returnHeader
+	if err := wire.Unmarshal(msg.Data, &hdr); err != nil {
+		return // garbled application payload: drop
+	}
+	k := retKey{peer: msg.From, callNum: msg.CallNum}
+	rt.mu.Lock()
+	ch := rt.pending[k]
+	delete(rt.pending, k)
+	rt.mu.Unlock()
+	if ch != nil {
+		ch <- hdr
+	}
+}
+
+// sweepLoop expires completed many-to-one call records (§4.3.4: the
+// server buffers return messages for slow client members, bounded by
+// the retention window).
+func (rt *Runtime) sweepLoop() {
+	defer rt.bg.Done()
+	ticker := time.NewTicker(rt.opts.CallRetention / 4)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.done:
+			return
+		case now := <-ticker.C:
+			rt.mu.Lock()
+			for k, sc := range rt.calls {
+				sc.mu.Lock()
+				expired := sc.finished && now.Sub(sc.finishedAt) > rt.opts.CallRetention
+				sc.mu.Unlock()
+				if expired {
+					delete(rt.calls, k)
+				}
+			}
+			rt.mu.Unlock()
+		}
+	}
+}
+
+// background runs f on a tracked goroutine so Close can wait for it.
+func (rt *Runtime) background(f func()) {
+	rt.bg.Add(1)
+	go func() {
+		defer rt.bg.Done()
+		f()
+	}()
+}

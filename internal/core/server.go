@@ -1,0 +1,318 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"circus/internal/pairedmsg"
+	"circus/internal/thread"
+	"circus/internal/transport"
+	"circus/internal/wire"
+)
+
+// serverCall collates the call messages of one replicated call at one
+// server troupe member (§4.3.2). Two call messages are part of the
+// same replicated call if and only if they bear the same thread ID and
+// call path; the client troupe ID tells the member how many call
+// messages to expect.
+type serverCall struct {
+	mu         sync.Mutex
+	hdr        callHeader
+	tid        thread.ID
+	exp        *export
+	callers    []transport.Addr
+	callNums   map[transport.Addr]uint32
+	args       [][]byte
+	expected   int // number of client troupe members; 0 until resolved
+	started    bool
+	finished   bool
+	finishedAt time.Time
+	result     []byte // encoded returnHeader, buffered for late callers
+}
+
+// handleCall processes one incoming call message: the entry point of
+// the many-to-one algorithm (Figure 4.4).
+func (rt *Runtime) handleCall(msg pairedmsg.Message) {
+	var hdr callHeader
+	if err := wire.Unmarshal(msg.Data, &hdr); err != nil {
+		rt.sendReturn(msg.From, msg.CallNum, returnHeader{Status: statusBadMessage})
+		return
+	}
+	tid := thread.ID{Host: hdr.ThreadHost, Proc: hdr.ThreadProc}
+
+	rt.mu.Lock()
+	exp, haveModule := rt.modules[hdr.Module]
+	myTroupe := rt.troupeIDs[hdr.Module]
+	if !haveModule {
+		rt.mu.Unlock()
+		rt.sendReturn(msg.From, msg.CallNum, returnHeader{Status: statusNoModule})
+		return
+	}
+	// Incarnation check (§6.2): a member accepts a call only if it
+	// bears the member's current troupe ID, which is the case only if
+	// the client knows the correct membership of the troupe. A zero
+	// destination ID skips the check (direct addressing); a zero local
+	// ID means the member has not yet been registered.
+	if hdr.DestTroupe != 0 && myTroupe != 0 && TroupeID(hdr.DestTroupe) != myTroupe {
+		rt.mu.Unlock()
+		rt.sendReturn(msg.From, msg.CallNum, returnHeader{Status: statusBadTroupe})
+		return
+	}
+
+	// The collation key is the thread identity (§4.3.2) plus the
+	// module number: two troupe members co-located in one process have
+	// distinct module numbers, and a replicated call addressing both
+	// must collate separately per member.
+	key := thread.PathKey(tid, hdr.Path) + string([]byte{byte(hdr.Module >> 8), byte(hdr.Module)})
+	sc, ok := rt.calls[key]
+	if !ok {
+		sc = &serverCall{
+			hdr:      hdr,
+			tid:      tid,
+			exp:      exp,
+			callNums: make(map[transport.Addr]uint32),
+		}
+		rt.calls[key] = sc
+	}
+	rt.mu.Unlock()
+
+	sc.mu.Lock()
+	if sc.finished {
+		// A slow client troupe member: execution appears instantaneous
+		// to it, because the return message is ready and waiting
+		// (§4.3.4).
+		result := sc.result
+		sc.mu.Unlock()
+		rt.sendReturn(msg.From, msg.CallNum, decodedReturn(result))
+		return
+	}
+	if _, seen := sc.callNums[msg.From]; !seen {
+		sc.callers = append(sc.callers, msg.From)
+		sc.args = append(sc.args, hdr.Args)
+	}
+	sc.callNums[msg.From] = msg.CallNum
+	first := len(sc.callers) == 1
+	sc.mu.Unlock()
+
+	if first {
+		// Resolve the client troupe membership (consulting a local
+		// cache or the binding agent, §4.3.2) off the receive loop,
+		// and arm the availability timeout.
+		rt.background(func() { rt.resolveExpected(sc, TroupeID(hdr.ClientTroupe)) })
+		rt.background(func() { rt.armTimeout(sc) })
+	}
+	rt.maybeStart(sc)
+}
+
+// decodedReturn re-wraps a buffered, already-encoded return header.
+func decodedReturn(encoded []byte) returnHeader {
+	var hdr returnHeader
+	if err := wire.Unmarshal(encoded, &hdr); err != nil {
+		return returnHeader{Status: statusBadMessage}
+	}
+	return hdr
+}
+
+// resolveExpected learns how many call messages to expect as part of
+// the many-to-one call (§4.3.2).
+func (rt *Runtime) resolveExpected(sc *serverCall, clientTroupe TroupeID) {
+	expected := 1
+	if clientTroupe != 0 {
+		rt.mu.Lock()
+		r := rt.resolver
+		rt.mu.Unlock()
+		if r != nil {
+			if members, err := r.LookupByID(clientTroupe); err == nil && len(members) > 0 {
+				expected = len(members)
+			}
+		}
+	}
+	sc.mu.Lock()
+	sc.expected = expected
+	sc.mu.Unlock()
+	rt.maybeStart(sc)
+}
+
+// armTimeout starts execution after ManyToOneTimeout even if some
+// client troupe members' call messages never arrive: the paper's
+// server waits for all *available* members (§4.3.2), and a crashed
+// member must not stall the call forever.
+//
+// Under ArgMajority the timeout never overrides the majority
+// requirement: a member that has received only a minority of the
+// expected messages may be in the smaller half of a partition, and
+// §4.3.5's discipline exists precisely to keep it from diverging. Such
+// a call stalls until the partition heals or more messages arrive.
+func (rt *Runtime) armTimeout(sc *serverCall) {
+	t := time.NewTimer(rt.opts.ManyToOneTimeout)
+	defer t.Stop()
+	select {
+	case <-rt.done:
+	case <-t.C:
+		sc.mu.Lock()
+		floor := 1
+		if sc.exp.opts.Policy == ArgMajority {
+			if sc.expected == 0 {
+				sc.mu.Unlock()
+				return // membership unresolved: cannot establish a majority
+			}
+			floor = sc.expected/2 + 1
+		}
+		force := !sc.started && len(sc.callers) >= floor
+		if force {
+			sc.started = true
+		}
+		sc.mu.Unlock()
+		if force {
+			rt.background(func() { rt.execute(sc) })
+		}
+	}
+}
+
+// maybeStart begins execution once the waiting discipline of the
+// module's ArgPolicy is satisfied (§4.3.4, §4.3.5).
+func (rt *Runtime) maybeStart(sc *serverCall) {
+	sc.mu.Lock()
+	var need int
+	switch sc.exp.opts.Policy {
+	case ArgFirstCome:
+		need = 1
+	case ArgMajority:
+		if sc.expected == 0 {
+			sc.mu.Unlock()
+			return // not resolved yet
+		}
+		need = sc.expected/2 + 1
+	default: // ArgWaitAll
+		if sc.expected == 0 {
+			sc.mu.Unlock()
+			return // not resolved yet
+		}
+		need = sc.expected
+	}
+	start := !sc.started && len(sc.callers) >= need
+	if start {
+		sc.started = true
+	}
+	sc.mu.Unlock()
+	if start {
+		rt.background(func() { rt.execute(sc) })
+	}
+}
+
+// execute performs the requested procedure exactly once and sends a
+// return message containing the results to each member of the client
+// troupe (§4.3.2). The server adopts the thread ID in the call header
+// for the duration of the execution so that further remote calls
+// propagate it (§3.4.1).
+func (rt *Runtime) execute(sc *serverCall) {
+	sc.mu.Lock()
+	hdr := sc.hdr
+	tid := sc.tid
+	exp := sc.exp
+	callers := append([]transport.Addr(nil), sc.callers...)
+	args := append([][]byte(nil), sc.args...)
+	sc.mu.Unlock()
+
+	call := &ServerCall{
+		rt:           rt,
+		ctx:          rt.ctx,
+		thread:       thread.Child(tid, hdr.Path),
+		clientTroupe: TroupeID(hdr.ClientTroupe),
+		module:       hdr.Module,
+		proc:         hdr.Proc,
+		callers:      callers,
+		args:         args,
+	}
+
+	// Waiting for all messages and checking that they are identical is
+	// analogous to providing error detection as well as transparent
+	// error correction (§4.3.4): any inconsistency among the client
+	// troupe's call messages is detected here.
+	if exp.opts.Policy == ArgWaitAll && !exp.opts.AllowDivergentArgs {
+		for _, a := range args[1:] {
+			if !bytes.Equal(a, args[0]) {
+				ret := returnHeader{Status: statusAppError,
+					Payload: []byte("core: client troupe members sent different arguments")}
+				rt.finishAndReply(sc, ret)
+				return
+			}
+		}
+	}
+
+	var ret returnHeader
+	res, err := rt.dispatch(exp, call, hdr.Proc, hdr.Args)
+	if err != nil {
+		ret = returnHeader{Status: statusAppError, Payload: []byte(err.Error())}
+	} else {
+		ret = returnHeader{Status: statusOK, Payload: res}
+	}
+	rt.finishAndReply(sc, ret)
+}
+
+// finishAndReply records the buffered return message and sends it to
+// every client troupe member whose call message has arrived; later
+// arrivals are answered directly from the buffer (§4.3.4).
+func (rt *Runtime) finishAndReply(sc *serverCall, ret returnHeader) {
+	encoded, merr := wire.Marshal(ret)
+	if merr != nil {
+		ret = returnHeader{Status: statusAppError, Payload: []byte(merr.Error())}
+		encoded, _ = wire.Marshal(ret)
+	}
+
+	sc.mu.Lock()
+	sc.finished = true
+	sc.finishedAt = time.Now()
+	sc.result = encoded
+	targets := make(map[transport.Addr]uint32, len(sc.callNums))
+	for a, cn := range sc.callNums {
+		targets[a] = cn
+	}
+	sc.mu.Unlock()
+
+	for addr, callNum := range targets {
+		rt.sendReturn(addr, callNum, ret)
+	}
+}
+
+// dispatch routes reserved procedure numbers to the runtime's own
+// implementations and everything else to the module.
+func (rt *Runtime) dispatch(exp *export, call *ServerCall, proc uint16, args []byte) ([]byte, error) {
+	switch proc {
+	case ProcPing:
+		// The null "are you there?" procedure (§6.1).
+		return nil, nil
+	case ProcGetState:
+		// get_state runs as a read-only operation copying the module
+		// state to the caller (§6.4.1).
+		sp, ok := exp.mod.(StateProvider)
+		if !ok {
+			return nil, fmt.Errorf("module %d does not support state transfer", exp.num)
+		}
+		return sp.GetState()
+	case ProcSetTroupeID:
+		var id uint64
+		if err := wire.Unmarshal(args, &id); err != nil {
+			return nil, err
+		}
+		rt.SetTroupeID(exp.num, TroupeID(id))
+		return nil, nil
+	default:
+		return exp.mod.Dispatch(call, proc, args)
+	}
+}
+
+// sendReturn transmits one return message; delivery reliability is the
+// paired message layer's job, so failures here only mean the runtime
+// is shutting down.
+func (rt *Runtime) sendReturn(to transport.Addr, callNum uint32, ret returnHeader) {
+	data, err := wire.Marshal(ret)
+	if err != nil {
+		return
+	}
+	if _, err := rt.conn.StartSend(to, pairedmsg.Return, callNum, data); err != nil {
+		return
+	}
+}

@@ -1,0 +1,176 @@
+package gen
+
+import (
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"circus/internal/idl"
+)
+
+func parseBankIDL(t *testing.T) *idl.Program {
+	t.Helper()
+	src, err := os.ReadFile("../../examples/bank/bank.courier")
+	if err != nil {
+		t.Fatalf("reading bank.courier: %v", err)
+	}
+	prog, err := idl.Parse(string(src))
+	if err != nil {
+		t.Fatalf("parsing bank.courier: %v", err)
+	}
+	return prog
+}
+
+// TestGoldenBankStubs: regenerating the committed bank stubs must
+// reproduce them byte for byte; this pins the generator's output and
+// guarantees the example uses current output.
+func TestGoldenBankStubs(t *testing.T) {
+	prog := parseBankIDL(t)
+	code, err := Generate(prog, Options{Package: "bankrpc"})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	formatted, err := format.Source(code)
+	if err != nil {
+		t.Fatalf("generated code does not format: %v", err)
+	}
+	committed, err := os.ReadFile("../../examples/bank/bankrpc/bankrpc.go")
+	if err != nil {
+		t.Fatalf("reading committed stubs: %v", err)
+	}
+	if string(formatted) != string(committed) {
+		t.Fatal("committed bankrpc.go is stale; rerun stubgen")
+	}
+}
+
+func TestGeneratedCodeParses(t *testing.T) {
+	prog := parseBankIDL(t)
+	code, err := Generate(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "gen.go", code, 0); err != nil {
+		t.Fatalf("generated code does not parse: %v", err)
+	}
+}
+
+func TestGeneratedSymbols(t *testing.T) {
+	prog := parseBankIDL(t)
+	code, err := Generate(prog, Options{Package: "bankrpc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(code)
+	for _, sym := range []string{
+		"package bankrpc",
+		"type Account = string",
+		"type Amount = int32",
+		"type Entry struct",
+		"type Statement = []Entry",
+		"ErrInsufficientFunds",
+		"ErrNoSuchAccount",
+		"func (c *Client) Deposit(ctx context.Context, account Account, amount Amount, opts ...circus.CallOption) (balance Amount, err error)",
+		"func (c *Client) Transfer(ctx context.Context, from Account, to Account, amount Amount, opts ...circus.CallOption) (err error)",
+		"type Service interface",
+		"func NewModule(svc Service) circus.Module",
+		"func Export(n *circus.Node, svc Service, opts ...circus.ExportOption)",
+		"func Import(ctx context.Context, n *circus.Node) (*Client, error)",
+		"circus.ErrNoSuchProc",
+	} {
+		if !strings.Contains(src, sym) {
+			t.Errorf("generated code missing %q", sym)
+		}
+	}
+}
+
+func TestGoTypeMapping(t *testing.T) {
+	g := &generator{}
+	cases := []struct {
+		t    idl.Type
+		want string
+	}{
+		{idl.Prim{Kind: idl.Boolean}, "bool"},
+		{idl.Prim{Kind: idl.Cardinal}, "uint16"},
+		{idl.Prim{Kind: idl.LongCardinal}, "uint32"},
+		{idl.Prim{Kind: idl.Integer}, "int16"},
+		{idl.Prim{Kind: idl.LongInteger}, "int32"},
+		{idl.Prim{Kind: idl.String}, "string"},
+		{idl.Prim{Kind: idl.Unspecified}, "uint16"},
+		{idl.Sequence{Elem: idl.Prim{Kind: idl.String}}, "[]string"},
+		{idl.Array{N: 3, Elem: idl.Prim{Kind: idl.Integer}}, "[3]int16"},
+		{idl.Ref{Name: "foo"}, "Foo"},
+	}
+	for _, c := range cases {
+		got, err := g.goType(c.t)
+		if err != nil || got != c.want {
+			t.Errorf("goType(%v) = %q, %v; want %q", c.t, got, err, c.want)
+		}
+	}
+}
+
+func TestIdentifierHygiene(t *testing.T) {
+	// Courier field names that collide with Go keywords or the stub's
+	// own locals must be renamed.
+	prog, err := idl.Parse(`
+X: PROGRAM 2 VERSION 1 =
+BEGIN
+    P: PROCEDURE [type: STRING, range: CARDINAL, data: STRING] RETURNS [func: BOOLEAN] = 0;
+END.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Generate(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := format.Source(code); err != nil {
+		t.Fatalf("keyword-colliding fields produced invalid Go: %v", err)
+	}
+	for _, frag := range []string{"type_ string", "range_ uint16", "data_ string"} {
+		if !strings.Contains(string(code), frag) {
+			t.Errorf("missing renamed parameter %q", frag)
+		}
+	}
+}
+
+func TestNoErrorsDeclared(t *testing.T) {
+	prog, err := idl.Parse(`X: PROGRAM 3 VERSION 1 = BEGIN P: PROCEDURE = 0; END.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Generate(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := format.Source(code); err != nil {
+		t.Fatalf("error-free interface produced invalid Go: %v", err)
+	}
+	if strings.Contains(string(code), "declaredErrors") {
+		t.Error("error machinery emitted for interface without errors")
+	}
+}
+
+func TestProcNumbers(t *testing.T) {
+	prog := parseBankIDL(t)
+	nums := ProcNumbers(prog)
+	if !reflect.DeepEqual(nums, []int{0, 1, 2, 3, 4, 5}) {
+		t.Fatalf("nums = %v", nums)
+	}
+}
+
+func TestInterfaceNameOverride(t *testing.T) {
+	prog := parseBankIDL(t)
+	code, err := Generate(prog, Options{InterfaceName: "bank-v2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(code), `n.Import(ctx, "bank-v2")`) {
+		t.Error("interface name override ignored")
+	}
+}

@@ -1,0 +1,23 @@
+package idl
+
+import "testing"
+
+// FuzzParse: the IDL front end must never panic on arbitrary input.
+func FuzzParse(f *testing.F) {
+	f.Add(fig72)
+	f.Add(`X: PROGRAM 1 VERSION 1 = BEGIN END.`)
+	f.Add(`X: PROGRAM 1 VERSION 1 = BEGIN A: TYPE = SEQUENCE OF SEQUENCE OF RECORD [x: STRING]; END.`)
+	f.Add(`X: PROGRAM`)
+	f.Add(`-- only a comment`)
+	f.Add(`X: PROGRAM 1 VERSION 1 = BEGIN A: TYPE = RECORD [a: A]; END.`)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Anything that parses must re-check cleanly.
+		if cerr := Check(prog); cerr != nil {
+			t.Fatalf("Parse accepted a program Check rejects: %v", cerr)
+		}
+	})
+}

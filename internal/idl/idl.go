@@ -1,0 +1,537 @@
+// Package idl implements the interface definition language of the
+// stub compilers in §7.1: a subset of Xerox Courier. An interface
+// specification consists of declarations of types, errors, and
+// procedures (Figure 7.2):
+//
+//	NameServer: PROGRAM 26 VERSION 1 =
+//	BEGIN
+//	    Name: TYPE = STRING;
+//	    Property: TYPE = RECORD [name: Name, value: SEQUENCE OF UNSPECIFIED];
+//	    AlreadyExists: ERROR = 0;
+//	    Register: PROCEDURE [name: Name, properties: Properties]
+//	        REPORTS [AlreadyExists] = 0;
+//	    Lookup: PROCEDURE [name: Name] RETURNS [properties: Properties]
+//	        REPORTS [NotFound] = 1;
+//	END.
+//
+// Supported predefined types: BOOLEAN, CARDINAL, LONG CARDINAL,
+// INTEGER, LONG INTEGER, STRING, UNSPECIFIED. Constructed types:
+// RECORD, SEQUENCE OF, ARRAY n OF. As in the Courier-to-C stub
+// compiler (§7.1.1), the features with no natural Go counterpart
+// (CHOICE, procedure constants) are not supported, and recursive types
+// are rejected as they were by the Modula-2 stub compiler's marking
+// algorithm (§7.1.4).
+package idl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// PrimKind enumerates the predefined Courier types.
+type PrimKind int
+
+const (
+	Boolean PrimKind = iota
+	Cardinal
+	LongCardinal
+	Integer
+	LongInteger
+	String
+	Unspecified
+)
+
+var primNames = map[PrimKind]string{
+	Boolean:      "BOOLEAN",
+	Cardinal:     "CARDINAL",
+	LongCardinal: "LONG CARDINAL",
+	Integer:      "INTEGER",
+	LongInteger:  "LONG INTEGER",
+	String:       "STRING",
+	Unspecified:  "UNSPECIFIED",
+}
+
+// Type is a Courier type expression.
+type Type interface{ String() string }
+
+// Prim is a predefined type.
+type Prim struct{ Kind PrimKind }
+
+func (p Prim) String() string { return primNames[p.Kind] }
+
+// Sequence is SEQUENCE OF Elem.
+type Sequence struct{ Elem Type }
+
+func (s Sequence) String() string { return "SEQUENCE OF " + s.Elem.String() }
+
+// Array is ARRAY N OF Elem.
+type Array struct {
+	N    int
+	Elem Type
+}
+
+func (a Array) String() string { return fmt.Sprintf("ARRAY %d OF %s", a.N, a.Elem) }
+
+// Field is one record field or procedure parameter.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Record is RECORD [fields].
+type Record struct{ Fields []Field }
+
+func (r Record) String() string {
+	var parts []string
+	for _, f := range r.Fields {
+		parts = append(parts, f.Name+": "+f.Type.String())
+	}
+	return "RECORD [" + strings.Join(parts, ", ") + "]"
+}
+
+// Ref is a reference to a named type.
+type Ref struct{ Name string }
+
+func (r Ref) String() string { return r.Name }
+
+// TypeDecl is Name: TYPE = T;
+type TypeDecl struct {
+	Name string
+	Type Type
+}
+
+// ErrorDecl is Name: ERROR = n;
+type ErrorDecl struct {
+	Name string
+	Code int
+}
+
+// ProcDecl is Name: PROCEDURE [args] RETURNS [results] REPORTS [errs] = n;
+type ProcDecl struct {
+	Name    string
+	Args    []Field
+	Results []Field
+	Reports []string
+	Number  int
+}
+
+// Program is a parsed interface specification.
+type Program struct {
+	Name    string
+	Number  int
+	Version int
+	Types   []TypeDecl
+	Errors  []ErrorDecl
+	Procs   []ProcDecl
+}
+
+// TypeByName returns the declaration of a named type.
+func (p *Program) TypeByName(name string) (TypeDecl, bool) {
+	for _, t := range p.Types {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return TypeDecl{}, false
+}
+
+// --- Lexer ---
+
+type token struct {
+	text string // keywords and punctuation verbatim; idents and numbers raw
+	pos  int
+}
+
+func lexIDL(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			// Courier comment to end of line.
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case strings.ContainsRune(":=[],;.()", rune(c)):
+			toks = append(toks, token{text: string(c), pos: i})
+			i++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			toks = append(toks, token{text: src[start:i], pos: start})
+		case unicode.IsDigit(rune(c)):
+			start := i
+			for i < len(src) && unicode.IsDigit(rune(src[i])) {
+				i++
+			}
+			toks = append(toks, token{text: src[start:i], pos: start})
+		default:
+			return nil, fmt.Errorf("idl: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{text: "", pos: i}) // EOF
+	return toks, nil
+}
+
+// --- Parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(text string) error {
+	t := p.next()
+	if t.text != text {
+		return fmt.Errorf("idl: expected %q at offset %d, got %q", text, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.next()
+	if t.text == "" || !unicode.IsLetter(rune(t.text[0])) {
+		return "", fmt.Errorf("idl: expected identifier at offset %d, got %q", t.pos, t.text)
+	}
+	return t.text, nil
+}
+
+func (p *parser) number() (int, error) {
+	t := p.next()
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("idl: expected number at offset %d, got %q", t.pos, t.text)
+	}
+	return n, nil
+}
+
+// Parse parses a complete Courier program and checks it.
+func Parse(src string) (*Program, error) {
+	toks, err := lexIDL(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+
+	if prog.Name, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("PROGRAM"); err != nil {
+		return nil, err
+	}
+	if prog.Number, err = p.number(); err != nil {
+		return nil, err
+	}
+	if err := p.expect("VERSION"); err != nil {
+		return nil, err
+	}
+	if prog.Version, err = p.number(); err != nil {
+		return nil, err
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	if err := p.expect("BEGIN"); err != nil {
+		return nil, err
+	}
+
+	for p.peek().text != "END" {
+		if p.peek().text == "" {
+			return nil, fmt.Errorf("idl: unexpected end of input; missing END.")
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		switch p.peek().text {
+		case "TYPE":
+			p.next()
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			t, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			prog.Types = append(prog.Types, TypeDecl{Name: name, Type: t})
+		case "ERROR":
+			p.next()
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			code, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			prog.Errors = append(prog.Errors, ErrorDecl{Name: name, Code: code})
+		case "PROCEDURE":
+			p.next()
+			decl := ProcDecl{Name: name}
+			if p.peek().text == "[" {
+				fields, err := p.parseFields()
+				if err != nil {
+					return nil, err
+				}
+				decl.Args = fields
+			}
+			if p.peek().text == "RETURNS" {
+				p.next()
+				fields, err := p.parseFields()
+				if err != nil {
+					return nil, err
+				}
+				decl.Results = fields
+			}
+			if p.peek().text == "REPORTS" {
+				p.next()
+				if err := p.expect("["); err != nil {
+					return nil, err
+				}
+				for {
+					e, err := p.ident()
+					if err != nil {
+						return nil, err
+					}
+					decl.Reports = append(decl.Reports, e)
+					if p.peek().text != "," {
+						break
+					}
+					p.next()
+				}
+				if err := p.expect("]"); err != nil {
+					return nil, err
+				}
+			}
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			if decl.Number, err = p.number(); err != nil {
+				return nil, err
+			}
+			prog.Procs = append(prog.Procs, decl)
+		default:
+			return nil, fmt.Errorf("idl: expected TYPE, ERROR or PROCEDURE at offset %d", p.peek().pos)
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	p.next() // END
+	if err := p.expect("."); err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// parseFields parses [name: Type, ...].
+func (p *parser) parseFields() ([]Field, error) {
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	var fields []Field
+	if p.peek().text == "]" {
+		p.next()
+		return fields, nil
+	}
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, Field{Name: name, Type: t})
+		if p.peek().text != "," {
+			break
+		}
+		p.next()
+	}
+	if err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	return fields, nil
+}
+
+func (p *parser) parseType() (Type, error) {
+	t := p.next()
+	switch t.text {
+	case "BOOLEAN":
+		return Prim{Boolean}, nil
+	case "CARDINAL":
+		return Prim{Cardinal}, nil
+	case "INTEGER":
+		return Prim{Integer}, nil
+	case "STRING":
+		return Prim{String}, nil
+	case "UNSPECIFIED":
+		return Prim{Unspecified}, nil
+	case "LONG":
+		n := p.next()
+		switch n.text {
+		case "CARDINAL":
+			return Prim{LongCardinal}, nil
+		case "INTEGER":
+			return Prim{LongInteger}, nil
+		default:
+			return nil, fmt.Errorf("idl: LONG %q is not a type (offset %d)", n.text, n.pos)
+		}
+	case "SEQUENCE":
+		if err := p.expect("OF"); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		return Sequence{Elem: elem}, nil
+	case "ARRAY":
+		n, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("OF"); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		return Array{N: n, Elem: elem}, nil
+	case "RECORD":
+		fields, err := p.parseFields()
+		if err != nil {
+			return nil, err
+		}
+		return Record{Fields: fields}, nil
+	default:
+		if t.text == "" || !unicode.IsLetter(rune(t.text[0])) {
+			return nil, fmt.Errorf("idl: expected type at offset %d, got %q", t.pos, t.text)
+		}
+		return Ref{Name: t.text}, nil
+	}
+}
+
+// Check validates a program: named type references resolve, no
+// recursive types, no duplicate declarations, procedure and error
+// numbers unique, reported errors declared.
+func Check(prog *Program) error {
+	types := map[string]Type{}
+	for _, td := range prog.Types {
+		if _, dup := types[td.Name]; dup {
+			return fmt.Errorf("idl: duplicate type %q", td.Name)
+		}
+		types[td.Name] = td.Type
+	}
+
+	var resolve func(t Type, path []string) error
+	resolve = func(t Type, path []string) error {
+		switch tt := t.(type) {
+		case Prim:
+			return nil
+		case Sequence:
+			return resolve(tt.Elem, path)
+		case Array:
+			if tt.N <= 0 {
+				return fmt.Errorf("idl: array of non-positive size %d", tt.N)
+			}
+			return resolve(tt.Elem, path)
+		case Record:
+			seen := map[string]bool{}
+			for _, f := range tt.Fields {
+				if seen[f.Name] {
+					return fmt.Errorf("idl: duplicate field %q", f.Name)
+				}
+				seen[f.Name] = true
+				if err := resolve(f.Type, path); err != nil {
+					return err
+				}
+			}
+			return nil
+		case Ref:
+			for _, p := range path {
+				if p == tt.Name {
+					return fmt.Errorf("idl: recursive type %q is not supported", tt.Name)
+				}
+			}
+			target, ok := types[tt.Name]
+			if !ok {
+				return fmt.Errorf("idl: undefined type %q", tt.Name)
+			}
+			return resolve(target, append(path, tt.Name))
+		default:
+			return fmt.Errorf("idl: unknown type node %T", t)
+		}
+	}
+	for _, td := range prog.Types {
+		if err := resolve(td.Type, []string{td.Name}); err != nil {
+			return err
+		}
+	}
+
+	errNames := map[string]bool{}
+	errCodes := map[int]bool{}
+	for _, e := range prog.Errors {
+		if errNames[e.Name] {
+			return fmt.Errorf("idl: duplicate error %q", e.Name)
+		}
+		if errCodes[e.Code] {
+			return fmt.Errorf("idl: duplicate error code %d", e.Code)
+		}
+		errNames[e.Name] = true
+		errCodes[e.Code] = true
+	}
+
+	procNames := map[string]bool{}
+	procNums := map[int]bool{}
+	for _, proc := range prog.Procs {
+		if procNames[proc.Name] {
+			return fmt.Errorf("idl: duplicate procedure %q", proc.Name)
+		}
+		if procNums[proc.Number] {
+			return fmt.Errorf("idl: duplicate procedure number %d", proc.Number)
+		}
+		if proc.Number < 0 || proc.Number > 0xFF00 {
+			return fmt.Errorf("idl: procedure number %d out of range (reserved numbers begin at 0xFF00)", proc.Number)
+		}
+		procNames[proc.Name] = true
+		procNums[proc.Number] = true
+		for _, fs := range [][]Field{proc.Args, proc.Results} {
+			for _, f := range fs {
+				if err := resolve(f.Type, nil); err != nil {
+					return fmt.Errorf("idl: procedure %q: %w", proc.Name, err)
+				}
+			}
+		}
+		for _, r := range proc.Reports {
+			if !errNames[r] {
+				return fmt.Errorf("idl: procedure %q reports undeclared error %q", proc.Name, r)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+)
+
+// fig72 is the NameServer interface of Figure 7.2, restricted to the
+// supported subset (Properties spelled out; UNSPECIFIED sequences
+// kept).
+const fig72 = `
+NameServer: PROGRAM 26 VERSION 1 =
+BEGIN
+    -- Types.
+    Name: TYPE = STRING;
+    Property: TYPE = RECORD [name: Name, value: SEQUENCE OF UNSPECIFIED];
+    Properties: TYPE = SEQUENCE OF Property;
+    -- Errors.
+    AlreadyExists: ERROR = 0;
+    NotFound: ERROR = 1;
+    -- Procedures.
+    Register: PROCEDURE [name: Name, properties: Properties]
+        REPORTS [AlreadyExists] = 0;
+    Lookup: PROCEDURE [name: Name]
+        RETURNS [properties: Properties]
+        REPORTS [NotFound] = 1;
+    Delete: PROCEDURE [name: Name]
+        REPORTS [NotFound] = 2;
+END.
+`
+
+func TestParseFigure72(t *testing.T) {
+	prog, err := Parse(fig72)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if prog.Name != "NameServer" || prog.Number != 26 || prog.Version != 1 {
+		t.Fatalf("header: %+v", prog)
+	}
+	if len(prog.Types) != 3 {
+		t.Fatalf("types: %d", len(prog.Types))
+	}
+	if len(prog.Errors) != 2 {
+		t.Fatalf("errors: %d", len(prog.Errors))
+	}
+	if len(prog.Procs) != 3 {
+		t.Fatalf("procs: %d", len(prog.Procs))
+	}
+	reg := prog.Procs[0]
+	if reg.Name != "Register" || reg.Number != 0 || len(reg.Args) != 2 ||
+		len(reg.Results) != 0 || len(reg.Reports) != 1 {
+		t.Fatalf("Register: %+v", reg)
+	}
+	lookup := prog.Procs[1]
+	if len(lookup.Results) != 1 || lookup.Results[0].Name != "properties" {
+		t.Fatalf("Lookup: %+v", lookup)
+	}
+}
+
+func TestParseTypeExpressions(t *testing.T) {
+	prog, err := Parse(`
+T: PROGRAM 1 VERSION 1 =
+BEGIN
+    A: TYPE = ARRAY 4 OF LONG CARDINAL;
+    B: TYPE = RECORD [x: BOOLEAN, y: INTEGER, z: A];
+    C: TYPE = SEQUENCE OF SEQUENCE OF STRING;
+    P: PROCEDURE [a: A, b: B, c: C] RETURNS [ok: BOOLEAN] = 0;
+END.
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	a, _ := prog.TypeByName("A")
+	arr, ok := a.Type.(Array)
+	if !ok || arr.N != 4 {
+		t.Fatalf("A = %v", a.Type)
+	}
+	if arr.Elem.(Prim).Kind != LongCardinal {
+		t.Fatalf("A elem = %v", arr.Elem)
+	}
+	c, _ := prog.TypeByName("C")
+	if c.Type.String() != "SEQUENCE OF SEQUENCE OF STRING" {
+		t.Fatalf("C = %v", c.Type)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"empty":             ``,
+		"no end":            `X: PROGRAM 1 VERSION 1 = BEGIN Y: TYPE = STRING;`,
+		"undefined ref":     `X: PROGRAM 1 VERSION 1 = BEGIN P: PROCEDURE [a: Nope] = 0; END.`,
+		"recursive type":    `X: PROGRAM 1 VERSION 1 = BEGIN A: TYPE = RECORD [next: A]; END.`,
+		"mutual recursion":  `X: PROGRAM 1 VERSION 1 = BEGIN A: TYPE = RECORD [b: B]; B: TYPE = RECORD [a: A]; END.`,
+		"dup type":          `X: PROGRAM 1 VERSION 1 = BEGIN A: TYPE = STRING; A: TYPE = STRING; END.`,
+		"dup proc number":   `X: PROGRAM 1 VERSION 1 = BEGIN P: PROCEDURE = 0; Q: PROCEDURE = 0; END.`,
+		"dup proc name":     `X: PROGRAM 1 VERSION 1 = BEGIN P: PROCEDURE = 0; P: PROCEDURE = 1; END.`,
+		"dup error code":    `X: PROGRAM 1 VERSION 1 = BEGIN E: ERROR = 0; F: ERROR = 0; END.`,
+		"undeclared report": `X: PROGRAM 1 VERSION 1 = BEGIN P: PROCEDURE REPORTS [Ghost] = 0; END.`,
+		"reserved proc":     `X: PROGRAM 1 VERSION 1 = BEGIN P: PROCEDURE = 65535; END.`,
+		"bad long":          `X: PROGRAM 1 VERSION 1 = BEGIN A: TYPE = LONG STRING; END.`,
+		"zero array":        `X: PROGRAM 1 VERSION 1 = BEGIN A: TYPE = ARRAY 0 OF STRING; END.`,
+		"dup field":         `X: PROGRAM 1 VERSION 1 = BEGIN A: TYPE = RECORD [a: STRING, a: STRING]; END.`,
+		"missing semicolon": `X: PROGRAM 1 VERSION 1 = BEGIN A: TYPE = STRING END.`,
+		"garbage":           `X: PROGRAM 1 VERSION 1 = BEGIN @ END.`,
+	}
+	for label, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: parse succeeded, want error", label)
+		}
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	prog, err := Parse(`
+-- leading comment
+X: PROGRAM 9 VERSION 2 = -- trailing comment
+BEGIN
+    -- a full-line comment
+    P: PROCEDURE = 0;
+END.
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if prog.Number != 9 || prog.Version != 2 || len(prog.Procs) != 1 {
+		t.Fatalf("prog: %+v", prog)
+	}
+}
+
+func TestEmptyArgLists(t *testing.T) {
+	prog, err := Parse(`X: PROGRAM 1 VERSION 1 = BEGIN P: PROCEDURE [] RETURNS [] = 0; END.`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Procs[0].Args) != 0 || len(prog.Procs[0].Results) != 0 {
+		t.Fatalf("procs: %+v", prog.Procs[0])
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	r := Record{Fields: []Field{{Name: "a", Type: Prim{Boolean}}, {Name: "b", Type: Ref{"T"}}}}
+	if got := r.String(); !strings.Contains(got, "a: BOOLEAN") || !strings.Contains(got, "b: T") {
+		t.Fatalf("Record.String() = %q", got)
+	}
+	if (Prim{LongInteger}).String() != "LONG INTEGER" {
+		t.Fatal("prim string broken")
+	}
+}
+
+func TestTypeByNameMissing(t *testing.T) {
+	prog := &Program{}
+	if _, ok := prog.TypeByName("x"); ok {
+		t.Fatal("found nonexistent type")
+	}
+}

@@ -1,0 +1,697 @@
+// Package pairedmsg implements the paired message protocol of §4.2: a
+// connectionless, datagram-based layer that exchanges reliably
+// delivered, variable-length call and return messages, identified by
+// call numbers that are unique among all exchanges between a given
+// pair of processes.
+//
+// The protocol segments messages larger than one datagram, numbers the
+// segments, and uses acknowledgment and retransmission to mask loss
+// and duplication (§4.2.2). Acknowledgments are explicit (a control
+// segment with the ack bit) or implicit (a return segment acknowledges
+// the call segments bearing the same call number). Crash detection
+// uses probes — please-ack control segments — with a retry bound
+// (§4.2.3): too low risks false crash reports, too high delays
+// detection; both knobs are in Options.
+//
+// One deliberate deviation from the 1985 implementation is documented
+// in DESIGN.md: because a Go process multiplexes many threads over one
+// endpoint (Circus ran one heavyweight process per thread), the
+// "later call number implicitly acknowledges the previous return"
+// rule is unsound here — exchanges no longer strictly alternate.
+// Instead, a completed return message is explicitly acknowledged at
+// once, and the exact-match implicit acknowledgment (return n acks
+// call n) is kept. The wire format of Figure 4.2 is unchanged.
+package pairedmsg
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"circus/internal/transport"
+)
+
+// RetransmitStrategy selects which unacknowledged segments each
+// retransmission pass resends (§4.2.4 discusses both).
+type RetransmitStrategy int
+
+const (
+	// RetransmitFirst resends only the first unacknowledged segment,
+	// as the Circus protocol does by default.
+	RetransmitFirst RetransmitStrategy = iota
+	// RetransmitAll resends every unacknowledged segment, appropriate
+	// for lossier links (§4.2.4).
+	RetransmitAll
+)
+
+// Options tunes the protocol timers. The zero value is replaced by
+// defaults suitable for tests and the simulated network.
+type Options struct {
+	// RetransmitInterval is the pause between retransmission passes
+	// for an unacknowledged message.
+	RetransmitInterval time.Duration
+	// MaxRetries bounds retransmission passes with no progress before
+	// the peer is declared crashed (§4.2.3).
+	MaxRetries int
+	// ProbeInterval is the pause between crash-detection probes while
+	// awaiting a return message (§4.2.3).
+	ProbeInterval time.Duration
+	// ProbeMissLimit is the number of consecutive unanswered probes
+	// after which the peer is declared crashed.
+	ProbeMissLimit int
+	// Strategy selects the retransmission strategy.
+	Strategy RetransmitStrategy
+	// CompletedTTL is how long the record of a completed exchange is
+	// retained to suppress replay of delayed duplicate segments
+	// (§4.2.4).
+	CompletedTTL time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.RetransmitInterval == 0 {
+		o.RetransmitInterval = 40 * time.Millisecond
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 25
+	}
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = 100 * time.Millisecond
+	}
+	if o.ProbeMissLimit == 0 {
+		o.ProbeMissLimit = 8
+	}
+	if o.CompletedTTL == 0 {
+		o.CompletedTTL = 30 * time.Second
+	}
+	return o
+}
+
+// ErrPeerDown reports that retransmissions or probes to a peer went
+// unanswered past the configured bound; the peer is presumed crashed
+// (or unreachable — the protocol cannot tell a crash from a partition,
+// §4.3.5).
+var ErrPeerDown = errors.New("pairedmsg: peer presumed crashed")
+
+// ErrClosed reports use of a closed Conn.
+var ErrClosed = errors.New("pairedmsg: connection closed")
+
+// Message is one fully reassembled incoming message.
+type Message struct {
+	From    transport.Addr
+	Type    MsgType
+	CallNum uint32
+	Data    []byte
+}
+
+// Stats counts protocol activity, used by the ablation benchmarks.
+type Stats struct {
+	SegmentsSent      int64
+	Retransmits       int64
+	AcksSent          int64
+	ProbesSent        int64
+	DupSegments       int64
+	MessagesDelivered int64
+}
+
+type key struct {
+	peer    transport.Addr
+	typ     MsgType
+	callNum uint32
+}
+
+type outTransfer struct {
+	k        key
+	segs     [][]byte
+	acked    int // highest consecutive segment acknowledged
+	attempts int // retransmission passes since last progress
+	nextSend time.Time
+	done     chan struct{}
+	err      error
+}
+
+type inTransfer struct {
+	total     int
+	segs      [][]byte
+	have      int
+	ackNum    int // highest consecutive segment received
+	delivered bool
+	doneAt    time.Time
+}
+
+// Watch monitors a peer for liveness while a return message is
+// awaited (§4.2.3). Down is signalled if probes go unanswered.
+type Watch struct {
+	conn      *Conn
+	k         key
+	missed    int
+	nextProbe time.Time
+	down      chan struct{}
+	stopped   bool
+}
+
+// Down returns a channel closed when the peer is presumed crashed.
+func (w *Watch) Down() <-chan struct{} { return w.down }
+
+// Stop cancels the watch.
+func (w *Watch) Stop() {
+	w.conn.mu.Lock()
+	defer w.conn.mu.Unlock()
+	w.stopLocked()
+}
+
+func (w *Watch) stopLocked() {
+	if !w.stopped {
+		w.stopped = true
+		delete(w.conn.watches, w.k)
+	}
+}
+
+// Conn runs the paired message protocol over one transport endpoint.
+type Conn struct {
+	ep   transport.Endpoint
+	opts Options
+
+	mu        sync.Mutex
+	out       map[key]*outTransfer
+	in        map[key]*inTransfer
+	watches   map[key]*Watch
+	nextCall  map[transport.Addr]uint32
+	nextMulti uint32
+	stats     Stats
+	closed    bool
+
+	incoming chan Message
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New starts the protocol over ep. The caller must eventually Close
+// the Conn, which also closes ep.
+func New(ep transport.Endpoint, opts Options) *Conn {
+	c := &Conn{
+		ep:       ep,
+		opts:     opts.withDefaults(),
+		out:      make(map[key]*outTransfer),
+		in:       make(map[key]*inTransfer),
+		watches:  make(map[key]*Watch),
+		nextCall: make(map[transport.Addr]uint32),
+		incoming: make(chan Message, 256),
+		stop:     make(chan struct{}),
+	}
+	c.wg.Add(2)
+	go c.recvLoop()
+	go c.timerLoop()
+	return c
+}
+
+// Addr returns the local transport address.
+func (c *Conn) Addr() transport.Addr { return c.ep.Addr() }
+
+// Incoming returns the stream of reassembled messages. The channel is
+// closed by Close.
+func (c *Conn) Incoming() <-chan Message { return c.incoming }
+
+// Stats returns a snapshot of the protocol counters.
+func (c *Conn) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// NextCallNum allocates a call number unique among exchanges between
+// this process and peer (§4.2: call numbers identify each pair of
+// messages among all those exchanged by a given pair of processes).
+func (c *Conn) NextCallNum(peer transport.Addr) uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextCall[peer]++
+	return c.nextCall[peer]
+}
+
+// Close shuts the protocol down, failing pending sends with ErrClosed.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	for k, t := range c.out {
+		t.err = ErrClosed
+		close(t.done)
+		delete(c.out, k)
+	}
+	for _, w := range c.watches {
+		w.stopped = true
+	}
+	c.watches = map[key]*Watch{}
+	close(c.stop)
+	c.mu.Unlock()
+
+	err := c.ep.Close()
+	c.wg.Wait()
+	close(c.incoming)
+	return err
+}
+
+// Send reliably transmits one message to peer, blocking until every
+// segment is acknowledged (explicitly or implicitly), the context is
+// cancelled, or the peer is presumed crashed.
+func (c *Conn) Send(ctx context.Context, to transport.Addr, typ MsgType, callNum uint32, msg []byte) error {
+	t, err := c.StartSend(to, typ, callNum, msg)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-t.done:
+		return t.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		if _, active := c.out[t.k]; active {
+			delete(c.out, t.k)
+		}
+		c.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// ErrNoMulticast reports that the underlying endpoint cannot
+// multicast.
+var ErrNoMulticast = errors.New("pairedmsg: endpoint does not support multicast")
+
+// Transfer is the caller-visible handle of an asynchronous reliable
+// send: Done is closed when every segment is acknowledged or the
+// transfer fails, after which Err reports the outcome.
+type Transfer interface {
+	Done() <-chan struct{}
+	Err() error
+}
+
+// NextMulticastCallNum allocates a call number for a multicast
+// exchange. Multicast numbers live in the upper half of the call
+// number space so they can never collide with the per-peer unicast
+// counters; within one pair of processes every exchange still bears a
+// unique number, as §4.2 requires.
+func (c *Conn) NextMulticastCallNum() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextMulti++
+	return 0x8000_0000 | c.nextMulti
+}
+
+// StartSendMulticast begins one reliable transfer to every member of
+// group, transmitting the initial copy of each segment with a single
+// multicast operation (§4.3.3: call messages are sent to the entire
+// troupe, so this step needs one send instead of n). Retransmission
+// and acknowledgment remain per-recipient, because delivery
+// reliability varies from recipient to recipient (§2.2). The returned
+// transfers parallel group.
+func (c *Conn) StartSendMulticast(group []transport.Addr, typ MsgType, callNum uint32, msg []byte) ([]Transfer, error) {
+	mc, ok := c.ep.(transport.Multicaster)
+	if !ok {
+		return nil, ErrNoMulticast
+	}
+	segs, err := segmentMessage(typ, callNum, msg)
+	if err != nil {
+		return nil, err
+	}
+
+	raw := make([]*outTransfer, len(group))
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	for i, to := range group {
+		k := key{peer: to, typ: typ, callNum: callNum}
+		if _, dup := c.out[k]; dup {
+			// Roll back the ones we registered.
+			for j := 0; j < i; j++ {
+				delete(c.out, raw[j].k)
+			}
+			c.mu.Unlock()
+			return nil, errors.New("pairedmsg: duplicate call number in flight")
+		}
+		t := &outTransfer{
+			k:        k,
+			segs:     segs,
+			done:     make(chan struct{}),
+			nextSend: time.Now().Add(c.opts.RetransmitInterval),
+		}
+		c.out[k] = t
+		raw[i] = t
+	}
+	c.stats.SegmentsSent += int64(len(segs)) // one multicast op per segment
+	c.mu.Unlock()
+
+	for _, s := range segs {
+		mc.Multicast(group, s)
+	}
+	transfers := make([]Transfer, len(raw))
+	for i, t := range raw {
+		transfers[i] = t
+	}
+	return transfers, nil
+}
+
+// StartSend begins a reliable transfer without blocking; servers use
+// it to send return messages while continuing to serve (§4.3.2).
+func (c *Conn) StartSend(to transport.Addr, typ MsgType, callNum uint32, msg []byte) (*outTransfer, error) {
+	segs, err := segmentMessage(typ, callNum, msg)
+	if err != nil {
+		return nil, err
+	}
+	k := key{peer: to, typ: typ, callNum: callNum}
+	t := &outTransfer{
+		k:    k,
+		segs: segs,
+		done: make(chan struct{}),
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, dup := c.out[k]; dup {
+		c.mu.Unlock()
+		return nil, errors.New("pairedmsg: duplicate call number in flight")
+	}
+	c.out[k] = t
+	t.nextSend = time.Now().Add(c.opts.RetransmitInterval)
+	c.stats.SegmentsSent += int64(len(segs))
+	c.mu.Unlock()
+
+	// Initial transmission of all segments with no control bits set
+	// (§4.2.2).
+	for _, s := range segs {
+		c.ep.Send(to, s)
+	}
+	return t, nil
+}
+
+// Done exposes the completion channel for use with select.
+func (t *outTransfer) Done() <-chan struct{} { return t.done }
+
+// Err reports the transfer outcome; valid only after Done is closed.
+func (t *outTransfer) Err() error { return t.err }
+
+// WatchPeer starts crash-detection probing of the exchange identified
+// by (to, typ=Call, callNum): the client calls it after its call
+// message is fully acknowledged and while the return is pending
+// (§4.2.3).
+func (c *Conn) WatchPeer(to transport.Addr, callNum uint32) *Watch {
+	k := key{peer: to, typ: Call, callNum: callNum}
+	w := &Watch{
+		conn:      c,
+		k:         k,
+		down:      make(chan struct{}),
+		nextProbe: time.Now().Add(c.opts.ProbeInterval),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		w.stopped = true
+		return w
+	}
+	c.watches[k] = w
+	return w
+}
+
+func (c *Conn) recvLoop() {
+	defer c.wg.Done()
+	for pkt := range c.ep.Recv() {
+		h, payload, err := decodeSegment(pkt.Data)
+		if err != nil {
+			continue // garbled: treated as lost (§2.2)
+		}
+		switch {
+		case h.ack:
+			c.handleAck(pkt.From, h)
+		case h.totalSegs == 0:
+			c.handleProbe(pkt.From, h)
+		default:
+			c.handleData(pkt.From, h, payload)
+		}
+	}
+}
+
+// handleAck processes an explicit acknowledgment: all segments with
+// numbers <= the acknowledgment number have been received (§4.2.2).
+func (c *Conn) handleAck(from transport.Addr, h segHeader) {
+	k := key{peer: from, typ: h.typ, callNum: h.callNum}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.peerAliveLocked(from, h.callNum)
+	t, ok := c.out[k]
+	if !ok {
+		return
+	}
+	if int(h.segNum) > t.acked {
+		t.acked = int(h.segNum)
+		t.attempts = 0 // progress resets the crash countdown
+	}
+	if t.acked >= len(t.segs) {
+		c.completeOutLocked(t, nil)
+	}
+}
+
+// handleProbe answers a please-ack control segment with the current
+// acknowledgment state for that exchange, telling the prober both
+// "alive" and "here is how much I have" (§4.2.3).
+func (c *Conn) handleProbe(from transport.Addr, h segHeader) {
+	if !h.pleaseAck {
+		return
+	}
+	k := key{peer: from, typ: h.typ, callNum: h.callNum}
+	c.mu.Lock()
+	in := c.in[k]
+	ackNum, total := 0, int(h.totalSegs)
+	if in != nil {
+		ackNum, total = in.ackNum, in.total
+	}
+	c.mu.Unlock()
+	c.sendAck(from, h.typ, h.callNum, ackNum, total)
+}
+
+func (c *Conn) handleData(from transport.Addr, h segHeader, payload []byte) {
+	k := key{peer: from, typ: h.typ, callNum: h.callNum}
+
+	c.mu.Lock()
+	c.peerAliveLocked(from, h.callNum)
+
+	// A return segment implicitly acknowledges all segments of the
+	// call bearing the same call number (§4.2.2).
+	if h.typ == Return {
+		ck := key{peer: from, typ: Call, callNum: h.callNum}
+		if t, ok := c.out[ck]; ok {
+			c.completeOutLocked(t, nil)
+		}
+	}
+
+	in, ok := c.in[k]
+	if !ok {
+		in = &inTransfer{
+			total: int(h.totalSegs),
+			segs:  make([][]byte, int(h.totalSegs)+1),
+		}
+		c.in[k] = in
+	}
+
+	var (
+		completedNow bool
+		gap          bool
+		dup          bool
+	)
+	switch {
+	case in.delivered:
+		dup = true // replayed segment of a finished exchange
+	case int(h.segNum) < 1 || int(h.segNum) > in.total:
+		c.mu.Unlock()
+		return // malformed
+	case in.segs[h.segNum] != nil:
+		dup = true
+	default:
+		seg := make([]byte, len(payload)) // non-nil even when empty: nil marks "missing"
+		copy(seg, payload)
+		in.segs[h.segNum] = seg
+		in.have++
+		for in.ackNum < in.total && in.segs[in.ackNum+1] != nil {
+			in.ackNum++
+		}
+		// An out-of-order arrival reveals a loss: acknowledge at once
+		// so the sender retransmits the first missing segment rather
+		// than waiting out its timer (§4.2.4).
+		gap = int(h.segNum) > in.ackNum+1
+		if in.have == in.total {
+			in.delivered = true
+			in.doneAt = time.Now()
+			completedNow = true
+		}
+	}
+	if dup {
+		c.stats.DupSegments++
+	}
+
+	var msg Message
+	if completedNow {
+		var buf []byte
+		for i := 1; i <= in.total; i++ {
+			buf = append(buf, in.segs[i]...)
+			in.segs[i] = []byte{} // free the payload, keep "seen"
+		}
+		msg = Message{From: from, Type: h.typ, CallNum: h.callNum, Data: buf}
+		c.stats.MessagesDelivered++
+	}
+	ackNum, total := in.ackNum, in.total
+	c.mu.Unlock()
+
+	// Acknowledgment policy: answer please-ack and gaps immediately;
+	// acknowledge a completed return message at once (its sender is
+	// blocked on it); let a completed call message be acknowledged
+	// implicitly by the forthcoming return (§4.2.4's postponement),
+	// unless the sender asked.
+	if h.pleaseAck || gap || (completedNow && h.typ == Return) {
+		c.sendAck(from, h.typ, h.callNum, ackNum, total)
+	}
+
+	if completedNow {
+		select {
+		case c.incoming <- msg:
+		case <-c.stop:
+		}
+	}
+}
+
+// peerAliveLocked resets the probe miss counters of any watches on
+// this peer and call number.
+func (c *Conn) peerAliveLocked(from transport.Addr, callNum uint32) {
+	if w, ok := c.watches[key{peer: from, typ: Call, callNum: callNum}]; ok {
+		w.missed = 0
+	}
+}
+
+func (c *Conn) sendAck(to transport.Addr, typ MsgType, callNum uint32, ackNum, total int) {
+	h := segHeader{
+		typ:       typ,
+		ack:       true,
+		totalSegs: uint8(total),
+		segNum:    uint8(ackNum),
+		callNum:   callNum,
+	}
+	c.mu.Lock()
+	c.stats.AcksSent++
+	c.mu.Unlock()
+	c.ep.Send(to, h.encode(nil))
+}
+
+func (c *Conn) completeOutLocked(t *outTransfer, err error) {
+	if _, active := c.out[t.k]; !active {
+		return
+	}
+	delete(c.out, t.k)
+	t.err = err
+	close(t.done)
+}
+
+// timerLoop drives retransmission, probing, and replay-record expiry.
+func (c *Conn) timerLoop() {
+	defer c.wg.Done()
+	tick := c.opts.RetransmitInterval / 4
+	if p := c.opts.ProbeInterval / 4; p < tick {
+		tick = p
+	}
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case now := <-ticker.C:
+			c.timerPass(now)
+		}
+	}
+}
+
+func (c *Conn) timerPass(now time.Time) {
+	type resend struct {
+		to   transport.Addr
+		segs [][]byte
+	}
+	type probe struct {
+		to transport.Addr
+		h  segHeader
+	}
+	var resends []resend
+	var probes []probe
+
+	c.mu.Lock()
+	for _, t := range c.out {
+		if now.Before(t.nextSend) {
+			continue
+		}
+		t.attempts++
+		if t.attempts > c.opts.MaxRetries {
+			c.completeOutLocked(t, ErrPeerDown)
+			continue
+		}
+		t.nextSend = now.Add(c.opts.RetransmitInterval)
+		// Retransmit the first unacknowledged segment with please-ack
+		// set (§4.2.2), or all of them under RetransmitAll (§4.2.4).
+		last := t.acked + 1
+		if c.opts.Strategy == RetransmitAll {
+			last = len(t.segs)
+		}
+		var segs [][]byte
+		for i := t.acked + 1; i <= last && i <= len(t.segs); i++ {
+			seg := append([]byte(nil), t.segs[i-1]...)
+			seg[1] |= ctlPleaseAck
+			segs = append(segs, seg)
+		}
+		c.stats.Retransmits += int64(len(segs))
+		c.stats.SegmentsSent += int64(len(segs))
+		resends = append(resends, resend{to: t.k.peer, segs: segs})
+	}
+	for _, w := range c.watches {
+		if now.Before(w.nextProbe) {
+			continue
+		}
+		w.nextProbe = now.Add(c.opts.ProbeInterval)
+		w.missed++
+		if w.missed > c.opts.ProbeMissLimit {
+			close(w.down)
+			w.stopLocked()
+			continue
+		}
+		c.stats.ProbesSent++
+		probes = append(probes, probe{
+			to: w.k.peer,
+			h: segHeader{
+				typ:       w.k.typ,
+				pleaseAck: true,
+				callNum:   w.k.callNum,
+			},
+		})
+	}
+	// Expire completed-exchange records once delayed duplicates can no
+	// longer arrive (§4.2.4).
+	for k, in := range c.in {
+		if in.delivered && now.Sub(in.doneAt) > c.opts.CompletedTTL {
+			delete(c.in, k)
+		}
+	}
+	c.mu.Unlock()
+
+	for _, r := range resends {
+		for _, s := range r.segs {
+			c.ep.Send(r.to, s)
+		}
+	}
+	for _, p := range probes {
+		c.ep.Send(p.to, p.h.encode(nil))
+	}
+}

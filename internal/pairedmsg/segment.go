@@ -1,0 +1,126 @@
+package pairedmsg
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"circus/internal/transport"
+)
+
+// MsgType distinguishes the two halves of a paired message exchange
+// (§4.2.1).
+type MsgType uint8
+
+const (
+	// Call is a call message (message type byte 0).
+	Call MsgType = 0
+	// Return is a return message (message type byte 1).
+	Return MsgType = 1
+)
+
+func (t MsgType) String() string {
+	if t == Call {
+		return "call"
+	}
+	return "return"
+}
+
+// Control bits (§4.2.1): the least significant bit is the please-ack
+// flag, the next is the ack flag; the six most significant bits are
+// unused.
+const (
+	ctlPleaseAck = 1 << 0
+	ctlAck       = 1 << 1
+)
+
+// headerLen is the fixed segment header size of Figure 4.2: message
+// type (1), control bits (1), total segments (1), segment number (1),
+// call number (4).
+const headerLen = 8
+
+// maxSegPayload is the data carried per segment; segments must fit in
+// one datagram (§4.2.4).
+const maxSegPayload = transport.MaxDatagram - headerLen
+
+// maxSegments is the limit imposed by the one-byte total segments
+// field (§4.2.1: 1 to 255 inclusive).
+const maxSegments = 255
+
+// MaxMessage is the largest message the protocol can carry.
+const MaxMessage = maxSegments * maxSegPayload
+
+// ErrMessageTooLarge is returned by Send for messages over MaxMessage.
+var ErrMessageTooLarge = errors.New("pairedmsg: message exceeds 255 segments")
+
+// segHeader is the decoded form of the Figure 4.2 segment header.
+type segHeader struct {
+	typ       MsgType
+	pleaseAck bool
+	ack       bool
+	totalSegs uint8 // 0 means a probe/control segment with no message body
+	segNum    uint8 // data: 1..totalSegs; ack: acknowledgment number 0..totalSegs
+	callNum   uint32
+}
+
+func (h segHeader) encode(payload []byte) []byte {
+	buf := make([]byte, headerLen+len(payload))
+	buf[0] = byte(h.typ)
+	var ctl byte
+	if h.pleaseAck {
+		ctl |= ctlPleaseAck
+	}
+	if h.ack {
+		ctl |= ctlAck
+	}
+	buf[1] = ctl
+	buf[2] = h.totalSegs
+	buf[3] = h.segNum
+	binary.BigEndian.PutUint32(buf[4:8], h.callNum)
+	copy(buf[headerLen:], payload)
+	return buf
+}
+
+var errShortSegment = errors.New("pairedmsg: segment shorter than header")
+
+func decodeSegment(data []byte) (segHeader, []byte, error) {
+	if len(data) < headerLen {
+		return segHeader{}, nil, errShortSegment
+	}
+	h := segHeader{
+		typ:       MsgType(data[0] & 1),
+		pleaseAck: data[1]&ctlPleaseAck != 0,
+		ack:       data[1]&ctlAck != 0,
+		totalSegs: data[2],
+		segNum:    data[3],
+		callNum:   binary.BigEndian.Uint32(data[4:8]),
+	}
+	return h, data[headerLen:], nil
+}
+
+// segmentMessage splits msg into datagram-sized segments with headers,
+// numbered starting at 1 (§4.2.2).
+func segmentMessage(typ MsgType, callNum uint32, msg []byte) ([][]byte, error) {
+	n := (len(msg) + maxSegPayload - 1) / maxSegPayload
+	if n == 0 {
+		n = 1 // an empty message still occupies one segment
+	}
+	if n > maxSegments {
+		return nil, ErrMessageTooLarge
+	}
+	segs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		lo := i * maxSegPayload
+		hi := lo + maxSegPayload
+		if hi > len(msg) {
+			hi = len(msg)
+		}
+		h := segHeader{
+			typ:       typ,
+			totalSegs: uint8(n),
+			segNum:    uint8(i + 1),
+			callNum:   callNum,
+		}
+		segs[i] = h.encode(msg[lo:hi])
+	}
+	return segs, nil
+}

@@ -1,0 +1,118 @@
+// Package probmodel implements the probabilistic analyses of the
+// dissertation: the harmonic-number bound on multicast replicated call
+// latency (§4.4.2, Theorems 4.2–4.3), and the deadlock probability of
+// the troupe commit protocol (§5.3.1, Equation 5.1), together with
+// Monte-Carlo samplers used to validate them empirically.
+package probmodel
+
+import (
+	"math"
+	"math/rand"
+)
+
+// HarmonicNumber returns H_n = 1 + 1/2 + ... + 1/n (Definition 4.1).
+func HarmonicNumber(n int) float64 {
+	h := 0.0
+	for k := 1; k <= n; k++ {
+		h += 1.0 / float64(k)
+	}
+	return h
+}
+
+// ExpectedMaxExponential returns E[max(T_1..T_n)] for independent
+// exponential round-trip times with the given mean: H_n times the mean
+// (Theorem 4.3). This is the expected time for a multicast-based
+// replicated procedure call to collect all n return messages, and it
+// grows only logarithmically with troupe size (§4.4.2).
+func ExpectedMaxExponential(n int, mean float64) float64 {
+	return HarmonicNumber(n) * mean
+}
+
+// SampleMaxExponential draws one sample of max(T_1..T_n) with
+// exponential T_i of the given mean.
+func SampleMaxExponential(n int, mean float64, rng *rand.Rand) float64 {
+	max := 0.0
+	for i := 0; i < n; i++ {
+		t := rng.ExpFloat64() * mean
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// MeanMaxExponential estimates E[max of n exponentials] from trials
+// samples, for checking Theorem 4.3 empirically.
+func MeanMaxExponential(n int, mean float64, trials int, rng *rand.Rand) float64 {
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += SampleMaxExponential(n, mean, rng)
+	}
+	return sum / float64(trials)
+}
+
+// Factorial returns k! as a float64 (exact through k = 170).
+func Factorial(k int) float64 {
+	f := 1.0
+	for i := 2; i <= k; i++ {
+		f *= float64(i)
+	}
+	return f
+}
+
+// DeadlockProbability returns Equation 5.1: the probability that the
+// troupe commit protocol deadlocks when k conflicting transactions are
+// serialized independently and uniformly at random by each of n troupe
+// members,
+//
+//	P[deadlock] = 1 − (1/k!)^(n−1).
+func DeadlockProbability(k, n int) float64 {
+	if k <= 1 || n <= 1 {
+		return 0
+	}
+	return 1 - math.Pow(1/Factorial(k), float64(n-1))
+}
+
+// LogarithmicFit reports the least-squares slope and intercept of y
+// against ln(x), used by the benchmark harness to verify that
+// multicast latency grows logarithmically (y ≈ a·ln x + b) while
+// unicast latency grows linearly.
+func LogarithmicFit(xs []int, ys []float64) (slope, intercept float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i, x := range xs {
+		lx := math.Log(float64(x))
+		sx += lx
+		sy += ys[i]
+		sxx += lx * lx
+		sxy += lx * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}
+
+// LinearFit reports the least-squares slope and intercept of y against
+// x.
+func LinearFit(xs []int, ys []float64) (slope, intercept float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i, x := range xs {
+		fx := float64(x)
+		sx += fx
+		sy += ys[i]
+		sxx += fx * fx
+		sxy += fx * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}

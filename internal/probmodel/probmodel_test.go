@@ -1,0 +1,150 @@
+package probmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicNumbers(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{1, 1},
+		{2, 1.5},
+		{3, 1.5 + 1.0/3},
+		{4, 1.5 + 1.0/3 + 0.25},
+	}
+	for _, c := range cases {
+		if got := HarmonicNumber(c.n); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("H_%d = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestHarmonicLogBound(t *testing.T) {
+	// H_n = ln n + γ + O(1/n) (§4.4.2 cites Knuth).
+	const gamma = 0.5772156649
+	for _, n := range []int{10, 100, 1000} {
+		got := HarmonicNumber(n)
+		approx := math.Log(float64(n)) + gamma
+		if math.Abs(got-approx) > 0.06 {
+			t.Errorf("H_%d = %v, ln n + γ = %v", n, got, approx)
+		}
+	}
+}
+
+func TestTheorem43MonteCarlo(t *testing.T) {
+	// E[max of n exponentials] must match H_n·mean within sampling
+	// error.
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 5, 10} {
+		analytic := ExpectedMaxExponential(n, 10)
+		empirical := MeanMaxExponential(n, 10, 40000, rng)
+		if math.Abs(analytic-empirical)/analytic > 0.03 {
+			t.Errorf("n=%d: empirical %v vs analytic %v", n, empirical, analytic)
+		}
+	}
+}
+
+func TestFactorial(t *testing.T) {
+	want := []float64{1, 1, 2, 6, 24, 120}
+	for k, w := range want {
+		if got := Factorial(k); got != w {
+			t.Errorf("%d! = %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestDeadlockProbability(t *testing.T) {
+	cases := []struct {
+		k, n int
+		want float64
+	}{
+		{1, 5, 0},
+		{2, 1, 0},
+		{2, 2, 0.5},
+		{2, 3, 0.75},
+		{3, 2, 1 - 1.0/6},
+	}
+	for _, c := range cases {
+		if got := DeadlockProbability(c.k, c.n); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P[deadlock](k=%d,n=%d) = %v, want %v", c.k, c.n, got, c.want)
+		}
+	}
+}
+
+func TestDeadlockProbabilityApproachesOne(t *testing.T) {
+	// §5.3.1: the probability rapidly approaches certainty when the
+	// optimistic assumption fails.
+	if p := DeadlockProbability(5, 5); p < 0.999 {
+		t.Errorf("P[deadlock](5,5) = %v, want ≈1", p)
+	}
+}
+
+func TestQuickDeadlockProbabilityBounds(t *testing.T) {
+	f := func(kRaw, nRaw uint8) bool {
+		k, n := int(kRaw%10)+1, int(nRaw%10)+1
+		p := DeadlockProbability(k, n)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockProbabilityMonotonic(t *testing.T) {
+	for k := 2; k <= 5; k++ {
+		for n := 2; n <= 5; n++ {
+			if DeadlockProbability(k, n) > DeadlockProbability(k+1, n) {
+				t.Errorf("not monotonic in k at k=%d n=%d", k, n)
+			}
+			if DeadlockProbability(k, n) > DeadlockProbability(k, n+1) {
+				t.Errorf("not monotonic in n at k=%d n=%d", k, n)
+			}
+		}
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []int{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 3
+	s, b := LinearFit(xs, ys)
+	if math.Abs(s-2) > 1e-9 || math.Abs(b-3) > 1e-9 {
+		t.Errorf("fit = %v, %v", s, b)
+	}
+}
+
+func TestLogarithmicFit(t *testing.T) {
+	xs := []int{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*math.Log(float64(x)) + 1
+	}
+	s, b := LogarithmicFit(xs, ys)
+	if math.Abs(s-3) > 1e-9 || math.Abs(b-1) > 1e-9 {
+		t.Errorf("fit = %v, %v", s, b)
+	}
+}
+
+func TestFitDistinguishesGrowth(t *testing.T) {
+	// The harness uses the two fits to classify growth: linear data
+	// must fit a line better, logarithmic data a log curve better.
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	lin := make([]float64, len(xs))
+	logs := make([]float64, len(xs))
+	for i, x := range xs {
+		lin[i] = 20 * float64(x)
+		logs[i] = 20 * HarmonicNumber(x)
+	}
+	sLin, _ := LinearFit(xs, lin)
+	if sLin < 19 || sLin > 21 {
+		t.Errorf("linear slope = %v", sLin)
+	}
+	sLog, _ := LogarithmicFit(xs, logs)
+	if sLog < 15 || sLog > 25 {
+		t.Errorf("log slope = %v", sLog)
+	}
+}

@@ -1,0 +1,83 @@
+// Package transport defines the datagram abstraction on which the
+// paired message protocol is built.
+//
+// The paper (§2.2) assumes only that a network delivers packets
+// unreliably: packets may be lost, delayed, duplicated, or garbled,
+// and checksums turn garbled packets into lost ones. An Endpoint is a
+// process's handle on such a network, analogous to a bound UDP socket
+// in Berkeley 4.2BSD. Two implementations exist: internal/netsim (an
+// in-memory simulated internet with fault injection) and
+// internal/udptrans (real UDP on the loopback interface).
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxDatagram is the largest payload an Endpoint must accept in Send,
+// mirroring an Ethernet MTU minus IP/UDP headers (§4.2.4: segments are
+// sized to avoid IP fragmentation).
+const MaxDatagram = 1472
+
+// Addr identifies a process in the internet, as in §4.2.1: a 32-bit
+// host address plus a 16-bit port number. The zero Addr is invalid.
+type Addr struct {
+	Host uint32
+	Port uint16
+}
+
+// IsZero reports whether a is the invalid zero address.
+func (a Addr) IsZero() bool { return a.Host == 0 && a.Port == 0 }
+
+// String renders the address in dotted-quad:port form.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d",
+		byte(a.Host>>24), byte(a.Host>>16), byte(a.Host>>8), byte(a.Host), a.Port)
+}
+
+// Packet is one datagram as delivered to a receiver.
+type Packet struct {
+	From Addr
+	To   Addr
+	Data []byte
+}
+
+// ErrClosed is returned by operations on a closed Endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// ErrTooLarge is returned by Send when the payload exceeds MaxDatagram.
+var ErrTooLarge = errors.New("transport: datagram exceeds maximum size")
+
+// Endpoint is a bound datagram socket. Implementations must make Send
+// non-blocking with respect to the receiver (datagrams are queued or
+// dropped, never flow-controlled) and must deliver incoming datagrams
+// on the channel returned by Recv until Close.
+type Endpoint interface {
+	// Addr returns the local address the endpoint is bound to.
+	Addr() Addr
+
+	// Send transmits one datagram. Delivery is unreliable: the
+	// datagram may be lost, delayed, duplicated or reordered. Send
+	// never blocks awaiting the receiver.
+	Send(to Addr, data []byte) error
+
+	// Recv returns the channel of incoming datagrams. The channel is
+	// closed when the endpoint is closed.
+	Recv() <-chan Packet
+
+	// Close releases the endpoint. Further Sends fail with ErrClosed.
+	Close() error
+}
+
+// Multicaster is implemented by endpoints that support hardware-style
+// multicast (§4.3.3): sending one datagram to a whole group in a
+// single operation. The netsim transport implements it; plain UDP does
+// not, which is exactly the distinction the paper's performance
+// analysis turns on.
+type Multicaster interface {
+	// Multicast sends data to every address in group in one network
+	// operation. Per-recipient delivery remains unreliable and
+	// independent (§2.2).
+	Multicast(group []Addr, data []byte) error
+}

@@ -1,0 +1,229 @@
+package txn
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"circus/internal/collate"
+	"circus/internal/core"
+	"circus/internal/wire"
+)
+
+// This file implements the ordered broadcast protocol of §5.4 (Figure
+// 5.1), the basis of the starvation-free replicated concurrency
+// control scheme: all members of a troupe accept broadcast messages
+// for application-level processing in the same order, so a
+// deterministic local concurrency control algorithm (here: serial
+// execution in acceptance order) keeps the troupe consistent.
+//
+// The protocol is Skeen's two-phase algorithm: the client asks every
+// member for a proposed time (get_proposed_time), takes the maximum,
+// and tells every member to accept the message at that time
+// (accept_time). A member releases the head of its queue for
+// processing only once the head is accepted and no pending proposal
+// could still be ordered before it. Clocks are Lamport logical clocks,
+// which satisfy the synchronized-clock assumption of §5.4 without
+// real synchronized hardware.
+
+// Procedure numbers of the ordered broadcast interface (Figure 5.1).
+const (
+	ProcGetProposedTime uint16 = 1
+	ProcAcceptTime      uint16 = 2
+)
+
+type proposeArgs struct {
+	MsgID string
+	Msg   []byte
+}
+
+type acceptArgs struct {
+	MsgID string
+	Time  uint64
+}
+
+type bcastStatus int
+
+const (
+	statusProposed bcastStatus = iota
+	statusAccepted
+)
+
+type bcastEntry struct {
+	msgID  string
+	msg    []byte
+	time   uint64
+	status bcastStatus
+}
+
+// Queue is one troupe member's message queue, ordered by time with
+// message ID as the tiebreak. Deliver is invoked, in acceptance order
+// and on a single goroutine, for each message released for
+// application-level processing.
+type Queue struct {
+	mu      sync.Mutex
+	clock   uint64
+	entries []*bcastEntry // sorted by (time, msgID)
+	deliver func(msgID string, msg []byte)
+}
+
+// NewQueue returns a queue delivering to the given function.
+func NewQueue(deliver func(msgID string, msg []byte)) *Queue {
+	return &Queue{deliver: deliver}
+}
+
+// Propose implements get_proposed_time: the message is inserted with a
+// proposed time from the local clock, which is returned.
+func (q *Queue) Propose(msgID string, msg []byte) uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.clock++
+	e := &bcastEntry{msgID: msgID, msg: msg, time: q.clock, status: statusProposed}
+	q.insertLocked(e)
+	return e.time
+}
+
+// Accept implements accept_time: the message's status becomes accepted
+// and its queue position moves to the accepted time; any releasable
+// prefix of the queue is delivered.
+func (q *Queue) Accept(msgID string, t uint64) error {
+	q.mu.Lock()
+	var e *bcastEntry
+	for i, x := range q.entries {
+		if x.msgID == msgID {
+			e = x
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			break
+		}
+	}
+	if e == nil {
+		q.mu.Unlock()
+		return fmt.Errorf("txn: accept_time for unknown message %q", msgID)
+	}
+	e.time = t
+	e.status = statusAccepted
+	q.insertLocked(e)
+	// Advance the clock past the accepted time so later proposals sort
+	// after already-accepted messages (Lamport's rule).
+	if t > q.clock {
+		q.clock = t
+	}
+	var release []*bcastEntry
+	for len(q.entries) > 0 && q.entries[0].status == statusAccepted {
+		release = append(release, q.entries[0])
+		q.entries = q.entries[1:]
+	}
+	q.mu.Unlock()
+
+	for _, r := range release {
+		q.deliver(r.msgID, r.msg)
+	}
+	return nil
+}
+
+func (q *Queue) insertLocked(e *bcastEntry) {
+	i := sort.Search(len(q.entries), func(i int) bool {
+		x := q.entries[i]
+		if x.time != e.time {
+			return x.time > e.time
+		}
+		return x.msgID > e.msgID
+	})
+	q.entries = append(q.entries, nil)
+	copy(q.entries[i+1:], q.entries[i:])
+	q.entries[i] = e
+}
+
+// Pending returns the number of queued, undelivered messages.
+func (q *Queue) Pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.entries)
+}
+
+// Module wraps a Queue as a core.Module exporting the two procedures
+// of Figure 5.1. Export it with the default options; the proposals it
+// returns legitimately differ between members, so clients collate them
+// with the maximum rather than unanimously.
+type Module struct {
+	Queue *Queue
+}
+
+var _ core.Module = (*Module)(nil)
+
+// Dispatch implements core.Module.
+func (m *Module) Dispatch(call *core.ServerCall, proc uint16, args []byte) ([]byte, error) {
+	switch proc {
+	case ProcGetProposedTime:
+		var a proposeArgs
+		if err := wire.Unmarshal(args, &a); err != nil {
+			return nil, err
+		}
+		return wire.Marshal(m.Queue.Propose(a.MsgID, a.Msg))
+	case ProcAcceptTime:
+		var a acceptArgs
+		if err := wire.Unmarshal(args, &a); err != nil {
+			return nil, err
+		}
+		if err := m.Queue.Accept(a.MsgID, a.Time); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	default:
+		return nil, core.ErrNoSuchProc
+	}
+}
+
+// Broadcast performs the client side of Figure 5.1's atomic_broadcast:
+// a replicated call collecting every member's proposed time, then a
+// second replicated call accepting the maximum. msgID must be unique
+// among all broadcasts to the troupe (a thread ID plus sequence number
+// suffices).
+func Broadcast(ctx context.Context, rt *core.Runtime, dest core.Troupe, msgID string, msg []byte) error {
+	pArgs, err := wire.Marshal(proposeArgs{MsgID: msgID, Msg: msg})
+	if err != nil {
+		return err
+	}
+	// Proposals differ per member: collate with max over all replies.
+	maxCollator := func(n int) collate.Collator {
+		return collate.New(n, func(items []collate.Item) ([]byte, error) {
+			var max uint64
+			ok := false
+			for _, it := range items {
+				if it.Err != nil {
+					continue
+				}
+				var t uint64
+				if err := wire.Unmarshal(it.Data, &t); err != nil {
+					return nil, err
+				}
+				if t > max {
+					max = t
+				}
+				ok = true
+			}
+			if !ok {
+				return nil, collate.ErrAllFailed
+			}
+			return wire.Marshal(max)
+		})
+	}
+	res, err := rt.Call(ctx, dest, ProcGetProposedTime, pArgs, core.CallOptions{Collator: maxCollator})
+	if err != nil {
+		return fmt.Errorf("txn: get_proposed_time: %w", err)
+	}
+	var max uint64
+	if err := wire.Unmarshal(res, &max); err != nil {
+		return err
+	}
+
+	aArgs, err := wire.Marshal(acceptArgs{MsgID: msgID, Time: max})
+	if err != nil {
+		return err
+	}
+	if _, err := rt.Call(ctx, dest, ProcAcceptTime, aArgs, core.CallOptions{}); err != nil {
+		return fmt.Errorf("txn: accept_time: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package txn
+
+import (
+	"math/rand"
+
+	"circus/internal/core"
+	"circus/internal/wire"
+)
+
+// This file implements the troupe commit protocol of §5.3: a generic,
+// optimistic protocol guaranteeing that all troupe members commit
+// transactions in the same order, with no communication among the
+// members.
+//
+// When a server troupe member is ready to commit or abort a
+// transaction it calls ready_to_commit at the client troupe — a
+// call-back that temporarily reverses the roles of client and server.
+// Each client troupe member answers true only once every server troupe
+// member has called; a member that wishes to abort, or a member that
+// never calls (it serialized another transaction first and is blocked)
+// turns the round into an abort. Different serialization orders at
+// different members thus become deadlocks (Theorem 5.1), which the
+// runtime's availability timeout converts into aborts that are retried
+// with binary exponential back-off (§5.3.1).
+
+// ProcReadyToCommit is the procedure number of the call-back in the
+// coordinator module's interface.
+const ProcReadyToCommit uint16 = 1
+
+type readyArgs struct {
+	TxKey string
+	Ready bool
+}
+
+// Coordinator is the client-side module implementing ready_to_commit
+// (§5.3). Export it with ArgWaitAll and AllowDivergentArgs: the
+// arguments of the server troupe members legitimately differ (one may
+// vote false), and waiting for all of them is the barrier that turns
+// divergent serialization orders into deadlocks.
+//
+//	addr := rt.Export(txn.NewCoordinator(resolver), txn.CoordinatorExportOptions())
+type Coordinator struct {
+	resolver core.Resolver
+}
+
+// NewCoordinator returns a coordinator that uses resolver to learn the
+// size of the server troupe voting in each round.
+func NewCoordinator(resolver core.Resolver) *Coordinator {
+	return &Coordinator{resolver: resolver}
+}
+
+// CoordinatorExportOptions returns the export options a Coordinator
+// requires.
+func CoordinatorExportOptions() core.ExportOptions {
+	return core.ExportOptions{Policy: core.ArgWaitAll, AllowDivergentArgs: true}
+}
+
+var _ core.Module = (*Coordinator)(nil)
+
+// Dispatch implements core.Module: each member of the client troupe
+// plays the role of the coordinator in a conventional two-phase commit
+// (§5.3). It returns true to the entire server troupe iff every member
+// called ready_to_commit(true); a missing vote (a member serialized
+// differently and is blocked — the runtime released the call after its
+// availability timeout) or a false vote yields false, aborting the
+// transaction at every member.
+func (c *Coordinator) Dispatch(call *core.ServerCall, proc uint16, args []byte) ([]byte, error) {
+	if proc != ProcReadyToCommit {
+		return nil, core.ErrNoSuchProc
+	}
+	expected := 1
+	if id := call.ClientTroupe(); id != 0 && c.resolver != nil {
+		if members, err := c.resolver.LookupByID(id); err == nil && len(members) > 0 {
+			expected = len(members)
+		}
+	}
+	votes := call.Args()
+	commit := len(votes) >= expected
+	for _, v := range votes {
+		var a readyArgs
+		if err := wire.Unmarshal(v, &a); err != nil {
+			return nil, err
+		}
+		if !a.Ready {
+			commit = false
+		}
+	}
+	return wire.Marshal(commit)
+}
+
+// ReadyToCommit is the server-member side of the protocol: called with
+// true when the member is ready to commit, false when it wishes to
+// abort (§5.3). The call is made through the executing ServerCall so
+// that thread identity propagates and the client collates the votes of
+// all members of this troupe. The reply — commit or abort — applies to
+// every member.
+func ReadyToCommit(sc *core.ServerCall, coordinator core.Troupe, txKey string, ready bool) (bool, error) {
+	args, err := wire.Marshal(readyArgs{TxKey: txKey, Ready: ready})
+	if err != nil {
+		return false, err
+	}
+	res, err := sc.Call(coordinator, ProcReadyToCommit, args, core.CallOptions{})
+	if err != nil {
+		return false, err
+	}
+	var commit bool
+	if err := wire.Unmarshal(res, &commit); err != nil {
+		return false, err
+	}
+	return commit, nil
+}
+
+// SimulateCommitRound models one round of the troupe commit protocol
+// for the §5.3.1 analysis: k conflicting transactions at a server
+// troupe of n members, each member independently serializing them in a
+// uniformly random order. The round is deadlock-free iff all members
+// chose the same order; the function reports whether the protocol
+// deadlocked. E[deadlock] = 1 − (1/k!)^(n−1), Equation 5.1.
+func SimulateCommitRound(k, n int, rng *rand.Rand) bool {
+	if k <= 1 || n <= 1 {
+		return false
+	}
+	reference := rng.Perm(k)
+	for member := 1; member < n; member++ {
+		order := rng.Perm(k)
+		for i := range order {
+			if order[i] != reference[i] {
+				return true // divergent serialization ⇒ deadlock
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,113 @@
+// Package udptrans provides a transport.Endpoint backed by a real UDP
+// socket, the same substrate the Circus implementation used under
+// Berkeley 4.2BSD (§4.2). It exists so that the protocol stack can be
+// exercised between genuine operating-system processes on one machine
+// (the paper's repro band: multi-process on one laptop); the test
+// suites mostly use internal/netsim for determinism.
+package udptrans
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+
+	"circus/internal/transport"
+)
+
+// Endpoint is a transport.Endpoint over a loopback UDP socket.
+type Endpoint struct {
+	conn *net.UDPConn
+	addr transport.Addr
+	recv chan transport.Packet
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+// Listen binds a UDP socket on 127.0.0.1. Port 0 selects a free port.
+func Listen(port uint16) (*Endpoint, error) {
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: int(port)})
+	if err != nil {
+		return nil, err
+	}
+	local := conn.LocalAddr().(*net.UDPAddr)
+	ep := &Endpoint{
+		conn: conn,
+		addr: toAddr(local),
+		recv: make(chan transport.Packet, 1024),
+	}
+	go ep.readLoop()
+	return ep, nil
+}
+
+func toAddr(u *net.UDPAddr) transport.Addr {
+	ip4 := u.IP.To4()
+	return transport.Addr{
+		Host: binary.BigEndian.Uint32(ip4),
+		Port: uint16(u.Port),
+	}
+}
+
+func toUDPAddr(a transport.Addr) *net.UDPAddr {
+	ip := make(net.IP, 4)
+	binary.BigEndian.PutUint32(ip, a.Host)
+	return &net.UDPAddr{IP: ip, Port: int(a.Port)}
+}
+
+func (e *Endpoint) readLoop() {
+	buf := make([]byte, transport.MaxDatagram)
+	for {
+		n, from, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			close(e.recv)
+			return
+		}
+		pkt := transport.Packet{
+			From: toAddr(from),
+			To:   e.addr,
+			Data: append([]byte(nil), buf[:n]...),
+		}
+		select {
+		case e.recv <- pkt:
+		default:
+			// Receive queue overflow: drop, as a kernel socket
+			// buffer would. The paired message protocol recovers by
+			// retransmission.
+		}
+	}
+}
+
+// Addr returns the bound loopback address.
+func (e *Endpoint) Addr() transport.Addr { return e.addr }
+
+// Recv returns the incoming datagram channel.
+func (e *Endpoint) Recv() <-chan transport.Packet { return e.recv }
+
+// Send transmits one UDP datagram.
+func (e *Endpoint) Send(to transport.Addr, data []byte) error {
+	if len(data) > transport.MaxDatagram {
+		return transport.ErrTooLarge
+	}
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return transport.ErrClosed
+	}
+	_, err := e.conn.WriteToUDP(data, toUDPAddr(to))
+	return err
+}
+
+// Close shuts the socket; the receive channel closes once the read
+// loop observes the closed socket.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	return e.conn.Close()
+}

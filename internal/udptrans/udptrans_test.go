@@ -1,0 +1,84 @@
+package udptrans
+
+import (
+	"testing"
+	"time"
+
+	"circus/internal/transport"
+)
+
+func TestRoundTrip(t *testing.T) {
+	a, err := Listen(0)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer a.Close()
+	b, err := Listen(0)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer b.Close()
+
+	if err := a.Send(b.Addr(), []byte("ping")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case pkt := <-b.Recv():
+		if string(pkt.Data) != "ping" {
+			t.Errorf("data = %q, want ping", pkt.Data)
+		}
+		if pkt.From != a.Addr() {
+			t.Errorf("from = %v, want %v", pkt.From, a.Addr())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no datagram received")
+	}
+}
+
+func TestAddrIsLoopback(t *testing.T) {
+	a, err := Listen(0)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer a.Close()
+	addr := a.Addr()
+	if addr.Host != 0x7f000001 {
+		t.Errorf("host = %x, want 7f000001", addr.Host)
+	}
+	if addr.Port == 0 {
+		t.Error("port not assigned")
+	}
+}
+
+func TestSendTooLarge(t *testing.T) {
+	a, err := Listen(0)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer a.Close()
+	err = a.Send(a.Addr(), make([]byte, transport.MaxDatagram+1))
+	if err != transport.ErrTooLarge {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	a, err := Listen(0)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case _, ok := <-a.Recv():
+		if ok {
+			t.Error("unexpected packet from closed endpoint")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv channel not closed after Close")
+	}
+	if err := a.Send(a.Addr(), []byte("x")); err != transport.ErrClosed {
+		t.Errorf("Send after close = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,206 @@
+package vaxsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"circus/internal/probmodel"
+)
+
+// paper41 is Table 4.1 as printed: real, total CPU, user CPU, kernel
+// CPU milliseconds per call.
+var paper41 = map[string][4]float64{
+	"(UDP)": {26.5, 13.3, 0.8, 12.4},
+	"(TCP)": {23.2, 8.3, 0.5, 7.8},
+	"1":     {48.0, 24.1, 5.9, 18.2},
+	"2":     {58.0, 45.2, 10.0, 35.2},
+	"3":     {69.4, 66.8, 13.0, 53.8},
+	"4":     {90.2, 87.2, 16.8, 70.4},
+	"5":     {109.5, 107.2, 21.0, 86.1},
+}
+
+func within(t *testing.T, label string, got, want, tolFrac float64) {
+	t.Helper()
+	if want == 0 {
+		return
+	}
+	if math.Abs(got-want)/want > tolFrac {
+		t.Errorf("%s: model %.1f vs paper %.1f (more than %.0f%% off)", label, got, want, tolFrac*100)
+	}
+}
+
+func TestTable41MatchesPaper(t *testing.T) {
+	m := Default1985()
+	for _, row := range m.Table41() {
+		p, ok := paper41[row.Label]
+		if !ok {
+			t.Fatalf("unexpected row %q", row.Label)
+		}
+		within(t, row.Label+" real", row.Real, p[0], 0.10)
+		within(t, row.Label+" cpu", row.TotalCPU, p[1], 0.10)
+		within(t, row.Label+" user", row.UserCPU, p[2], 0.10)
+		within(t, row.Label+" kernel", row.KernelCPU, p[3], 0.10)
+	}
+}
+
+func TestTable41RowCount(t *testing.T) {
+	if rows := Default1985().Table41(); len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+}
+
+func TestShapeTCPBeatsUDP(t *testing.T) {
+	// §4.4.1's "somewhat surprising result": the TCP echo is faster
+	// than the UDP echo.
+	m := Default1985()
+	if m.TCPEcho().Real >= m.UDPEcho().Real {
+		t.Fatal("model lost the TCP < UDP inversion")
+	}
+}
+
+func TestShapeCircusTwiceUDP(t *testing.T) {
+	// An unreplicated Circus call requires almost twice the time of a
+	// simple UDP exchange (§4.4.1).
+	m := Default1985()
+	ratio := m.CircusCall(1).Real / m.UDPEcho().Real
+	if ratio < 1.5 || ratio > 2.3 {
+		t.Fatalf("Circus(1)/UDP = %.2f, want ≈2", ratio)
+	}
+}
+
+func TestShapeLinearGrowth(t *testing.T) {
+	// Figure 4.8: each component of the time per call increases
+	// linearly with troupe size; the paper reports 10–20 ms of real
+	// time per additional member.
+	m := Default1985()
+	xs := []int{1, 2, 3, 4, 5}
+	var real, cpu []float64
+	for _, n := range xs {
+		r := m.CircusCall(n)
+		real = append(real, r.Real)
+		cpu = append(cpu, r.TotalCPU)
+	}
+	slope, _ := probmodel.LinearFit(xs, real)
+	if slope < 10 || slope > 20.9 {
+		t.Errorf("real-time slope %.1f ms/member, paper reports 10–20", slope)
+	}
+	cpuSlope, _ := probmodel.LinearFit(xs, cpu)
+	if cpuSlope < 18 || cpuSlope < 0 || cpuSlope > 24 {
+		t.Errorf("cpu slope %.1f ms/member, paper shows ≈21", cpuSlope)
+	}
+	// Residuals from the linear fit must be small (truly linear).
+	for i, n := range xs {
+		fit := cpuSlope*float64(n) + (cpu[0] - cpuSlope)
+		if math.Abs(cpu[i]-fit) > 3 {
+			t.Errorf("cpu at n=%d deviates %.1f ms from linearity", n, cpu[i]-fit)
+		}
+	}
+}
+
+func TestShapeSendmsgDominates(t *testing.T) {
+	// §4.4.1: sendmsg is the most expensive primitive and most of the
+	// time goes to the simulation of multicasting by successive
+	// sendmsg operations.
+	m := Default1985()
+	for _, row := range m.Table43() {
+		max := ""
+		for name, pct := range row.Percent {
+			if max == "" || pct > row.Percent[max] {
+				max = name
+			}
+		}
+		if max != Sendmsg {
+			t.Errorf("n=%d: %s dominates, want sendmsg", row.Degree, max)
+		}
+	}
+}
+
+func TestShapeSixCallsOverHalf(t *testing.T) {
+	// §4.4.1: six system calls account for more than half the CPU
+	// time of a replicated call.
+	for _, row := range Default1985().Table43() {
+		if row.SixCallTotal < 50 {
+			t.Errorf("n=%d: six syscalls only %.1f%%", row.Degree, row.SixCallTotal)
+		}
+	}
+}
+
+func TestShapeSendmsgShareRises(t *testing.T) {
+	// Table 4.3: the sendmsg share grows with the degree of
+	// replication (27% → 33% in the paper).
+	rows := Default1985().Table43()
+	if rows[0].Percent[Sendmsg] >= rows[4].Percent[Sendmsg] {
+		t.Fatal("sendmsg share does not rise with n")
+	}
+}
+
+func TestShapeRealConvergesToCPU(t *testing.T) {
+	// Table 4.1: at small n the client idles awaiting returns (real >>
+	// cpu); by n=4..5 the client CPU is the bottleneck and real ≈ cpu.
+	m := Default1985()
+	r1 := m.CircusCall(1)
+	r5 := m.CircusCall(5)
+	gap1 := r1.Real - r1.TotalCPU
+	gap5 := r5.Real - r5.TotalCPU
+	if gap1 < 15 {
+		t.Errorf("n=1 gap %.1f, want ≈24 (client mostly waiting)", gap1)
+	}
+	if gap5 > 5 {
+		t.Errorf("n=5 gap %.1f, want ≈2 (client saturated)", gap5)
+	}
+}
+
+func TestMulticastLogarithmic(t *testing.T) {
+	// §4.4.2: with multicast, expected time grows only logarithmically
+	// (E[T] = H_n·r + per-member receive cost). Compare growth from
+	// n=1 to n=8 against the unicast model.
+	m := Default1985()
+	uni1, uni8 := m.CircusCall(1).Real, m.CircusCall(8).Real
+	mc1, mc8 := m.ExpectedMulticastReal(1), m.ExpectedMulticastReal(8)
+	if (mc8 - mc1) >= (uni8-uni1)/2 {
+		t.Fatalf("multicast growth %.1f not much below unicast growth %.1f", mc8-mc1, uni8-uni1)
+	}
+}
+
+func TestMulticastMonteCarloMatchesExpectation(t *testing.T) {
+	m := Default1985()
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 3, 5} {
+		const trials = 20000
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			sum += m.CircusCallMulticast(n, rng).Real
+		}
+		got := sum / trials
+		want := m.ExpectedMulticastReal(n)
+		if math.Abs(got-want)/want > 0.03 {
+			t.Errorf("n=%d: sampled %.1f vs analytic %.1f", n, got, want)
+		}
+	}
+}
+
+func TestSortedProfileDescending(t *testing.T) {
+	p := Default1985().CircusCall(3).Profile
+	sorted := SortedProfile(p)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].MS > sorted[i-1].MS {
+			t.Fatal("profile not sorted")
+		}
+	}
+	if sorted[0].Name != Sendmsg {
+		t.Fatalf("top syscall %s, want sendmsg", sorted[0].Name)
+	}
+}
+
+func TestSyscallNames(t *testing.T) {
+	if len(SyscallNames()) != 6 {
+		t.Fatal("want the six profiled syscalls")
+	}
+}
+
+func TestItoa(t *testing.T) {
+	if itoa(0) != "0" || itoa(5) != "5" || itoa(42) != "42" {
+		t.Fatal("itoa broken")
+	}
+}

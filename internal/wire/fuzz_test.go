@@ -1,0 +1,70 @@
+package wire
+
+import "testing"
+
+// FuzzUnmarshal: the decoder must never panic on arbitrary bytes, for
+// every shape of target the runtime and generated stubs use.
+func FuzzUnmarshal(f *testing.F) {
+	good, _ := Marshal(struct {
+		A string
+		B []uint32
+		C *int64
+	}{A: "x", B: []uint32{1, 2}, C: new(int64)})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		type inner struct {
+			M map[uint16]string
+			P *inner2
+		}
+		var a struct {
+			S  string
+			N  int64
+			B  bool
+			By []byte
+			Sl []int32
+			In inner
+		}
+		_ = Unmarshal(data, &a)
+
+		var hdr struct {
+			ThreadHost   uint32
+			ThreadProc   uint32
+			Path         []uint32
+			ClientTroupe uint64
+			DestTroupe   uint64
+			Module       uint16
+			Proc         uint16
+			Args         []byte
+		}
+		_ = Unmarshal(data, &hdr) // the call header shape of internal/core
+	})
+}
+
+type inner2 struct {
+	X float64
+	Y [2]uint16
+}
+
+// FuzzRoundTripString: strings of every size and content round-trip.
+func FuzzRoundTripString(f *testing.F) {
+	f.Add("")
+	f.Add("odd")
+	f.Add(string(make([]byte, 70000)))
+	f.Add("\x00\xff\xfe")
+	f.Fuzz(func(t *testing.T, s string) {
+		data, err := Marshal(s)
+		if err != nil {
+			t.Fatalf("Marshal(%d bytes): %v", len(s), err)
+		}
+		var out string
+		if err := Unmarshal(data, &out); err != nil {
+			t.Fatalf("Unmarshal: %v", err)
+		}
+		if out != s {
+			t.Fatalf("round trip lost data: %d vs %d bytes", len(out), len(s))
+		}
+	})
+}

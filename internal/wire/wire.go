@@ -1,0 +1,254 @@
+// Package wire implements the standard external representation used
+// to pass parameters and results between machines (§7.1): Courier-
+// style big-endian encoding built from 16-bit words, extended with the
+// wider types a modern Go interface needs.
+//
+// Externalization translates an object from its internal form to a
+// byte sequence; internalization is the inverse (Figure 7.1; Nelson
+// calls these marshaling and unmarshaling). The Encoder and Decoder
+// are the hand-written substrate; Marshal and Unmarshal add a
+// reflection-driven layer for records, sequences and optional values,
+// playing the role of the externalization procedures a stub compiler
+// would emit for non-copyable types (§7.1.4).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShortBuffer reports a decode past the end of the message.
+var ErrShortBuffer = errors.New("wire: short buffer")
+
+// ErrBadValue reports an encoding that no encoder produces (for
+// example a BOOLEAN word other than 0 or 1).
+var ErrBadValue = errors.New("wire: malformed value")
+
+// MaxSequence bounds decoded sequence and string lengths to keep a
+// garbled or hostile length word from exhausting memory.
+const MaxSequence = 1 << 24
+
+// Encoder appends external representations to a buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded message.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// PutBool encodes a BOOLEAN as one 16-bit word, 0 or 1.
+func (e *Encoder) PutBool(v bool) {
+	if v {
+		e.PutUint16(1)
+	} else {
+		e.PutUint16(0)
+	}
+}
+
+// PutUint16 encodes a CARDINAL.
+func (e *Encoder) PutUint16(v uint16) {
+	e.buf = binary.BigEndian.AppendUint16(e.buf, v)
+}
+
+// PutUint32 encodes a LONG CARDINAL.
+func (e *Encoder) PutUint32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// PutUint64 encodes an extended 64-bit cardinal.
+func (e *Encoder) PutUint64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// PutInt16 encodes an INTEGER.
+func (e *Encoder) PutInt16(v int16) { e.PutUint16(uint16(v)) }
+
+// PutInt32 encodes a LONG INTEGER.
+func (e *Encoder) PutInt32(v int32) { e.PutUint32(uint32(v)) }
+
+// PutInt64 encodes an extended 64-bit integer.
+func (e *Encoder) PutInt64(v int64) { e.PutUint64(uint64(v)) }
+
+// PutFloat64 encodes an IEEE 754 double as four UNSPECIFIED words.
+func (e *Encoder) PutFloat64(v float64) { e.PutUint64(math.Float64bits(v)) }
+
+// PutString encodes a STRING: a 16-bit length followed by the bytes,
+// padded to a 16-bit boundary as Courier requires.
+func (e *Encoder) PutString(s string) error {
+	if len(s) > math.MaxUint16 {
+		return fmt.Errorf("wire: string of %d bytes exceeds 16-bit length", len(s))
+	}
+	e.PutUint16(uint16(len(s)))
+	e.buf = append(e.buf, s...)
+	if len(s)%2 == 1 {
+		e.buf = append(e.buf, 0)
+	}
+	return nil
+}
+
+// PutBytes encodes an opaque byte sequence: a 32-bit length followed
+// by the bytes, padded to a 16-bit boundary.
+func (e *Encoder) PutBytes(b []byte) {
+	e.PutUint32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+	if len(b)%2 == 1 {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// PutCount encodes a sequence element count.
+func (e *Encoder) PutCount(n int) { e.PutUint32(uint32(n)) }
+
+// Decoder consumes external representations from a buffer.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder reads from buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Finished reports whether the whole buffer was consumed; decoders of
+// complete messages should check it to reject trailing garbage.
+func (d *Decoder) Finished() bool { return d.off == len(d.buf) }
+
+func (d *Decoder) take(n int) ([]byte, error) {
+	if d.Remaining() < n {
+		return nil, ErrShortBuffer
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+// Bool decodes a BOOLEAN.
+func (d *Decoder) Bool() (bool, error) {
+	w, err := d.Uint16()
+	if err != nil {
+		return false, err
+	}
+	switch w {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	default:
+		return false, fmt.Errorf("%w: boolean word %d", ErrBadValue, w)
+	}
+}
+
+// Uint16 decodes a CARDINAL.
+func (d *Decoder) Uint16() (uint16, error) {
+	b, err := d.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+// Uint32 decodes a LONG CARDINAL.
+func (d *Decoder) Uint32() (uint32, error) {
+	b, err := d.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+// Uint64 decodes an extended 64-bit cardinal.
+func (d *Decoder) Uint64() (uint64, error) {
+	b, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// Int16 decodes an INTEGER.
+func (d *Decoder) Int16() (int16, error) {
+	v, err := d.Uint16()
+	return int16(v), err
+}
+
+// Int32 decodes a LONG INTEGER.
+func (d *Decoder) Int32() (int32, error) {
+	v, err := d.Uint32()
+	return int32(v), err
+}
+
+// Int64 decodes an extended 64-bit integer.
+func (d *Decoder) Int64() (int64, error) {
+	v, err := d.Uint64()
+	return int64(v), err
+}
+
+// Float64 decodes an IEEE 754 double.
+func (d *Decoder) Float64() (float64, error) {
+	v, err := d.Uint64()
+	return math.Float64frombits(v), err
+}
+
+// String decodes a STRING.
+func (d *Decoder) String() (string, error) {
+	n, err := d.Uint16()
+	if err != nil {
+		return "", err
+	}
+	b, err := d.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	s := string(b)
+	if n%2 == 1 {
+		if _, err := d.take(1); err != nil {
+			return "", err
+		}
+	}
+	return s, nil
+}
+
+// Bytes decodes an opaque byte sequence.
+func (d *Decoder) Bytes() ([]byte, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxSequence {
+		return nil, fmt.Errorf("%w: sequence of %d bytes", ErrBadValue, n)
+	}
+	b, err := d.take(int(n))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	if n%2 == 1 {
+		if _, err := d.take(1); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Count decodes a sequence element count.
+func (d *Decoder) Count() (int, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	if n > MaxSequence {
+		return 0, fmt.Errorf("%w: sequence of %d elements", ErrBadValue, n)
+	}
+	return int(n), nil
+}

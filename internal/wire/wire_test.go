@@ -1,0 +1,344 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodePrimitives(t *testing.T) {
+	e := NewEncoder()
+	e.PutBool(true)
+	e.PutBool(false)
+	e.PutUint16(0xbeef)
+	e.PutUint32(0xdeadbeef)
+	e.PutUint64(0x0123456789abcdef)
+	e.PutInt16(-2)
+	e.PutInt32(-70000)
+	e.PutInt64(-1 << 40)
+	e.PutFloat64(3.25)
+	if err := e.PutString("hello"); err != nil {
+		t.Fatal(err)
+	}
+	e.PutBytes([]byte{9, 8, 7})
+
+	d := NewDecoder(e.Bytes())
+	if v, err := d.Bool(); err != nil || !v {
+		t.Fatalf("Bool: %v %v", v, err)
+	}
+	if v, err := d.Bool(); err != nil || v {
+		t.Fatalf("Bool: %v %v", v, err)
+	}
+	if v, err := d.Uint16(); err != nil || v != 0xbeef {
+		t.Fatalf("Uint16: %x %v", v, err)
+	}
+	if v, err := d.Uint32(); err != nil || v != 0xdeadbeef {
+		t.Fatalf("Uint32: %x %v", v, err)
+	}
+	if v, err := d.Uint64(); err != nil || v != 0x0123456789abcdef {
+		t.Fatalf("Uint64: %x %v", v, err)
+	}
+	if v, err := d.Int16(); err != nil || v != -2 {
+		t.Fatalf("Int16: %d %v", v, err)
+	}
+	if v, err := d.Int32(); err != nil || v != -70000 {
+		t.Fatalf("Int32: %d %v", v, err)
+	}
+	if v, err := d.Int64(); err != nil || v != -1<<40 {
+		t.Fatalf("Int64: %d %v", v, err)
+	}
+	if v, err := d.Float64(); err != nil || v != 3.25 {
+		t.Fatalf("Float64: %v %v", v, err)
+	}
+	if v, err := d.String(); err != nil || v != "hello" {
+		t.Fatalf("String: %q %v", v, err)
+	}
+	if v, err := d.Bytes(); err != nil || !bytes.Equal(v, []byte{9, 8, 7}) {
+		t.Fatalf("Bytes: %v %v", v, err)
+	}
+	if !d.Finished() {
+		t.Fatalf("%d bytes left over", d.Remaining())
+	}
+}
+
+func TestStringPadding(t *testing.T) {
+	// Courier pads strings to 16-bit boundaries; an odd-length string
+	// must still round-trip and leave the decoder aligned.
+	e := NewEncoder()
+	e.PutString("odd")
+	e.PutUint16(0xabcd)
+	if e.Len()%2 != 0 {
+		t.Fatalf("encoded length %d not word-aligned", e.Len())
+	}
+	d := NewDecoder(e.Bytes())
+	s, err := d.String()
+	if err != nil || s != "odd" {
+		t.Fatalf("String: %q %v", s, err)
+	}
+	v, err := d.Uint16()
+	if err != nil || v != 0xabcd {
+		t.Fatalf("alignment lost: %x %v", v, err)
+	}
+}
+
+func TestBadBoolean(t *testing.T) {
+	d := NewDecoder([]byte{0, 7})
+	if _, err := d.Bool(); err == nil {
+		t.Fatal("boolean word 7 accepted")
+	}
+}
+
+func TestShortBuffer(t *testing.T) {
+	d := NewDecoder([]byte{0})
+	if _, err := d.Uint16(); err != ErrShortBuffer {
+		t.Fatalf("err = %v, want ErrShortBuffer", err)
+	}
+}
+
+func TestHugeSequenceRejected(t *testing.T) {
+	e := NewEncoder()
+	e.PutUint32(0xffffffff)
+	d := NewDecoder(e.Bytes())
+	if _, err := d.Bytes(); err == nil {
+		t.Fatal("absurd sequence length accepted")
+	}
+}
+
+func TestStringTooLong(t *testing.T) {
+	e := NewEncoder()
+	if err := e.PutString(strings.Repeat("x", 70000)); err == nil {
+		t.Fatal("oversized string accepted by PutString")
+	}
+}
+
+type record struct {
+	Name    string
+	Count   uint16
+	Balance int64
+	Tags    []string
+	Blob    []byte
+	Nested  inner
+	Opt     *inner
+	Ratio   float64
+	Fixed   [3]uint32
+	Props   map[string]int32
+
+	hidden int // unexported: must be skipped
+}
+
+type inner struct {
+	A int32
+	B bool
+}
+
+func TestMarshalRoundTripStruct(t *testing.T) {
+	in := record{
+		Name:    "troupe",
+		Count:   3,
+		Balance: -1234567890123,
+		Tags:    []string{"a", "bb", ""},
+		Blob:    []byte{1, 2, 3, 4, 5},
+		Nested:  inner{A: -9, B: true},
+		Opt:     &inner{A: 42},
+		Ratio:   math.Pi,
+		Fixed:   [3]uint32{7, 8, 9},
+		Props:   map[string]int32{"x": 1, "y": -2, "z": 3},
+		hidden:  99,
+	}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out record
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.hidden = in.hidden // unexported field intentionally not carried
+	if out.Name != in.Name || out.Count != in.Count || out.Balance != in.Balance ||
+		out.Ratio != in.Ratio || out.Fixed != in.Fixed || out.Nested != in.Nested {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+	if len(out.Tags) != 3 || out.Tags[1] != "bb" {
+		t.Fatalf("tags: %v", out.Tags)
+	}
+	if !bytes.Equal(out.Blob, in.Blob) {
+		t.Fatalf("blob: %v", out.Blob)
+	}
+	if out.Opt == nil || out.Opt.A != 42 {
+		t.Fatalf("opt: %+v", out.Opt)
+	}
+	if len(out.Props) != 3 || out.Props["y"] != -2 {
+		t.Fatalf("props: %v", out.Props)
+	}
+}
+
+func TestMarshalNilPointer(t *testing.T) {
+	type s struct{ P *int32 }
+	data, err := Marshal(s{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out s
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.P != nil {
+		t.Fatalf("P = %v, want nil", out.P)
+	}
+}
+
+func TestMarshalDeterministicMaps(t *testing.T) {
+	// Identical maps must encode identically regardless of insertion
+	// order: the unanimous collator compares messages bit-for-bit.
+	m1 := map[string]uint32{}
+	m2 := map[string]uint32{}
+	keys := []string{"e", "a", "d", "b", "c"}
+	for i, k := range keys {
+		m1[k] = uint32(i)
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		m2[keys[i]] = uint32(i)
+	}
+	b1, err := Marshal(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Marshal(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("map encoding depends on insertion order")
+	}
+}
+
+func TestUnmarshalTrailingGarbage(t *testing.T) {
+	data, err := Marshal(uint16(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out uint16
+	if err := Unmarshal(append(data, 0), &out); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestUnmarshalNonPointer(t *testing.T) {
+	if err := Unmarshal([]byte{0, 1}, uint16(0)); err == nil {
+		t.Fatal("non-pointer target accepted")
+	}
+}
+
+func TestUnsupportedKind(t *testing.T) {
+	if _, err := Marshal(make(chan int)); err == nil {
+		t.Fatal("channel marshaled")
+	}
+}
+
+func TestLongStringRoundTrip(t *testing.T) {
+	for _, n := range []int{0xfffe, 0xffff, 0x10000, 0x20001} {
+		s := strings.Repeat("q", n)
+		data, err := Marshal(s)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		var out string
+		if err := Unmarshal(data, &out); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if out != s {
+			t.Fatalf("n=%d: round trip failed", n)
+		}
+	}
+}
+
+// Property: every struct of supported primitive kinds round-trips.
+func TestQuickRoundTripRecord(t *testing.T) {
+	type qr struct {
+		B  bool
+		I3 int32
+		I6 int64
+		U2 uint16
+		U6 uint64
+		F  float64
+		S  string
+		By []byte
+		Sl []int32
+	}
+	f := func(in qr) bool {
+		data, err := Marshal(in)
+		if err != nil {
+			return false
+		}
+		var out qr
+		if err := Unmarshal(data, &out); err != nil {
+			return false
+		}
+		if in.F != out.F && !(math.IsNaN(in.F) && math.IsNaN(out.F)) {
+			return false
+		}
+		in.F, out.F = 0, 0
+		if in.By == nil {
+			in.By = []byte{}
+		}
+		if out.By == nil {
+			out.By = []byte{}
+		}
+		if !bytes.Equal(in.By, out.By) {
+			return false
+		}
+		in.By, out.By = nil, nil
+		if len(in.Sl) != len(out.Sl) {
+			return false
+		}
+		for i := range in.Sl {
+			if in.Sl[i] != out.Sl[i] {
+				return false
+			}
+		}
+		return in.B == out.B && in.I3 == out.I3 && in.I6 == out.I6 &&
+			in.U2 == out.U2 && in.U6 == out.U6 && in.S == out.S
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the decoder never panics on arbitrary input.
+func TestQuickDecoderRobustness(t *testing.T) {
+	type victim struct {
+		A string
+		B []int64
+		C *inner
+		D map[uint16]string
+	}
+	f := func(junk []byte) bool {
+		var v victim
+		_ = Unmarshal(junk, &v) // must not panic; error is fine
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: marshaling is deterministic.
+func TestQuickDeterministic(t *testing.T) {
+	f := func(a map[int32]string, b []uint16) bool {
+		type pair struct {
+			M map[int32]string
+			S []uint16
+		}
+		x, err1 := Marshal(pair{a, b})
+		y, err2 := Marshal(pair{a, b})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return bytes.Equal(x, y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
