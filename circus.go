@@ -75,6 +75,16 @@ type (
 	AppError = core.AppError
 	// StaleBindingError reports an obsolete cached binding (§6.2).
 	StaleBindingError = core.StaleBindingError
+	// ResilientOptions configures a self-healing stub's retry budget,
+	// backoff, suspicion, and rebinding.
+	ResilientOptions = core.ResilientOptions
+	// Backoff shapes retry delays: exponential growth with jitter.
+	Backoff = core.Backoff
+	// Suspicion tracks members recently presumed crashed; shared
+	// trackers let one caller's evidence benefit others.
+	Suspicion = core.Suspicion
+	// ResilientStats counts a resilient stub's recovery actions.
+	ResilientStats = core.ResilientStats
 	// Reply is one troupe member's response in a generator stream
 	// (§7.4).
 	Reply = collate.Item

@@ -1,0 +1,84 @@
+package circus
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestGarbageCollectPartitionedMemberRejoinsAfterHeal: the binding
+// agent cannot tell a partitioned member from a crashed one (§4.3.5),
+// so GarbageCollect removes it — and that must be a recoverable
+// reconfiguration, not an amputation: after the partition heals, the
+// member is re-added cleanly and participates in calls again.
+func TestGarbageCollectPartitionedMemberRejoinsAfterHeal(t *testing.T) {
+	w := newWorld(t, 12)
+	ctx := context.Background()
+
+	nodes := make([]*Node, 3)
+	mods := make([]*counter, 3)
+	addrs := make([]ModuleAddr, 3)
+	for i := range nodes {
+		nodes[i] = w.node()
+		mods[i] = &counter{}
+		addr, err := nodes[i].Export("pkv", mods[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = addr
+	}
+
+	// Isolate member 2. The binder and the other members stay in the
+	// default group (an empty groups[0] puts every unnamed host there).
+	w.sim.Partition(nil, []*Node{nodes[2]})
+
+	sweeper := w.node()
+	removed, err := sweeper.GarbageCollect(ctx, 300*time.Millisecond)
+	if err != nil {
+		t.Fatalf("GarbageCollect: %v", err)
+	}
+	if removed != 1 {
+		t.Fatalf("removed = %d, want 1 (the partitioned member)", removed)
+	}
+
+	// The reconfigured troupe serves calls from the majority side.
+	stub, err := sweeper.Import(ctx, "pkv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stub.Troupe().Degree(); got != 2 {
+		t.Fatalf("degree after GC = %d, want 2", got)
+	}
+	if _, err := stub.Call(ctx, 1, []byte("during"), WithTimeout(2*time.Second)); err != nil {
+		t.Fatalf("call during partition: %v", err)
+	}
+
+	// Heal and re-add: the member must come back under a fresh troupe
+	// ID with no residue from its removal.
+	w.sim.Heal()
+	if _, err := sweeper.Binder().AddMember(ctx, "pkv", addrs[2]); err != nil {
+		t.Fatalf("re-adding healed member: %v", err)
+	}
+
+	client := w.node()
+	stub2, err := client.Import(ctx, "pkv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stub2.Troupe().Degree(); got != 3 {
+		t.Fatalf("degree after re-add = %d, want 3", got)
+	}
+	before := make([]int64, 3)
+	for i, m := range mods {
+		before[i] = m.execs.Load()
+	}
+	if _, err := stub2.Call(ctx, 1, []byte("after"), WithTimeout(2*time.Second)); err != nil {
+		t.Fatalf("call after re-add: %v", err)
+	}
+	for i, m := range mods {
+		if m.execs.Load() != before[i]+1 {
+			t.Fatalf("member %d executed %d times, want %d (rejoined member must participate)",
+				i, m.execs.Load(), before[i]+1)
+		}
+	}
+}

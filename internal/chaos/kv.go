@@ -1,0 +1,169 @@
+// Package chaos is a deterministic fault-campaign harness: it runs a
+// replicated key-value troupe with concurrent clients on the
+// simulated internet, drives a seeded schedule of machine crashes,
+// restarts, partitions, heals, and loss bursts against it, and checks
+// after quiescence that the troupe survived — replica states
+// converged, every replicated call executed at most once per member,
+// and no acknowledged update was lost.
+//
+// The harness exists to exercise the self-healing layer end to end:
+// resilient stubs (retry, backoff, suspicion, automatic rebind), the
+// binding agent's garbage collection and reconfiguration (§6.1–6.4),
+// and the repair protocol that reinitializes recovered members from
+// their peers' state (§6.4.1).
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"circus"
+)
+
+// KV procedure numbers.
+const (
+	// ProcPut stores a key/value pair. Puts are idempotent per key —
+	// the chaos workload writes each key once with an immutable value —
+	// so the resilient caller's retries are safe.
+	ProcPut uint16 = 1
+	// ProcGet returns the value of a key, empty if absent.
+	ProcGet uint16 = 2
+	// ProcDump returns the whole map, for reconciliation and checking.
+	ProcDump uint16 = 3
+	// ProcMerge adds every entry of the argument map that is absent
+	// locally: the repair half of state transfer (§6.4.1), safe to
+	// apply in any order because keys are unique and values immutable.
+	ProcMerge uint16 = 4
+)
+
+type kvPair struct {
+	Key, Val string
+}
+
+// KV is the replicated module under test: a map plus the
+// instrumentation the invariant checker needs. Executions are counted
+// per replicated call, keyed by the thread ID and call path of the
+// executing frame (§4.3.2): replicas executing the same replicated
+// call observe equal keys, and a member that executes the same
+// replicated call twice has violated exactly-once semantics.
+type KV struct {
+	mu        sync.Mutex
+	data      map[string]string
+	execs     map[string]int
+	conflicts []string // put/merge collisions with a different value
+}
+
+// NewKV returns an empty instrumented store.
+func NewKV() *KV {
+	return &KV{data: make(map[string]string), execs: make(map[string]int)}
+}
+
+// Dispatch implements circus.Module.
+func (s *KV) Dispatch(call *circus.ServerCall, proc uint16, args []byte) ([]byte, error) {
+	switch proc {
+	case ProcPut:
+		var p kvPair
+		if err := circus.Unmarshal(args, &p); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.execs[call.Thread().Key()]++
+		if old, ok := s.data[p.Key]; ok && old != p.Val {
+			s.conflicts = append(s.conflicts, fmt.Sprintf("put %q: %q over %q", p.Key, p.Val, old))
+		}
+		s.data[p.Key] = p.Val
+		s.mu.Unlock()
+		return []byte(p.Key), nil
+	case ProcGet:
+		s.mu.Lock()
+		v := s.data[string(args)]
+		s.mu.Unlock()
+		return []byte(v), nil
+	case ProcDump:
+		return s.GetState()
+	case ProcMerge:
+		var dump []kvPair
+		if err := circus.Unmarshal(args, &dump); err != nil {
+			return nil, err
+		}
+		s.merge(dump)
+		return nil, nil
+	default:
+		return nil, circus.ErrNoSuchProc
+	}
+}
+
+func (s *KV) merge(dump []kvPair) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range dump {
+		if old, ok := s.data[p.Key]; ok {
+			if old != p.Val {
+				s.conflicts = append(s.conflicts, fmt.Sprintf("merge %q: %q vs %q", p.Key, p.Val, old))
+			}
+			continue
+		}
+		s.data[p.Key] = p.Val
+	}
+}
+
+// GetState externalizes the map (§6.4.1), sorted for determinism.
+func (s *KV) GetState() ([]byte, error) {
+	s.mu.Lock()
+	dump := make([]kvPair, 0, len(s.data))
+	for k, v := range s.data {
+		dump = append(dump, kvPair{Key: k, Val: v})
+	}
+	s.mu.Unlock()
+	sort.Slice(dump, func(i, j int) bool { return dump[i].Key < dump[j].Key })
+	return circus.Marshal(dump)
+}
+
+// SetState internalizes a peer's state by merging it (§6.4.1). Merge
+// rather than replace: a rejoining member may already have accepted
+// writes under the new binding while the transfer was in flight.
+func (s *KV) SetState(data []byte) error {
+	var dump []kvPair
+	if err := circus.Unmarshal(data, &dump); err != nil {
+		return err
+	}
+	s.merge(dump)
+	return nil
+}
+
+// Snapshot copies the current map.
+func (s *KV) Snapshot() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.data))
+	for k, v := range s.data {
+		out[k] = v
+	}
+	return out
+}
+
+// Violations returns this member's local invariant breaches: multiply
+// executed replicated calls and conflicting writes.
+func (s *KV) Violations() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for key, n := range s.execs {
+		if n > 1 {
+			out = append(out, fmt.Sprintf("replicated call %x executed %d times", key, n))
+		}
+	}
+	out = append(out, s.conflicts...)
+	return out
+}
+
+// decodePairs is shared by the repairman.
+func decodePairs(data []byte) ([]kvPair, error) {
+	var dump []kvPair
+	if err := circus.Unmarshal(data, &dump); err != nil {
+		return nil, errors.New("chaos: garbled dump: " + err.Error())
+	}
+	return dump, nil
+}

@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"context"
+	"time"
+
+	"circus"
+)
+
+// repairman is the recovery manager of the campaign, playing the
+// configuration-manager role of §7.5.3: it garbage-collects
+// unresponsive members out of the binding (§6.1), re-admits recovered
+// ones, and reinitializes them from their peers' state (§6.4.1).
+//
+// The rejoin order matters: the member is re-added to the binding
+// FIRST — bumping the troupe ID, so clients rebind and subsequent
+// writes include the member — and its state is reconciled afterwards.
+// The reverse order (state transfer, then re-add) would lose every
+// write acknowledged between the transfer and the re-add. Merge-based
+// reconciliation makes the order safe: the campaign workload's keys
+// are unique and its values immutable, so merging is exact.
+type repairman struct {
+	node  *circus.Node
+	name  string
+	addrs []circus.ModuleAddr
+	log   func(format string, args ...any)
+
+	removed  int
+	rejoined int
+}
+
+// sweep runs one repair pass and reports whether the system is whole:
+// every known member bound and a full state reconciliation completed.
+func (r *repairman) sweep(ctx context.Context) bool {
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+
+	// Drop members that do not answer the null procedure (§6.1). A
+	// merely partitioned member is indistinguishable from a crashed
+	// one and is removed too; it rejoins after the heal.
+	if n, err := r.node.GarbageCollect(sctx, 150*time.Millisecond); err == nil && n > 0 {
+		r.removed += n
+		r.log("repair: removed %d unresponsive member(s)", n)
+	}
+
+	// A failed lookup means the binding emptied out entirely (every
+	// member was garbage-collected); AddMember still works on an empty
+	// troupe, so proceed with nothing marked present and re-admit.
+	present := make(map[circus.ModuleAddr]bool, len(r.addrs))
+	if t, err := r.node.Binder().LookupByName(sctx, r.name); err == nil {
+		for _, m := range t.Members {
+			present[m] = true
+		}
+	}
+
+	whole := true
+	for _, addr := range r.addrs {
+		if present[addr] {
+			continue
+		}
+		whole = false
+		// Direct ping, bypassing the binding: is the member back?
+		direct := r.node.StubFor(circus.Troupe{Members: []circus.ModuleAddr{addr}})
+		if err := direct.Ping(sctx, circus.WithTimeout(150*time.Millisecond)); err != nil {
+			continue // still unreachable; try again next sweep
+		}
+		if _, err := r.node.Binder().AddMember(sctx, r.name, addr); err != nil {
+			continue
+		}
+		r.rejoined++
+		r.log("repair: rejoined %v", addr)
+	}
+	if !r.reconcile(sctx) {
+		whole = false
+	}
+	return whole
+}
+
+// reconcile fetches every bound member's state, forms the union, and
+// merges it back into every member. It reports whether every member
+// participated; a partial reconciliation is retried by a later sweep.
+func (r *repairman) reconcile(ctx context.Context) bool {
+	t, err := r.node.Binder().LookupByName(ctx, r.name)
+	if err != nil || len(t.Members) < 2 {
+		return err == nil
+	}
+	union := make(map[string]string)
+	complete := true
+	for _, m := range t.Members {
+		direct := r.node.StubFor(circus.Troupe{Members: []circus.ModuleAddr{m}})
+		data, err := direct.Call(ctx, ProcDump, nil, circus.WithTimeout(300*time.Millisecond))
+		if err != nil {
+			complete = false
+			continue
+		}
+		pairs, err := decodePairs(data)
+		if err != nil {
+			complete = false
+			continue
+		}
+		for _, p := range pairs {
+			if _, ok := union[p.Key]; !ok {
+				union[p.Key] = p.Val
+			}
+		}
+	}
+	dump := make([]kvPair, 0, len(union))
+	for k, v := range union {
+		dump = append(dump, kvPair{Key: k, Val: v})
+	}
+	args, err := circus.Marshal(dump)
+	if err != nil {
+		return false
+	}
+	for _, m := range t.Members {
+		direct := r.node.StubFor(circus.Troupe{Members: []circus.ModuleAddr{m}})
+		if _, err := direct.Call(ctx, ProcMerge, args, circus.WithTimeout(300*time.Millisecond)); err != nil {
+			complete = false
+		}
+	}
+	return complete
+}

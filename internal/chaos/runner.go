@@ -1,0 +1,349 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"circus"
+)
+
+// Config parameterizes one campaign.
+type Config struct {
+	// Seed drives the network's fault injection, the schedule, the
+	// clients' pacing, and the resilient stubs' jitter: two runs with
+	// the same Config apply the same schedule.
+	Seed int64
+	// Servers is the KV troupe degree. Default 3.
+	Servers int
+	// Clients is the number of concurrent client processes. Default 3.
+	Clients int
+	// Ops is the number of put operations per client. Default 30.
+	Ops int
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Servers == 0 {
+		c.Servers = 3
+	}
+	if c.Clients == 0 {
+		c.Clients = 3
+	}
+	if c.Ops == 0 {
+		c.Ops = 30
+	}
+	if c.Log == nil {
+		c.Log = func(string, ...any) {}
+	}
+	return c
+}
+
+// Result is the outcome of one campaign.
+type Result struct {
+	Seed     int64
+	Schedule Schedule
+	// Acked and Failed count client put operations: Acked operations
+	// are covered by the no-lost-update invariant; Failed ones are
+	// indeterminate (they may or may not have executed) but must still
+	// be value-consistent wherever they surface.
+	Acked  int
+	Failed int
+	// Rebinds, Retries, and Suspected aggregate the resilient stubs'
+	// recovery counters.
+	Rebinds   int64
+	Retries   int64
+	Suspected int64
+	// Removed and Rejoined count binding-agent reconfigurations
+	// performed by the repairman.
+	Removed  int
+	Rejoined int
+	// Violations lists every invariant breach; empty means the troupe
+	// survived the campaign.
+	Violations []string
+}
+
+// Run executes one fault campaign: build a replicated KV troupe with
+// a binding agent and a repairman, launch concurrent clients through
+// resilient stubs, apply the seeded fault schedule, then quiesce,
+// repair, and check the invariants.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{Seed: cfg.Seed, Schedule: Generate(cfg.Seed, cfg.Servers)}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	sim := circus.NewSimNetwork(cfg.Seed)
+	baseline := circus.LinkConfig{
+		LossRate: 0.02,
+		DupRate:  0.02,
+		MinDelay: 200 * time.Microsecond,
+		MaxDelay: 2 * time.Millisecond,
+	}
+	sim.SetLink(baseline)
+
+	// The binding agent, on its own machine.
+	binderNode, err := sim.NewNode()
+	if err != nil {
+		return nil, err
+	}
+	defer binderNode.Close()
+	if _, err := binderNode.ServeRingmaster(); err != nil {
+		return nil, err
+	}
+	boot := binderNode.BinderAddrs()
+	nodeOpts := []circus.Option{circus.WithBinder(boot), circus.WithAdaptiveRetransmit()}
+
+	// The KV troupe.
+	const name = "kv"
+	serverNodes := make([]*circus.Node, cfg.Servers)
+	kvs := make([]*KV, cfg.Servers)
+	serverAddrs := make([]circus.ModuleAddr, cfg.Servers)
+	for i := range serverNodes {
+		n, err := sim.NewNode(nodeOpts...)
+		if err != nil {
+			return nil, err
+		}
+		defer n.Close()
+		serverNodes[i] = n
+		kvs[i] = NewKV()
+		addr, err := n.Export(name, kvs[i])
+		if err != nil {
+			return nil, err
+		}
+		serverAddrs[i] = addr
+	}
+
+	// The repairman, on its own machine.
+	repairNode, err := sim.NewNode(nodeOpts...)
+	if err != nil {
+		return nil, err
+	}
+	defer repairNode.Close()
+	repair := &repairman{
+		node:  repairNode,
+		name:  name,
+		addrs: serverAddrs,
+		log:   cfg.Log,
+	}
+
+	// The clients, each on its own machine.
+	type client struct {
+		node *circus.Node
+		stub *circus.ResilientStub
+	}
+	clients := make([]client, cfg.Clients)
+	for i := range clients {
+		n, err := sim.NewNode(nodeOpts...)
+		if err != nil {
+			return nil, err
+		}
+		defer n.Close()
+		stub, err := n.ImportResilient(ctx, name, circus.ResilientOptions{
+			MaxAttempts:  10,
+			Backoff:      circus.Backoff{Initial: 15 * time.Millisecond, Max: 250 * time.Millisecond},
+			SuspicionTTL: 400 * time.Millisecond,
+			Seed:         cfg.Seed<<8 | int64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = client{node: n, stub: stub}
+	}
+
+	// Launch the client workload: unique keys, immutable values, so
+	// retries are idempotent and cross-replica value equality is a
+	// meaningful invariant. Clients perform at least cfg.Ops
+	// operations each and keep operating until the fault schedule has
+	// run its course, so every fault window sees live traffic.
+	var (
+		mu    sync.Mutex
+		acked = make(map[string]string)
+	)
+	var failed int
+	scheduleDone := make(chan struct{})
+	var wg sync.WaitGroup
+	for ci := range clients {
+		ci := ci
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(0x5eed<<8|ci)))
+			for op := 0; ; op++ {
+				if op >= cfg.Ops {
+					select {
+					case <-scheduleDone:
+						return
+					default:
+					}
+				}
+				key := fmt.Sprintf("c%d.k%d", ci, op)
+				val := fmt.Sprintf("v%d.%s", cfg.Seed, key)
+				args, _ := circus.Marshal(kvPair{Key: key, Val: val})
+				_, err := clients[ci].stub.Call(ctx, ProcPut, args,
+					circus.WithTimeout(600*time.Millisecond))
+				mu.Lock()
+				if err == nil {
+					acked[key] = val
+				} else {
+					failed++
+				}
+				mu.Unlock()
+				time.Sleep(time.Duration(10+rng.Intn(20)) * time.Millisecond)
+			}
+		}()
+	}
+
+	// The repairman sweeps concurrently with the faults.
+	repairCtx, stopRepair := context.WithCancel(ctx)
+	var repairWG sync.WaitGroup
+	repairWG.Add(1)
+	go func() {
+		defer repairWG.Done()
+		for repairCtx.Err() == nil {
+			repair.sweep(repairCtx)
+			select {
+			case <-repairCtx.Done():
+			case <-time.After(150 * time.Millisecond):
+			}
+		}
+	}()
+
+	// Apply the fault schedule.
+	start := time.Now()
+	for _, ev := range res.Schedule.Events {
+		if d := time.Until(start.Add(ev.At)); d > 0 {
+			time.Sleep(d)
+		}
+		cfg.Log("seed %d: %v", cfg.Seed, ev)
+		switch ev.Kind {
+		case KindCrash:
+			sim.Crash(serverNodes[ev.Server])
+		case KindRestart:
+			sim.Restart(serverNodes[ev.Server])
+		case KindPartition:
+			minority := make([]*circus.Node, 0, len(ev.Minority))
+			isolated := make(map[int]bool)
+			for _, si := range ev.Minority {
+				minority = append(minority, serverNodes[si])
+				isolated[si] = true
+			}
+			majority := []*circus.Node{binderNode, repairNode}
+			for si, n := range serverNodes {
+				if !isolated[si] {
+					majority = append(majority, n)
+				}
+			}
+			for _, c := range clients {
+				majority = append(majority, c.node)
+			}
+			sim.Partition(majority, minority)
+		case KindHeal:
+			sim.Heal()
+		case KindLossBurst:
+			burst := baseline
+			burst.LossRate = ev.Loss
+			sim.SetLink(burst)
+		case KindLossEnd:
+			sim.SetLink(baseline)
+		}
+	}
+
+	// Let the workload finish, then quiesce: no faults outstanding,
+	// every machine up, and the repairman given the field.
+	close(scheduleDone)
+	wg.Wait()
+	sim.Heal()
+	sim.SetLink(baseline)
+	for _, n := range serverNodes {
+		sim.Restart(n)
+	}
+	time.Sleep(300 * time.Millisecond) // drain in-flight retransmissions
+	stopRepair()
+	repairWG.Wait()
+	for i := 0; i < 4; i++ {
+		if repair.sweep(ctx) {
+			break
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	// Harvest counters.
+	res.Acked = len(acked)
+	res.Failed = failed
+	for _, c := range clients {
+		st := c.stub.Stats()
+		res.Rebinds += st.Rebinds
+		res.Retries += st.Retries
+		res.Suspected += st.Suspected
+	}
+	res.Removed = repair.removed
+	res.Rejoined = repair.rejoined
+
+	// Invariants.
+	res.Violations = check(kvs, acked)
+	return res, nil
+}
+
+// check verifies the post-quiescence invariants: per-member
+// exactly-once execution and write consistency, cross-member state
+// convergence, and no acknowledged update lost.
+func check(kvs []*KV, acked map[string]string) []string {
+	var v []string
+	for i, kv := range kvs {
+		for _, s := range kv.Violations() {
+			v = append(v, fmt.Sprintf("member %d: %s", i, s))
+		}
+	}
+	snaps := make([]map[string]string, len(kvs))
+	for i, kv := range kvs {
+		snaps[i] = kv.Snapshot()
+	}
+	for i := 1; i < len(snaps); i++ {
+		if diff := diffMaps(snaps[0], snaps[i]); diff != "" {
+			v = append(v, fmt.Sprintf("members 0 and %d diverge: %s", i, diff))
+		}
+	}
+	for key, val := range acked {
+		got, ok := snaps[0][key]
+		switch {
+		case !ok:
+			v = append(v, fmt.Sprintf("acknowledged update %q lost", key))
+		case got != val:
+			v = append(v, fmt.Sprintf("acknowledged update %q corrupted: %q != %q", key, got, val))
+		}
+	}
+	sort.Strings(v)
+	return v
+}
+
+// diffMaps describes the first few differences between two maps,
+// empty if equal.
+func diffMaps(a, b map[string]string) string {
+	var diffs []string
+	for k, va := range a {
+		if vb, ok := b[k]; !ok {
+			diffs = append(diffs, fmt.Sprintf("%q only in first", k))
+		} else if va != vb {
+			diffs = append(diffs, fmt.Sprintf("%q: %q vs %q", k, va, vb))
+		}
+	}
+	for k := range b {
+		if _, ok := a[k]; !ok {
+			diffs = append(diffs, fmt.Sprintf("%q only in second", k))
+		}
+	}
+	sort.Strings(diffs)
+	if len(diffs) > 4 {
+		diffs = append(diffs[:4], fmt.Sprintf("... and %d more", len(diffs)-4))
+	}
+	if len(diffs) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d diffs: %v", len(diffs), diffs)
+}

@@ -1,0 +1,138 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Kind enumerates fault events.
+type Kind int
+
+const (
+	// KindCrash fail-stops one server machine (§2.1.1).
+	KindCrash Kind = iota
+	// KindRestart brings a crashed machine back.
+	KindRestart
+	// KindPartition isolates a minority of the server troupe from
+	// everything else (§4.3.5). The binding agent, clients, and
+	// repairman always stay on the majority side, as the paper's
+	// discipline requires for progress.
+	KindPartition
+	// KindHeal removes the partition.
+	KindHeal
+	// KindLossBurst raises the datagram loss rate on every link.
+	KindLossBurst
+	// KindLossEnd restores the baseline link.
+	KindLossEnd
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCrash:
+		return "crash"
+	case KindRestart:
+		return "restart"
+	case KindPartition:
+		return "partition"
+	case KindHeal:
+		return "heal"
+	case KindLossBurst:
+		return "loss-burst"
+	case KindLossEnd:
+		return "loss-end"
+	default:
+		return "?"
+	}
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	At       time.Duration
+	Kind     Kind
+	Server   int   // victim server index (Crash, Restart)
+	Minority []int // isolated server indices (Partition)
+	Loss     float64
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case KindCrash, KindRestart:
+		return fmt.Sprintf("%v %v s%d", e.At.Round(time.Millisecond), e.Kind, e.Server)
+	case KindPartition:
+		return fmt.Sprintf("%v %v %v", e.At.Round(time.Millisecond), e.Kind, e.Minority)
+	case KindLossBurst:
+		return fmt.Sprintf("%v %v %.0f%%", e.At.Round(time.Millisecond), e.Kind, e.Loss*100)
+	default:
+		return fmt.Sprintf("%v %v", e.At.Round(time.Millisecond), e.Kind)
+	}
+}
+
+// Schedule is a deterministic fault campaign: a time-ordered event
+// list derived entirely from the seed.
+type Schedule struct {
+	Seed   int64
+	Events []Event
+}
+
+// Span returns the time of the last event.
+func (s Schedule) Span() time.Duration {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	return s.Events[len(s.Events)-1].At
+}
+
+// Generate derives a fault schedule from seed for a troupe of the
+// given degree. Every schedule contains at least one crash (with its
+// restart), one partition (with its heal), and one loss burst (with
+// its end). Episodes are sequential — each fault is repaired before
+// the next begins — and never touch more than a minority of the
+// troupe at once, so the troupe as a whole stays available and the
+// majority-side binding agent can always reconfigure around the
+// fault (§6.4).
+func Generate(seed int64, servers int) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	jitter := func(base, spread time.Duration) time.Duration {
+		return base + time.Duration(rng.Int63n(int64(spread)))
+	}
+
+	// The mandatory episode kinds, plus a seed-dependent tail of
+	// extras, in seed-dependent order.
+	kinds := []Kind{KindCrash, KindPartition, KindLossBurst}
+	for i := 0; i < rng.Intn(3); i++ {
+		kinds = append(kinds, []Kind{KindCrash, KindPartition, KindLossBurst}[rng.Intn(3)])
+	}
+	rng.Shuffle(len(kinds), func(i, j int) { kinds[i], kinds[j] = kinds[j], kinds[i] })
+
+	s := Schedule{Seed: seed}
+	at := jitter(200*time.Millisecond, 150*time.Millisecond)
+	for _, k := range kinds {
+		hold := jitter(350*time.Millisecond, 250*time.Millisecond)
+		switch k {
+		case KindCrash:
+			victim := rng.Intn(servers)
+			s.Events = append(s.Events,
+				Event{At: at, Kind: KindCrash, Server: victim},
+				Event{At: at + hold, Kind: KindRestart, Server: victim})
+		case KindPartition:
+			// Isolate a random minority: fewer than half the servers.
+			k := 1
+			if max := (servers+1)/2 - 1; max > 1 {
+				k += rng.Intn(max)
+			}
+			perm := rng.Perm(servers)
+			minority := append([]int(nil), perm[:k]...)
+			s.Events = append(s.Events,
+				Event{At: at, Kind: KindPartition, Minority: minority},
+				Event{At: at + hold, Kind: KindHeal})
+		case KindLossBurst:
+			loss := 0.15 + 0.25*rng.Float64()
+			s.Events = append(s.Events,
+				Event{At: at, Kind: KindLossBurst, Loss: loss},
+				Event{At: at + hold, Kind: KindLossEnd})
+		}
+		at += hold + jitter(200*time.Millisecond, 200*time.Millisecond)
+	}
+	return s
+}

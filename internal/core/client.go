@@ -13,13 +13,20 @@ import (
 	"circus/internal/wire"
 )
 
+// NoTimeout, as a CallOptions.Timeout or Options.DefaultCallTimeout,
+// selects an unbounded call whose termination relies entirely on
+// crash detection (§4.2.3) — the historical meaning of a zero
+// timeout, which now falls back to the runtime's default bound.
+const NoTimeout time.Duration = -1
+
 // CallOptions tunes one replicated procedure call.
 type CallOptions struct {
 	// Collator constructs the collator applied to the set of return
 	// messages; nil means the unanimous default of Circus (§4.3.4).
 	Collator func(n int) collate.Collator
-	// Timeout bounds the whole call; zero means no bound, in which
-	// case termination relies on crash detection (§4.2.3).
+	// Timeout bounds the whole call. Zero applies the runtime's
+	// DefaultCallTimeout; NoTimeout removes the bound, relying on
+	// crash detection (§4.2.3) for termination.
 	Timeout time.Duration
 	// AsTroupe identifies the calling module's own troupe when the
 	// call is not made from inside a ServerCall (whose nested calls
@@ -65,10 +72,14 @@ func (rt *Runtime) CallEach(ctx context.Context, dest Troupe, proc uint16, args 
 		opts.clientTroupe = opts.AsTroupe
 	}
 	path := tc.NextCallPath()
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = rt.opts.DefaultCallTimeout
+	}
 	callCtx := ctx
 	var cancel context.CancelFunc
-	if opts.Timeout > 0 {
-		callCtx, cancel = context.WithTimeout(ctx, opts.Timeout)
+	if timeout > 0 {
+		callCtx, cancel = context.WithTimeout(ctx, timeout)
 	}
 	var wg sync.WaitGroup
 	if !rt.multicastEach(callCtx, dest, tc.ID(), path, proc, args, opts, items, &wg) {

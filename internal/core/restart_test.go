@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCrashRestartRoundTrip: a client machine crashes and restarts; the
+// restarted process (a fresh Runtime on the same address, so its call
+// numbers reset) must be able to call the same server again. The
+// predecessor's completed exchanges are still inside the server's
+// CompletedTTL replay-suppression window, so this fails if fresh call
+// numbers can collide with completed ones.
+func TestCrashRestartRoundTrip(t *testing.T) {
+	c := newCluster(t, 31, 1, ExportOptions{})
+
+	// A client on a dedicated host and fixed port, so the restarted
+	// process lands on the same address.
+	host := c.net.NewHost()
+	ep, err := c.net.Listen(host, 4321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastOpts()
+	opts.Resolver = StaticResolver{c.troupe.ID: c.troupe.Members}
+	client := NewRuntime(ep, opts)
+
+	for i := 0; i < 3; i++ {
+		if _, err := client.Call(context.Background(), c.troupe, 1, []byte("before"), CallOptions{}); err != nil {
+			t.Fatalf("call %d before crash: %v", i, err)
+		}
+	}
+
+	// Fail-stop the machine, then bring it back (§2.1.1); the process
+	// restarts from scratch: new Runtime, call state gone.
+	c.net.Crash(host)
+	if err := client.Close(); err != nil {
+		t.Fatalf("closing crashed client: %v", err)
+	}
+	c.net.Restart(host)
+
+	ep2, err := c.net.Listen(host, 4321)
+	if err != nil {
+		t.Fatalf("rebinding restarted client: %v", err)
+	}
+	client2 := NewRuntime(ep2, opts)
+	t.Cleanup(func() { client2.Close() })
+
+	deadline := time.Now().Add(2 * time.Second)
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		res, err := client2.Call(ctx, c.troupe, 1, []byte("after"), CallOptions{})
+		cancel()
+		if err != nil {
+			t.Fatalf("call %d after restart: %v (fresh call suppressed by predecessor's replay records?)", i, err)
+		}
+		if string(res) != "after" {
+			t.Fatalf("call %d after restart returned %q", i, res)
+		}
+	}
+	if got := c.totalExecs(); got != 6 {
+		t.Fatalf("executions = %d, want 6 (3 before + 3 after)", got)
+	}
+}
+
+// slowModule sleeps before answering.
+type slowModule struct{ d time.Duration }
+
+func (m *slowModule) Dispatch(call *ServerCall, proc uint16, args []byte) ([]byte, error) {
+	time.Sleep(m.d)
+	return []byte("done"), nil
+}
+
+// TestDefaultCallTimeout: a zero CallOptions.Timeout now falls back to
+// the runtime's DefaultCallTimeout instead of meaning "unbounded";
+// NoTimeout restores the unbounded behaviour.
+func TestDefaultCallTimeout(t *testing.T) {
+	c := newCluster(t, 32, 1, ExportOptions{})
+
+	opts := fastOpts()
+	opts.Resolver = StaticResolver{c.troupe.ID: c.troupe.Members}
+	opts.DefaultCallTimeout = 100 * time.Millisecond
+	client := newRuntime(t, c.net, opts)
+
+	slow := Troupe{ID: 0x2222}
+	srv := newRuntime(t, c.net, opts)
+	addr := srv.Export(&slowModule{d: 400 * time.Millisecond}, ExportOptions{})
+	srv.SetTroupeID(addr.Module, slow.ID)
+	slow.Members = []ModuleAddr{addr}
+
+	// Zero timeout: bounded by the default.
+	start := time.Now()
+	_, err := client.Call(context.Background(), slow, 1, nil, CallOptions{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("zero-timeout call: err = %v, want deadline exceeded", err)
+	}
+	if el := time.Since(start); el > 300*time.Millisecond {
+		t.Fatalf("default timeout fired after %v, want ~100ms", el)
+	}
+
+	// NoTimeout: unbounded, survives past the default.
+	res, err := client.Call(context.Background(), slow, 1, nil, CallOptions{Timeout: NoTimeout})
+	if err != nil {
+		t.Fatalf("NoTimeout call: %v", err)
+	}
+	if string(res) != "done" {
+		t.Fatalf("NoTimeout call returned %q", res)
+	}
+}

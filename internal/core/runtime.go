@@ -79,6 +79,13 @@ type Options struct {
 	// return message is kept for late client troupe members (§4.3.4).
 	// Zero means 60 seconds.
 	CallRetention time.Duration
+	// DefaultCallTimeout bounds calls whose CallOptions.Timeout is
+	// zero, instead of letting them run unbounded and rely solely on
+	// crash detection (§4.2.3) for termination. Zero means 60
+	// seconds; NoTimeout restores the historical unbounded default.
+	// Individual calls override it with CallOptions.Timeout, and opt
+	// out with CallOptions.Timeout = NoTimeout.
+	DefaultCallTimeout time.Duration
 	// Multicast enables the multicast implementation of one-to-many
 	// calls (§4.3.3) when the transport supports it: one send
 	// operation reaches the whole server troupe, m+n messages instead
@@ -92,6 +99,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CallRetention == 0 {
 		o.CallRetention = 60 * time.Second
+	}
+	if o.DefaultCallTimeout == 0 {
+		o.DefaultCallTimeout = 60 * time.Second
 	}
 	return o
 }
@@ -143,6 +153,8 @@ func NewRuntime(ep transport.Endpoint, opts Options) *Runtime {
 		calls:     make(map[string]*serverCall),
 		done:      make(chan struct{}),
 	}
+	rt.nextThread = (threadSeq.Add(1) * 0x9E3779B1) ^
+		(uint32(ep.Addr().Port) * 0x85EBCA6B) ^ threadSalt
 	rt.ctx, rt.cancel = context.WithCancel(context.Background())
 	rt.bg.Add(2)
 	go rt.recvLoop()
@@ -213,13 +225,27 @@ func (rt *Runtime) TroupeIDOf(module uint16) TroupeID {
 	return rt.troupeIDs[module]
 }
 
+// threadSeq and threadSalt scramble each Runtime's thread ID base.
+// Thread IDs must be unique per (machine, base process) — §3.4.1 —
+// including across process incarnations: a restarted process that
+// reused a predecessor's thread IDs and call paths would have its
+// fresh calls answered from the servers' buffered return messages
+// (the CallRetention window of §4.3.4) instead of executed.
+var (
+	threadSeq  atomic.Uint32
+	threadSalt = uint32(time.Now().UnixNano())
+)
+
 // NewThread creates a fresh distributed thread rooted at this process
 // (§3.4.1: the base process ID plus machine ID form the thread ID).
+// The base process ID is drawn from a per-incarnation scrambled
+// range, so threads of a restarted process never collide with its
+// predecessor's.
 func (rt *Runtime) NewThread() *thread.Context {
 	n := atomic.AddUint32(&rt.nextThread, 1)
 	id := thread.ID{
 		Host: rt.conn.Addr().Host,
-		Proc: uint32(rt.conn.Addr().Port)<<16 | (n & 0xffff),
+		Proc: n,
 	}
 	return thread.NewRoot(id)
 }

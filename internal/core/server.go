@@ -27,9 +27,17 @@ type serverCall struct {
 	args       [][]byte
 	expected   int // number of client troupe members; 0 until resolved
 	started    bool
+	startedCh  chan struct{} // closed when started flips true
 	finished   bool
 	finishedAt time.Time
 	result     []byte // encoded returnHeader, buffered for late callers
+}
+
+// markStartedLocked flips started and releases the availability
+// timeout's timer. Caller holds sc.mu.
+func (sc *serverCall) markStartedLocked() {
+	sc.started = true
+	close(sc.startedCh)
 }
 
 // handleCall processes one incoming call message: the entry point of
@@ -69,10 +77,11 @@ func (rt *Runtime) handleCall(msg pairedmsg.Message) {
 	sc, ok := rt.calls[key]
 	if !ok {
 		sc = &serverCall{
-			hdr:      hdr,
-			tid:      tid,
-			exp:      exp,
-			callNums: make(map[transport.Addr]uint32),
+			hdr:       hdr,
+			tid:       tid,
+			exp:       exp,
+			callNums:  make(map[transport.Addr]uint32),
+			startedCh: make(chan struct{}),
 		}
 		rt.calls[key] = sc
 	}
@@ -150,6 +159,10 @@ func (rt *Runtime) armTimeout(sc *serverCall) {
 	defer t.Stop()
 	select {
 	case <-rt.done:
+	case <-sc.startedCh:
+		// The call started before the availability timeout expired;
+		// stop the timer now rather than letting a long campaign
+		// accumulate one live timer per completed call.
 	case <-t.C:
 		sc.mu.Lock()
 		floor := 1
@@ -162,7 +175,7 @@ func (rt *Runtime) armTimeout(sc *serverCall) {
 		}
 		force := !sc.started && len(sc.callers) >= floor
 		if force {
-			sc.started = true
+			sc.markStartedLocked()
 		}
 		sc.mu.Unlock()
 		if force {
@@ -194,7 +207,7 @@ func (rt *Runtime) maybeStart(sc *serverCall) {
 	}
 	start := !sc.started && len(sc.callers) >= need
 	if start {
-		sc.started = true
+		sc.markStartedLocked()
 	}
 	sc.mu.Unlock()
 	if start {

@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"circus/internal/transport"
@@ -49,11 +50,31 @@ const (
 // defaults suitable for tests and the simulated network.
 type Options struct {
 	// RetransmitInterval is the pause between retransmission passes
-	// for an unacknowledged message.
+	// for an unacknowledged message. In adaptive mode it is only the
+	// initial estimate used before any round trip has been measured.
 	RetransmitInterval time.Duration
 	// MaxRetries bounds retransmission passes with no progress before
-	// the peer is declared crashed (§4.2.3).
+	// the peer is declared crashed (§4.2.3). In adaptive mode the
+	// crash bound is MaxRetryTime instead, so that backoff does not
+	// delay crash detection.
 	MaxRetries int
+	// Adaptive replaces the fixed retransmission interval with a
+	// per-peer RTT estimate (the smoothed mean plus four times the
+	// mean deviation, sampled only from exchanges that were never
+	// retransmitted) and exponential backoff between passes, the
+	// other side of the tradeoff §4.2.4 discusses: fewer duplicate
+	// segments on slow or congested links, faster recovery on fast
+	// ones. The fixed mode remains for the vaxsim ablations.
+	Adaptive bool
+	// MinRTO and MaxRTO clamp the adaptive retransmission interval.
+	// Zero means 2ms and 25x RetransmitInterval respectively.
+	MinRTO time.Duration
+	MaxRTO time.Duration
+	// MaxRetryTime bounds, in adaptive mode, how long retransmission
+	// proceeds with no progress before the peer is declared crashed.
+	// Zero means MaxRetries x RetransmitInterval — the same crash
+	// detection budget as fixed mode.
+	MaxRetryTime time.Duration
 	// ProbeInterval is the pause between crash-detection probes while
 	// awaiting a return message (§4.2.3).
 	ProbeInterval time.Duration
@@ -66,6 +87,16 @@ type Options struct {
 	// retained to suppress replay of delayed duplicate segments
 	// (§4.2.4).
 	CompletedTTL time.Duration
+	// CallBase, when nonzero, sets the starting call number for fresh
+	// peers (and the multicast counter). Zero derives a base from the
+	// process-wide connection creation order and a per-launch salt, so
+	// that a restarted process (whose call numbers would otherwise
+	// reset to 1) does not reuse numbers its predecessor completed
+	// within CompletedTTL — reused numbers would be suppressed as
+	// duplicate replays. Call numbers are content the seeded
+	// simulation's fault injection never inspects, so campaign
+	// reproducibility is unaffected.
+	CallBase uint32
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +114,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CompletedTTL == 0 {
 		o.CompletedTTL = 30 * time.Second
+	}
+	if o.MinRTO == 0 {
+		o.MinRTO = 2 * time.Millisecond
+	}
+	if o.MaxRTO == 0 {
+		o.MaxRTO = 25 * o.RetransmitInterval
+	}
+	if o.MaxRetryTime == 0 {
+		o.MaxRetryTime = time.Duration(o.MaxRetries) * o.RetransmitInterval
 	}
 	return o
 }
@@ -128,7 +168,39 @@ type outTransfer struct {
 	nextSend time.Time
 	done     chan struct{}
 	err      error
+
+	// Adaptive-mode state (§4.2.4 tradeoff).
+	firstSent time.Time     // when the initial transmission left
+	deadline  time.Time     // no-progress crash deadline
+	rto       time.Duration // current backoff interval
+	retx      bool          // retransmitted at least once (Karn's rule)
 }
+
+// rttEstimator keeps the per-peer smoothed round-trip time and mean
+// deviation (Jacobson/Karels), from which the retransmission timeout
+// is derived as srtt + 4*rttvar.
+type rttEstimator struct {
+	srtt   time.Duration
+	rttvar time.Duration
+	valid  bool
+}
+
+func (e *rttEstimator) sample(rtt time.Duration) {
+	if !e.valid {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+		e.valid = true
+		return
+	}
+	delta := rtt - e.srtt
+	if delta < 0 {
+		delta = -delta
+	}
+	e.rttvar = (3*e.rttvar + delta) / 4
+	e.srtt = (7*e.srtt + rtt) / 8
+}
+
+func (e *rttEstimator) rto() time.Duration { return e.srtt + 4*e.rttvar }
 
 type inTransfer struct {
 	total     int
@@ -148,6 +220,34 @@ type Watch struct {
 	nextProbe time.Time
 	down      chan struct{}
 	stopped   bool
+}
+
+// rtoForLocked returns the retransmission interval for a fresh
+// transfer to peer. Caller holds c.mu.
+func (c *Conn) rtoForLocked(peer transport.Addr) time.Duration {
+	if !c.opts.Adaptive {
+		return c.opts.RetransmitInterval
+	}
+	if e, ok := c.rtt[peer]; ok && e.valid {
+		rto := e.rto()
+		if rto < c.opts.MinRTO {
+			rto = c.opts.MinRTO
+		}
+		if rto > c.opts.MaxRTO {
+			rto = c.opts.MaxRTO
+		}
+		return rto
+	}
+	return c.opts.RetransmitInterval
+}
+
+// initTransferLocked stamps the adaptive-mode schedule onto a transfer
+// about to make its initial transmission. Caller holds c.mu.
+func (c *Conn) initTransferLocked(t *outTransfer, peer transport.Addr, now time.Time) {
+	t.firstSent = now
+	t.deadline = now.Add(c.opts.MaxRetryTime)
+	t.rto = c.rtoForLocked(peer)
+	t.nextSend = now.Add(t.rto)
 }
 
 // Down returns a channel closed when the peer is presumed crashed.
@@ -178,6 +278,8 @@ type Conn struct {
 	watches   map[key]*Watch
 	nextCall  map[transport.Addr]uint32
 	nextMulti uint32
+	callBase  uint32
+	rtt       map[transport.Addr]*rttEstimator
 	stats     Stats
 	closed    bool
 
@@ -186,9 +288,24 @@ type Conn struct {
 	wg       sync.WaitGroup
 }
 
+// connSeq and connSalt seed the default call number base so
+// successive incarnations on one address cannot collide (see
+// Options.CallBase) — the salt covers restarts of the whole OS
+// process, the sequence covers restarts within it.
+var (
+	connSeq  atomic.Uint32
+	connSalt = uint32(time.Now().UnixNano())
+)
+
 // New starts the protocol over ep. The caller must eventually Close
 // the Conn, which also closes ep.
 func New(ep transport.Endpoint, opts Options) *Conn {
+	base := opts.CallBase
+	if base == 0 {
+		// Scatter successive incarnations across the 30-bit unicast
+		// call number space (the top bit marks multicast numbers).
+		base = ((connSeq.Add(1) * 0x9E3779B1) ^ connSalt) & 0x3FFF_FFFF
+	}
 	c := &Conn{
 		ep:       ep,
 		opts:     opts.withDefaults(),
@@ -196,6 +313,8 @@ func New(ep transport.Endpoint, opts Options) *Conn {
 		in:       make(map[key]*inTransfer),
 		watches:  make(map[key]*Watch),
 		nextCall: make(map[transport.Addr]uint32),
+		callBase: base,
+		rtt:      make(map[transport.Addr]*rttEstimator),
 		incoming: make(chan Message, 256),
 		stop:     make(chan struct{}),
 	}
@@ -225,6 +344,9 @@ func (c *Conn) Stats() Stats {
 func (c *Conn) NextCallNum(peer transport.Addr) uint32 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, ok := c.nextCall[peer]; !ok {
+		c.nextCall[peer] = c.callBase
+	}
 	c.nextCall[peer]++
 	return c.nextCall[peer]
 }
@@ -296,8 +418,11 @@ type Transfer interface {
 func (c *Conn) NextMulticastCallNum() uint32 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.nextMulti == 0 {
+		c.nextMulti = c.callBase
+	}
 	c.nextMulti++
-	return 0x8000_0000 | c.nextMulti
+	return 0x8000_0000 | (c.nextMulti & 0x7FFF_FFFF)
 }
 
 // StartSendMulticast begins one reliable transfer to every member of
@@ -334,11 +459,11 @@ func (c *Conn) StartSendMulticast(group []transport.Addr, typ MsgType, callNum u
 			return nil, errors.New("pairedmsg: duplicate call number in flight")
 		}
 		t := &outTransfer{
-			k:        k,
-			segs:     segs,
-			done:     make(chan struct{}),
-			nextSend: time.Now().Add(c.opts.RetransmitInterval),
+			k:    k,
+			segs: segs,
+			done: make(chan struct{}),
 		}
+		c.initTransferLocked(t, to, time.Now())
 		c.out[k] = t
 		raw[i] = t
 	}
@@ -379,7 +504,7 @@ func (c *Conn) StartSend(to transport.Addr, typ MsgType, callNum uint32, msg []b
 		return nil, errors.New("pairedmsg: duplicate call number in flight")
 	}
 	c.out[k] = t
-	t.nextSend = time.Now().Add(c.opts.RetransmitInterval)
+	c.initTransferLocked(t, to, time.Now())
 	c.stats.SegmentsSent += int64(len(segs))
 	c.mu.Unlock()
 
@@ -451,6 +576,7 @@ func (c *Conn) handleAck(from transport.Addr, h segHeader) {
 	if int(h.segNum) > t.acked {
 		t.acked = int(h.segNum)
 		t.attempts = 0 // progress resets the crash countdown
+		t.deadline = time.Now().Add(c.opts.MaxRetryTime)
 	}
 	if t.acked >= len(t.segs) {
 		c.completeOutLocked(t, nil)
@@ -591,6 +717,16 @@ func (c *Conn) completeOutLocked(t *outTransfer, err error) {
 		return
 	}
 	delete(c.out, t.k)
+	if err == nil && c.opts.Adaptive && !t.retx && !t.firstSent.IsZero() {
+		// Karn's rule: only exchanges that were never retransmitted
+		// yield an unambiguous round-trip sample.
+		e, ok := c.rtt[t.k.peer]
+		if !ok {
+			e = &rttEstimator{}
+			c.rtt[t.k.peer] = e
+		}
+		e.sample(time.Since(t.firstSent))
+	}
 	t.err = err
 	close(t.done)
 }
@@ -635,11 +771,26 @@ func (c *Conn) timerPass(now time.Time) {
 			continue
 		}
 		t.attempts++
-		if t.attempts > c.opts.MaxRetries {
-			c.completeOutLocked(t, ErrPeerDown)
-			continue
+		if c.opts.Adaptive {
+			// Crash declaration is bounded by wall time, not pass
+			// count, so exponential backoff cannot delay detection.
+			if now.After(t.deadline) {
+				c.completeOutLocked(t, ErrPeerDown)
+				continue
+			}
+			t.retx = true
+			t.rto *= 2
+			if t.rto > c.opts.MaxRTO {
+				t.rto = c.opts.MaxRTO
+			}
+			t.nextSend = now.Add(t.rto)
+		} else {
+			if t.attempts > c.opts.MaxRetries {
+				c.completeOutLocked(t, ErrPeerDown)
+				continue
+			}
+			t.nextSend = now.Add(c.opts.RetransmitInterval)
 		}
-		t.nextSend = now.Add(c.opts.RetransmitInterval)
 		// Retransmit the first unacknowledged segment with please-ack
 		// set (§4.2.2), or all of them under RetransmitAll (§4.2.4).
 		last := t.acked + 1

@@ -275,9 +275,122 @@ func TestNextCallNumMonotonicPerPeer(t *testing.T) {
 	if y != x+1 {
 		t.Fatalf("call numbers not sequential: %d then %d", x, y)
 	}
+	// A fresh peer restarts the sequence from the connection's base —
+	// randomized per incarnation so a restarted process cannot collide
+	// with its predecessor's completed-exchange records.
 	other := transport.Addr{Host: 99, Port: 1}
-	if z := p.a.NextCallNum(other); z != 1 {
-		t.Fatalf("per-peer numbering broken: got %d for fresh peer", z)
+	z1 := p.a.NextCallNum(other)
+	z2 := p.a.NextCallNum(other)
+	if z2 != z1+1 {
+		t.Fatalf("per-peer numbering broken: %d then %d for fresh peer", z1, z2)
+	}
+	if z1 == y+1 {
+		t.Fatalf("fresh peer continued another peer's sequence at %d", z1)
+	}
+}
+
+// TestRestartedConnAvoidsPredecessorCallNums: a new Conn on the same
+// address (a restarted process, call state gone) must pick call
+// numbers that do not land in the range its predecessor completed, or
+// its fresh calls would be suppressed as duplicate replays for
+// CompletedTTL (§4.2.4).
+func TestRestartedConnAvoidsPredecessorCallNums(t *testing.T) {
+	n := netsim.New(77)
+	epA, err := n.Listen(n.NewHost(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := n.Listen(n.NewHost(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := New(epA, fastOpts()), New(epB, fastOpts())
+	t.Cleanup(func() { b.Close() })
+
+	// Server echoes every call.
+	go func() {
+		for m := range b.Incoming() {
+			if m.Type == Call {
+				b.StartSend(m.From, Return, m.CallNum, m.Data)
+			}
+		}
+	}()
+
+	first := a.NextCallNum(b.Addr())
+	if err := a.Send(context.Background(), b.Addr(), Call, first, []byte("one")); err != nil {
+		t.Fatalf("first incarnation send: %v", err)
+	}
+	if _, ok := recvMsg(t, a, time.Second); !ok {
+		t.Fatal("first incarnation got no return")
+	}
+	a.Close()
+
+	// Restart: same address, fresh protocol state.
+	epA2, err := n.Listen(epA.Addr().Host, epA.Addr().Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := New(epA2, fastOpts())
+	t.Cleanup(func() { a2.Close() })
+	cn := a2.NextCallNum(b.Addr())
+	if cn == first {
+		t.Fatalf("restarted conn reused completed call number %d", cn)
+	}
+	if err := a2.Send(context.Background(), b.Addr(), Call, cn, []byte("two")); err != nil {
+		t.Fatalf("restarted incarnation send: %v", err)
+	}
+	m, ok := recvMsg(t, a2, time.Second)
+	if !ok {
+		t.Fatal("restarted incarnation got no return: fresh call suppressed as replay")
+	}
+	if string(m.Data) != "two" {
+		t.Fatalf("restarted incarnation got %q", m.Data)
+	}
+}
+
+// TestAdaptiveRetransmitBackoff: in adaptive mode, retransmission
+// passes to an unresponsive peer back off exponentially, so far fewer
+// duplicate segments are sent than fixed mode's budget, while crash
+// detection still fires within the MaxRetryTime budget.
+func TestAdaptiveRetransmitBackoff(t *testing.T) {
+	opts := fastOpts()
+	opts.Adaptive = true
+	p := newPair(t, 13, netsim.LinkConfig{}, opts)
+
+	// Warm the estimator with one clean round trip.
+	go func() {
+		for m := range p.b.Incoming() {
+			if m.Type == Call {
+				p.b.StartSend(m.From, Return, m.CallNum, m.Data)
+			}
+		}
+	}()
+	cn := p.a.NextCallNum(p.b.Addr())
+	if err := p.a.Send(context.Background(), p.b.Addr(), Call, cn, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	recvMsg(t, p.a, time.Second)
+
+	// Now crash the peer's host and time the failure of the next send.
+	p.net.Crash(p.b.Addr().Host)
+	start := time.Now()
+	cn = p.a.NextCallNum(p.b.Addr())
+	err := p.a.Send(context.Background(), p.b.Addr(), Call, cn, []byte("void"))
+	elapsed := time.Since(start)
+	if err != ErrPeerDown {
+		t.Fatalf("send to crashed peer: err = %v, want ErrPeerDown", err)
+	}
+	budget := time.Duration(opts.MaxRetries) * opts.RetransmitInterval
+	if elapsed > 4*budget {
+		t.Fatalf("crash detection took %v, over 4x the fixed-mode budget %v", elapsed, budget)
+	}
+	st := p.a.Stats()
+	if st.Retransmits == 0 {
+		t.Fatal("no retransmissions recorded")
+	}
+	if st.Retransmits >= int64(opts.MaxRetries) {
+		t.Fatalf("adaptive mode sent %d retransmits, want fewer than the fixed budget %d",
+			st.Retransmits, opts.MaxRetries)
 	}
 }
 

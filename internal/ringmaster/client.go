@@ -181,6 +181,23 @@ func (c *Client) Rebind(ctx context.Context, name string, stale core.Troupe) (co
 	return t, nil
 }
 
+// NewResilientCaller imports the troupe registered under name and
+// wraps it in a self-healing caller whose Rebind hook reports stale
+// bindings to this binding agent (§6.1) and installs the fresh
+// binding transparently.
+func (c *Client) NewResilientCaller(ctx context.Context, name string, opts core.ResilientOptions) (*core.ResilientCaller, error) {
+	t, err := c.LookupByName(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Rebind == nil {
+		opts.Rebind = func(ctx context.Context, stale core.Troupe) (core.Troupe, error) {
+			return c.Rebind(ctx, name, stale)
+		}
+	}
+	return core.NewResilientCaller(c.rt, t, opts), nil
+}
+
 // ListNames enumerates every registered troupe name.
 func (c *Client) ListNames(ctx context.Context) ([]string, error) {
 	res, err := c.call(ctx, ProcListNames, struct{}{})

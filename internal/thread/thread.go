@@ -62,6 +62,13 @@ func Child(id ID, path []uint32) *Context {
 // ID returns the thread ID.
 func (c *Context) ID() ID { return c.id }
 
+// Key renders the thread ID and call path prefix of the frame as an
+// opaque map key. Executions of the same replicated call at different
+// troupe members carry equal thread IDs and call paths (§4.3.2), so
+// their Keys are equal — which lets instrumented modules verify
+// exactly-once execution per replicated call.
+func (c *Context) Key() string { return PathKey(c.id, c.prefix) }
+
 // NextCallPath allocates the call path for the next call made from
 // this frame. Replicas in the same state calling in the same order get
 // the same paths.

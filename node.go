@@ -52,6 +52,14 @@ func WithTimers(retransmit, probe time.Duration) Option {
 	}
 }
 
+// WithAdaptiveRetransmit switches the paired message layer from the
+// fixed retransmission interval to per-peer RTT estimation with
+// exponential backoff between passes (§4.2.4); crash detection
+// latency is unchanged.
+func WithAdaptiveRetransmit() Option {
+	return func(c *nodeConfig) { c.msg.Adaptive = true }
+}
+
 // WithManyToOneWait overrides how long a server waits for the
 // remaining call messages of a replicated call after the first arrives
 // (§4.3.2).
@@ -76,6 +84,10 @@ func fastSimTimers() pairedmsg.Options {
 type Node struct {
 	rt     *core.Runtime
 	binder *ringmaster.Client
+
+	// suspicion is shared by every resilient stub of this node, so one
+	// stub's crash evidence spares the others a timeout.
+	suspicion *core.Suspicion
 
 	mu        sync.Mutex
 	exports   map[string]uint16 // name -> module number
@@ -123,7 +135,7 @@ func newNode(ep transport.Endpoint, msg pairedmsg.Options, opts ...Option) (*Nod
 		CallRetention:    cfg.retention,
 		Multicast:        cfg.multicast,
 	})
-	n := &Node{rt: rt, exports: make(map[string]uint16)}
+	n := &Node{rt: rt, suspicion: core.NewSuspicion(), exports: make(map[string]uint16)}
 	if len(cfg.binder) > 0 {
 		n.binder = ringmaster.NewClient(rt, Troupe{Members: cfg.binder})
 		rt.SetResolver(n.binder)
@@ -343,6 +355,50 @@ func (n *Node) Import(ctx context.Context, name string) (*Stub, error) {
 func (n *Node) StubFor(t Troupe) *Stub {
 	return &Stub{node: n, troupe: t}
 }
+
+// ImportResilient binds to the troupe registered under name and
+// returns a self-healing stub: calls through it retry member crashes
+// and transient partitions with exponential backoff, rebind on stale
+// bindings, and skip members recently presumed crashed instead of
+// timing out against them anew (suspicion is shared node-wide). See
+// ResilientOptions for retry safety: a retried call may re-execute
+// the procedure, so operations should be idempotent.
+func (n *Node) ImportResilient(ctx context.Context, name string, opts ResilientOptions) (*ResilientStub, error) {
+	if n.binder == nil {
+		return nil, errors.New("circus: ImportResilient requires a binder")
+	}
+	if opts.Suspicion == nil {
+		opts.Suspicion = n.suspicion
+	}
+	rc, err := n.binder.NewResilientCaller(ctx, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ResilientStub{rc: rc}, nil
+}
+
+// ResilientStub is a self-healing client-side handle on a troupe,
+// produced by ImportResilient.
+type ResilientStub struct {
+	rc *core.ResilientCaller
+}
+
+// Call performs a replicated procedure call, transparently riding out
+// member crashes, partitions, and binder-driven reconfigurations
+// within the retry budget.
+func (s *ResilientStub) Call(ctx context.Context, proc uint16, args []byte, opts ...CallOption) ([]byte, error) {
+	var co core.CallOptions
+	for _, o := range opts {
+		o(&co)
+	}
+	return s.rc.Call(ctx, proc, args, co)
+}
+
+// Troupe returns the stub's current binding.
+func (s *ResilientStub) Troupe() Troupe { return s.rc.Troupe() }
+
+// Stats reports the stub's recovery counters.
+func (s *ResilientStub) Stats() ResilientStats { return s.rc.Stats() }
 
 // GarbageCollect probes every registered troupe member and removes
 // those that do not answer (§6.1).
