@@ -45,6 +45,7 @@ import (
 	"circus/internal/collate"
 	"circus/internal/core"
 	"circus/internal/netsim"
+	"circus/internal/trace"
 	"circus/internal/transport"
 	"circus/internal/wire"
 )
@@ -91,7 +92,26 @@ type (
 	// Collator reduces the set of messages from a troupe to a single
 	// result (§4.3.6).
 	Collator = collate.Collator
+	// TraceEvent is one structured protocol event (see WithTrace).
+	TraceEvent = trace.Event
+	// TraceKind discriminates trace events.
+	TraceKind = trace.Kind
+	// TraceSink consumes trace events; implementations must not call
+	// back into the emitting node.
+	TraceSink = trace.Sink
+	// TraceRecorder is an in-memory sink with predicate waits, for
+	// tests and the chaos checker.
+	TraceRecorder = trace.Recorder
+	// Metrics aggregates per-kind, per-peer, and per-troupe counters
+	// plus a call-latency histogram (see WithMetrics).
+	Metrics = trace.Metrics
+	// MetricsSnapshot is a point-in-time copy of a node's metrics.
+	MetricsSnapshot = trace.Snapshot
 )
+
+// NewTraceRecorder returns an empty in-memory trace recorder, to be
+// attached with WithTrace.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
 
 // Re-exported errors.
 var (

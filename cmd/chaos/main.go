@@ -8,14 +8,17 @@
 //
 //	go run ./cmd/chaos -seeds 20
 //	go run ./cmd/chaos -seed 7 -servers 5 -clients 4 -v
+//	go run ./cmd/chaos -seeds 5 -trace /tmp/traces   # seed<N>.jsonl per campaign
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"circus/internal/chaos"
+	"circus/internal/trace"
 )
 
 func main() {
@@ -24,10 +27,18 @@ func main() {
 		seed    = flag.Int64("seed", 0, "run a single campaign with this seed (overrides -seeds)")
 		servers = flag.Int("servers", 3, "KV troupe degree")
 		clients = flag.Int("clients", 3, "concurrent client processes")
-		ops     = flag.Int("ops", 20, "minimum put operations per client")
-		verbose = flag.Bool("v", false, "log schedule events and repair actions")
+		ops      = flag.Int("ops", 20, "minimum put operations per client")
+		verbose  = flag.Bool("v", false, "log schedule events and repair actions")
+		traceDir = flag.String("trace", "", "write per-seed JSONL traces (seed<N>.jsonl) into this directory")
 	)
 	flag.Parse()
+
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: creating trace dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	var list []int64
 	if *seed != 0 {
@@ -52,7 +63,22 @@ func main() {
 				fmt.Printf(format+"\n", args...)
 			}
 		}
+		var jsonl *trace.JSONL
+		if *traceDir != "" {
+			f, err := os.Create(filepath.Join(*traceDir, fmt.Sprintf("seed%d.jsonl", s)))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: creating trace file: %v\n", err)
+				os.Exit(1)
+			}
+			jsonl = trace.NewJSONL(f)
+			cfg.Trace = jsonl
+		}
 		res, err := chaos.Run(cfg)
+		if jsonl != nil {
+			if cerr := jsonl.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "seed %d: writing trace: %v\n", s, cerr)
+			}
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seed %d: campaign failed to run: %v\n", s, err)
 			os.Exit(1)

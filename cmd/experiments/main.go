@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"circus/internal/bench"
+	"circus/internal/trace"
 )
 
 type experiment struct {
@@ -28,7 +29,22 @@ func main() {
 	runID := flag.String("run", "", "run only the experiment with this ID")
 	seed := flag.Int64("seed", 1985, "random seed for Monte-Carlo experiments")
 	quick := flag.Bool("quick", false, "smaller iteration counts")
+	traceFile := flag.String("trace", "", "write a JSONL protocol trace of the native experiments to this file")
 	flag.Parse()
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatalf("creating trace file: %v", err)
+		}
+		jsonl := trace.NewJSONL(f)
+		defer func() {
+			if err := jsonl.Close(); err != nil {
+				log.Printf("writing trace: %v", err)
+			}
+		}()
+		bench.Trace = jsonl
+	}
 
 	trials := 200000
 	callIters, bcast := 200, 40

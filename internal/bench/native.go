@@ -13,8 +13,15 @@ import (
 	"circus/internal/netsim"
 	"circus/internal/pairedmsg"
 	"circus/internal/probmodel"
+	"circus/internal/trace"
 	"circus/internal/txn"
 )
+
+// Trace, when set before an experiment runs, receives the trace
+// events of every runtime the native benchmarks construct (the
+// cmd/experiments -trace flag points it at a JSONL exporter). It must
+// be set before goroutines start; nil keeps tracing disabled.
+var Trace trace.Sink
 
 // benchOpts are protocol timers for benchmarking on the simulated
 // network.
@@ -27,6 +34,7 @@ func benchOpts() core.Options {
 			ProbeMissLimit:     5,
 		},
 		ManyToOneTimeout: time.Second,
+		Trace:            Trace,
 	}
 }
 
@@ -381,6 +389,7 @@ func RetransmitAblation(seed int64, iters int) (string, error) {
 			opts := pairedmsg.Options{
 				RetransmitInterval: 15 * time.Millisecond,
 				MaxRetries:         200,
+				Trace:              Trace,
 			}
 			if mode == 1 {
 				opts.Strategy = pairedmsg.RetransmitAll

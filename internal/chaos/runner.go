@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"circus"
+	"circus/internal/trace"
+	"circus/internal/trace/check"
 )
 
 // Config parameterizes one campaign.
@@ -25,6 +27,10 @@ type Config struct {
 	Ops int
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
+	// Trace, when set, additionally receives every node's trace events
+	// (e.g. a JSONL exporter). The campaign always records events
+	// internally for the protocol conformance checker regardless.
+	Trace trace.Sink
 }
 
 func (c Config) withDefaults() Config {
@@ -86,8 +92,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 	sim.SetLink(baseline)
 
+	// Every node traces into the recorder so the protocol conformance
+	// checker can replay the whole campaign.
+	rec := trace.NewRecorder()
+	sink := trace.Multi(rec, cfg.Trace)
+
 	// The binding agent, on its own machine.
-	binderNode, err := sim.NewNode()
+	binderNode, err := sim.NewNode(circus.WithTrace(sink))
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +107,8 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	boot := binderNode.BinderAddrs()
-	nodeOpts := []circus.Option{circus.WithBinder(boot), circus.WithAdaptiveRetransmit()}
+	nodeOpts := []circus.Option{circus.WithBinder(boot),
+		circus.WithAdaptiveRetransmit(), circus.WithTrace(sink)}
 
 	// The KV troupe.
 	const name = "kv"
@@ -285,15 +297,21 @@ func Run(cfg Config) (*Result, error) {
 	res.Removed = repair.removed
 	res.Rejoined = repair.rejoined
 
-	// Invariants.
-	res.Violations = check(kvs, acked)
+	// Invariants: application-level first, then the recorded trace is
+	// replayed through the protocol conformance checker.
+	res.Violations = appCheck(kvs, acked)
+	conf := check.Check(rec.Events(), check.Config{
+		Adaptive: true,
+		MinRTO:   2 * time.Millisecond,
+	})
+	res.Violations = append(res.Violations, check.Strings(conf)...)
 	return res, nil
 }
 
-// check verifies the post-quiescence invariants: per-member
+// appCheck verifies the post-quiescence invariants: per-member
 // exactly-once execution and write consistency, cross-member state
 // convergence, and no acknowledged update lost.
-func check(kvs []*KV, acked map[string]string) []string {
+func appCheck(kvs []*KV, acked map[string]string) []string {
 	var v []string
 	for i, kv := range kvs {
 		for _, s := range kv.Violations() {

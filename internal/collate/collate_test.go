@@ -315,6 +315,141 @@ func TestQuickMedianBounded(t *testing.T) {
 	}
 }
 
+// TestCollatorEdgeCases tabulates the awkward corners of each
+// collator: exact ties under majority voting, quorums that fall one
+// vote short, stragglers arriving after a decision, and custom
+// collating functions that themselves fail.
+func TestCollatorEdgeCases(t *testing.T) {
+	item := func(m int, s string) Item { return Item{Member: m, Data: []byte(s)} }
+	fail := func(m int) Item { return Item{Member: m, Err: errDown} }
+
+	tests := []struct {
+		name    string
+		mk      func() Collator
+		items   []Item
+		want    string
+		wantErr error
+	}{
+		{
+			name:    "majority 2-2 tie is no majority",
+			mk:      func() Collator { return Majority(4) },
+			items:   []Item{item(0, "a"), item(1, "b"), item(2, "a"), item(3, "b")},
+			wantErr: ErrNoMajority,
+		},
+		{
+			name:    "majority three-way tie is no majority",
+			mk:      func() Collator { return Majority(3) },
+			items:   []Item{item(0, "a"), item(1, "b"), item(2, "c")},
+			wantErr: ErrNoMajority,
+		},
+		{
+			name: "majority tie broken by surviving member",
+			mk:   func() Collator { return Majority(5) },
+			// 2-2 among the first four; the fifth member settles it.
+			items: []Item{item(0, "a"), item(1, "b"), item(2, "a"), item(3, "b"), item(4, "a")},
+			want:  "a",
+		},
+		{
+			name:    "majority all but one crashed",
+			mk:      func() Collator { return Majority(3) },
+			items:   []Item{fail(0), item(1, "x"), fail(2)},
+			wantErr: ErrNoMajority,
+		},
+		{
+			name:    "quorum one vote below threshold",
+			mk:      func() Collator { return Quorum(5, 3) },
+			items:   []Item{item(0, "v"), item(1, "v"), item(2, "w"), fail(3), fail(4)},
+			wantErr: ErrNoQuorum,
+		},
+		{
+			name:  "quorum met exactly at threshold",
+			mk:    func() Collator { return Quorum(5, 3) },
+			items: []Item{item(0, "v"), item(1, "w"), item(2, "v"), item(3, "v")},
+			want:  "v",
+		},
+		{
+			name:  "quorum k=1 degenerates to first-come",
+			mk:    func() Collator { return Quorum(3, 1) },
+			items: []Item{fail(0), item(1, "late"), item(2, "later")},
+			want:  "late",
+		},
+		{
+			name: "first-come ignores straggler after decision",
+			mk:   func() Collator { return FirstCome(3) },
+			// feed stops at the first Add returning true, as Run does;
+			// the straggler below must not change the result.
+			items: []Item{item(0, "fast"), item(1, "slow"), item(2, "slower")},
+			want:  "fast",
+		},
+		{
+			name:  "first-come failure then success",
+			mk:    func() Collator { return FirstCome(3) },
+			items: []Item{fail(0), item(1, "ok"), item(2, "no")},
+			want:  "ok",
+		},
+		{
+			name: "custom collator returning error",
+			mk: func() Collator {
+				return New(2, func(items []Item) ([]byte, error) {
+					return nil, errors.New("collating function failed")
+				})
+			},
+			items:   []Item{item(0, "x"), item(1, "y")},
+			wantErr: nil, // checked by message below
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := feed(tt.mk(), tt.items...)
+			if tt.name == "custom collator returning error" {
+				if err == nil || err.Error() != "collating function failed" {
+					t.Fatalf("err = %v, want the collating function's own error", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tt.wantErr)
+			}
+			if tt.wantErr == nil && string(got) != tt.want {
+				t.Fatalf("result = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestFirstComeStragglerAfterDecision feeds a straggler into a
+// collator that has already decided — the generator pattern of §7.4
+// keeps draining member replies after computation proceeds — and
+// verifies the decision stands.
+func TestFirstComeStragglerAfterDecision(t *testing.T) {
+	c := FirstCome(3)
+	if !c.Add(Item{Member: 0, Data: []byte("winner")}) {
+		t.Fatal("first-come did not decide on the first arrival")
+	}
+	// Stragglers after the decision.
+	c.Add(Item{Member: 1, Data: []byte("loser")})
+	c.Add(Item{Member: 2, Err: errDown})
+	got, err := c.Result()
+	if err != nil || string(got) != "winner" {
+		t.Fatalf("Result = %q, %v; want \"winner\", nil", got, err)
+	}
+}
+
+// TestMajorityStragglerAfterDecision: a late divergent reply must not
+// overturn a majority already reached.
+func TestMajorityStragglerAfterDecision(t *testing.T) {
+	c := Majority(3)
+	c.Add(Item{Member: 0, Data: []byte("v")})
+	if !c.Add(Item{Member: 1, Data: []byte("v")}) {
+		t.Fatal("majority of 3 did not decide at 2 identical replies")
+	}
+	c.Add(Item{Member: 2, Data: []byte("w")})
+	got, err := c.Result()
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Result = %q, %v; want \"v\", nil", got, err)
+	}
+}
+
 func ExampleMajority() {
 	c := Majority(3)
 	c.Add(Item{Member: 0, Data: []byte("yes")})

@@ -9,6 +9,7 @@ import (
 	"circus/internal/collate"
 	"circus/internal/pairedmsg"
 	"circus/internal/thread"
+	"circus/internal/trace"
 	"circus/internal/transport"
 	"circus/internal/wire"
 )
@@ -72,6 +73,12 @@ func (rt *Runtime) CallEach(ctx context.Context, dest Troupe, proc uint16, args 
 		opts.clientTroupe = opts.AsTroupe
 	}
 	path := tc.NextCallPath()
+	if rt.tr.Enabled() {
+		rt.tr.Emit(trace.Event{Kind: trace.KindCallIssued,
+			Troupe: uint64(dest.ID), Proc: proc,
+			ThreadHost: tc.ID().Host, ThreadProc: tc.ID().Proc, Path: path,
+			N: len(dest.Members)})
+	}
 	timeout := opts.Timeout
 	if timeout == 0 {
 		timeout = rt.opts.DefaultCallTimeout
@@ -170,11 +177,29 @@ func (rt *Runtime) multicastEach(ctx context.Context, dest Troupe, tid thread.ID
 	return true
 }
 
+// traceReply records one member's contribution to a replicated call
+// as it is handed to the collator.
+func (rt *Runtime) traceReply(m ModuleAddr, it collate.Item) {
+	if !rt.tr.Enabled() {
+		return
+	}
+	e := trace.Event{Kind: trace.KindMemberReply,
+		Peer: m.Addr, Module: m.Module, Member: it.Member}
+	if it.Err != nil {
+		e.Err = it.Err.Error()
+	}
+	rt.tr.Emit(e)
+}
+
 // awaitReply waits for one member's return message after its call
 // transfer is in flight.
 func (rt *Runtime) awaitReply(ctx context.Context, idx int, m ModuleAddr, callNum uint32,
 	t pairedmsg.Transfer, ch chan returnHeader, items chan<- collate.Item) {
 
+	push := func(it collate.Item) {
+		rt.traceReply(m, it)
+		items <- it
+	}
 	unregister := func() {
 		rt.mu.Lock()
 		delete(rt.pending, retKey{peer: m.Addr, callNum: callNum})
@@ -185,21 +210,21 @@ func (rt *Runtime) awaitReply(ctx context.Context, idx int, m ModuleAddr, callNu
 	// arrive first — it implicitly acknowledges the call, §4.2.2).
 	select {
 	case ret := <-ch:
-		items <- decodeReturn(idx, m, ret)
+		push(decodeReturn(idx, m, ret))
 		return
 	case <-t.Done():
 		if err := t.Err(); err != nil {
 			unregister()
-			items <- collate.Item{Member: idx, Err: memberErr(err)}
+			push(collate.Item{Member: idx, Err: memberErr(err)})
 			return
 		}
 	case <-ctx.Done():
 		unregister()
-		items <- collate.Item{Member: idx, Err: ctx.Err()}
+		push(collate.Item{Member: idx, Err: ctx.Err()})
 		return
 	case <-rt.done:
 		unregister()
-		items <- collate.Item{Member: idx, Err: ErrClosed}
+		push(collate.Item{Member: idx, Err: ErrClosed})
 		return
 	}
 
@@ -208,16 +233,16 @@ func (rt *Runtime) awaitReply(ctx context.Context, idx int, m ModuleAddr, callNu
 	defer w.Stop()
 	select {
 	case ret := <-ch:
-		items <- decodeReturn(idx, m, ret)
+		push(decodeReturn(idx, m, ret))
 	case <-w.Down():
 		unregister()
-		items <- collate.Item{Member: idx, Err: ErrMemberDown}
+		push(collate.Item{Member: idx, Err: ErrMemberDown})
 	case <-ctx.Done():
 		unregister()
-		items <- collate.Item{Member: idx, Err: ctx.Err()}
+		push(collate.Item{Member: idx, Err: ctx.Err()})
 	case <-rt.done:
 		unregister()
-		items <- collate.Item{Member: idx, Err: ErrClosed}
+		push(collate.Item{Member: idx, Err: ErrClosed})
 	}
 }
 
@@ -236,6 +261,7 @@ func (rt *Runtime) Call(ctx context.Context, dest Troupe, proc uint16, args []by
 		mk = collate.Unanimous
 	}
 	c := mk(n)
+	started := time.Now()
 	items := rt.CallEach(ctx, dest, proc, args, opts)
 
 	var got []collate.Item
@@ -250,13 +276,22 @@ func (rt *Runtime) Call(ctx context.Context, dest Troupe, proc uint16, args []by
 		}
 	}
 	res, err := c.Result()
-	if err == nil {
-		return res, nil
+	if err != nil && errors.Is(err, collate.ErrAllFailed) {
+		err = summarizeFailure(got)
 	}
-	if errors.Is(err, collate.ErrAllFailed) {
-		return nil, summarizeFailure(got)
+	if rt.tr.Enabled() {
+		e := trace.Event{Kind: trace.KindCollateDone,
+			Troupe: uint64(dest.ID), Proc: proc,
+			N: len(got), Dur: time.Since(started)}
+		if err != nil {
+			e.Err = err.Error()
+		}
+		rt.tr.Emit(e)
 	}
-	return nil, err
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // summarizeFailure turns a set of all-failed items into the most
@@ -322,12 +357,16 @@ func (rt *Runtime) callMember(ctx context.Context, idx int, m ModuleAddr, destID
 		return
 	}
 
+	push := func(it collate.Item) {
+		rt.traceReply(m, it)
+		items <- it
+	}
 	callNum := rt.conn.NextCallNum(m.Addr)
 	ch := make(chan returnHeader, 1)
 	rt.mu.Lock()
 	if rt.closed {
 		rt.mu.Unlock()
-		items <- collate.Item{Member: idx, Err: ErrClosed}
+		push(collate.Item{Member: idx, Err: ErrClosed})
 		return
 	}
 	rt.pending[retKey{peer: m.Addr, callNum: callNum}] = ch
@@ -341,7 +380,7 @@ func (rt *Runtime) callMember(ctx context.Context, idx int, m ModuleAddr, destID
 
 	if err := rt.conn.Send(ctx, m.Addr, pairedmsg.Call, callNum, data); err != nil {
 		unregister()
-		items <- collate.Item{Member: idx, Err: memberErr(err)}
+		push(collate.Item{Member: idx, Err: memberErr(err)})
 		return
 	}
 
@@ -352,16 +391,16 @@ func (rt *Runtime) callMember(ctx context.Context, idx int, m ModuleAddr, destID
 
 	select {
 	case ret := <-ch:
-		items <- decodeReturn(idx, m, ret)
+		push(decodeReturn(idx, m, ret))
 	case <-w.Down():
 		unregister()
-		items <- collate.Item{Member: idx, Err: ErrMemberDown}
+		push(collate.Item{Member: idx, Err: ErrMemberDown})
 	case <-ctx.Done():
 		unregister()
-		items <- collate.Item{Member: idx, Err: ctx.Err()}
+		push(collate.Item{Member: idx, Err: ctx.Err()})
 	case <-rt.done:
 		unregister()
-		items <- collate.Item{Member: idx, Err: ErrClosed}
+		push(collate.Item{Member: idx, Err: ErrClosed})
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"circus/internal/netsim"
 	"circus/internal/pairedmsg"
 	"circus/internal/thread"
+	"circus/internal/trace"
 	"circus/internal/wire"
 )
 
@@ -76,11 +77,22 @@ func newRuntime(t *testing.T, n *netsim.Network, opts Options) *Runtime {
 // client, with troupe IDs assigned and a static resolver everywhere.
 func newCluster(t *testing.T, seed int64, n int, exportOpts ExportOptions) *cluster {
 	t.Helper()
+	c, _ := newClusterTraced(t, seed, n, exportOpts)
+	return c
+}
+
+// newClusterTraced is newCluster with a shared in-memory trace
+// recorder attached to every runtime, so tests can wait for specific
+// protocol events instead of polling or sleeping.
+func newClusterTraced(t *testing.T, seed int64, n int, exportOpts ExportOptions) (*cluster, *trace.Recorder) {
+	t.Helper()
+	rec := trace.NewRecorder()
 	c := &cluster{t: t, net: netsim.New(seed)}
 	c.troupe = Troupe{ID: 0x1111}
 	resolver := StaticResolver{}
 	opts := fastOpts()
 	opts.Resolver = resolver
+	opts.Trace = rec
 	for i := 0; i < n; i++ {
 		rt := newRuntime(t, c.net, opts)
 		mod := &echoModule{}
@@ -92,7 +104,7 @@ func newCluster(t *testing.T, seed int64, n int, exportOpts ExportOptions) *clus
 	}
 	resolver[c.troupe.ID] = c.troupe.Members
 	c.client = newRuntime(t, c.net, opts)
-	return c
+	return c, rec
 }
 
 func (c *cluster) totalExecs() int64 {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"circus/internal/collate"
+	"circus/internal/trace"
 )
 
 // This file implements the self-healing call layer: a bounded-retry
@@ -301,6 +302,10 @@ func (c *ResilientCaller) rebind(ctx context.Context) error {
 	}
 	c.SetTroupe(fresh)
 	c.rebinds.Add(1)
+	if c.rt.tr.Enabled() {
+		c.rt.tr.Emit(trace.Event{Kind: trace.KindRebind,
+			Troupe: uint64(fresh.ID), N: fresh.Degree()})
+	}
 	return nil
 }
 

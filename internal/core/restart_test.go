@@ -5,6 +5,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"circus/internal/trace"
 )
 
 // TestCrashRestartRoundTrip: a client machine crashes and restarts; the
@@ -14,7 +16,7 @@ import (
 // CompletedTTL replay-suppression window, so this fails if fresh call
 // numbers can collide with completed ones.
 func TestCrashRestartRoundTrip(t *testing.T) {
-	c := newCluster(t, 31, 1, ExportOptions{})
+	c, rec := newClusterTraced(t, 31, 1, ExportOptions{})
 
 	// A client on a dedicated host and fixed port, so the restarted
 	// process lands on the same address.
@@ -25,6 +27,7 @@ func TestCrashRestartRoundTrip(t *testing.T) {
 	}
 	opts := fastOpts()
 	opts.Resolver = StaticResolver{c.troupe.ID: c.troupe.Members}
+	opts.Trace = rec
 	client := NewRuntime(ep, opts)
 
 	for i := 0; i < 3; i++ {
@@ -59,6 +62,13 @@ func TestCrashRestartRoundTrip(t *testing.T) {
 		if string(res) != "after" {
 			t.Fatalf("call %d after restart returned %q", i, res)
 		}
+	}
+	// All six executions are visible in the trace before the counters
+	// are asserted: three before the crash, three after, and no
+	// seventh (a replay would emit an extra exec.start).
+	if _, ok := rec.WaitN(2*time.Second, 6, trace.ByKind(trace.KindCallStart)); !ok {
+		t.Fatalf("observed %d exec.start events in the trace, want 6",
+			rec.Count(trace.ByKind(trace.KindCallStart)))
 	}
 	if got := c.totalExecs(); got != 6 {
 		t.Fatalf("executions = %d, want 6 (3 before + 3 after)", got)

@@ -8,6 +8,7 @@ import (
 
 	"circus/internal/pairedmsg"
 	"circus/internal/thread"
+	"circus/internal/trace"
 	"circus/internal/transport"
 	"circus/internal/wire"
 )
@@ -91,6 +92,11 @@ type Options struct {
 	// operation reaches the whole server troupe, m+n messages instead
 	// of m·n.
 	Multicast bool
+	// Trace, when set, receives structured events from both the
+	// message layer and the call layer (call issued, member replies,
+	// collation, execution, duplicate suppression). It is installed
+	// into Message.Trace so one process's events share one identity.
+	Trace trace.Sink
 }
 
 func (o Options) withDefaults() Options {
@@ -113,6 +119,7 @@ func (o Options) withDefaults() Options {
 type Runtime struct {
 	conn *pairedmsg.Conn
 	opts Options
+	tr   *trace.Local // shared with conn; nil when tracing is disabled
 
 	mu        sync.Mutex
 	modules   map[uint16]*export
@@ -143,6 +150,9 @@ type retKey struct {
 
 // NewRuntime starts a runtime over ep.
 func NewRuntime(ep transport.Endpoint, opts Options) *Runtime {
+	if opts.Trace != nil && opts.Message.Trace == nil {
+		opts.Message.Trace = opts.Trace
+	}
 	rt := &Runtime{
 		conn:      pairedmsg.New(ep, opts.Message),
 		opts:      opts.withDefaults(),
@@ -153,6 +163,7 @@ func NewRuntime(ep transport.Endpoint, opts Options) *Runtime {
 		calls:     make(map[string]*serverCall),
 		done:      make(chan struct{}),
 	}
+	rt.tr = rt.conn.Tracer() // same node identity and incarnation
 	rt.nextThread = (threadSeq.Add(1) * 0x9E3779B1) ^
 		(uint32(ep.Addr().Port) * 0x85EBCA6B) ^ threadSalt
 	rt.ctx, rt.cancel = context.WithCancel(context.Background())
@@ -270,6 +281,12 @@ func (rt *Runtime) Close() error {
 // MessageStats exposes the paired message counters for the benchmark
 // harness.
 func (rt *Runtime) MessageStats() pairedmsg.Stats { return rt.conn.Stats() }
+
+// Tracer returns the runtime's trace emitter (nil when tracing is
+// disabled). The ringmaster client and public Node use it so their
+// events carry the same node identity and incarnation as the
+// message-layer events.
+func (rt *Runtime) Tracer() *trace.Local { return rt.tr }
 
 func (rt *Runtime) recvLoop() {
 	defer rt.bg.Done()

@@ -8,6 +8,7 @@ import (
 
 	"circus/internal/pairedmsg"
 	"circus/internal/thread"
+	"circus/internal/trace"
 	"circus/internal/transport"
 	"circus/internal/wire"
 )
@@ -94,6 +95,13 @@ func (rt *Runtime) handleCall(msg pairedmsg.Message) {
 		// (§4.3.4).
 		result := sc.result
 		sc.mu.Unlock()
+		if rt.tr.Enabled() {
+			rt.tr.Emit(trace.Event{Kind: trace.KindDupCall,
+				Peer: msg.From, CallNum: msg.CallNum,
+				ThreadHost: hdr.ThreadHost, ThreadProc: hdr.ThreadProc,
+				Path: hdr.Path, Troupe: hdr.DestTroupe,
+				Module: hdr.Module, Proc: hdr.Proc})
+		}
 		rt.sendReturn(msg.From, msg.CallNum, decodedReturn(result))
 		return
 	}
@@ -240,6 +248,16 @@ func (rt *Runtime) execute(sc *serverCall) {
 		args:         args,
 	}
 
+	began := time.Now()
+	if rt.tr.Enabled() {
+		// The at-most-once anchor: exactly one of these per (thread
+		// ID, call path, module) per member incarnation (§4.3.4).
+		rt.tr.Emit(trace.Event{Kind: trace.KindCallStart,
+			ThreadHost: tid.Host, ThreadProc: tid.Proc, Path: hdr.Path,
+			Troupe: hdr.DestTroupe, Module: hdr.Module, Proc: hdr.Proc,
+			N: len(callers)})
+	}
+
 	// Waiting for all messages and checking that they are identical is
 	// analogous to providing error detection as well as transparent
 	// error correction (§4.3.4): any inconsistency among the client
@@ -261,6 +279,16 @@ func (rt *Runtime) execute(sc *serverCall) {
 		ret = returnHeader{Status: statusAppError, Payload: []byte(err.Error())}
 	} else {
 		ret = returnHeader{Status: statusOK, Payload: res}
+	}
+	if rt.tr.Enabled() {
+		e := trace.Event{Kind: trace.KindCallDone,
+			ThreadHost: tid.Host, ThreadProc: tid.Proc, Path: hdr.Path,
+			Troupe: hdr.DestTroupe, Module: hdr.Module, Proc: hdr.Proc,
+			Dur: time.Since(began)}
+		if err != nil {
+			e.Err = err.Error()
+		}
+		rt.tr.Emit(e)
 	}
 	rt.finishAndReply(sc, ret)
 }
@@ -324,6 +352,11 @@ func (rt *Runtime) sendReturn(to transport.Addr, callNum uint32, ret returnHeade
 	data, err := wire.Marshal(ret)
 	if err != nil {
 		return
+	}
+	if rt.tr.Enabled() {
+		e := trace.Event{Kind: trace.KindReplySent,
+			Peer: to, CallNum: callNum, N: int(ret.Status)}
+		rt.tr.Emit(e)
 	}
 	if _, err := rt.conn.StartSend(to, pairedmsg.Return, callNum, data); err != nil {
 		return

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"circus/internal/trace"
 	"circus/internal/transport"
 )
 
@@ -97,6 +98,11 @@ type Options struct {
 	// simulation's fault injection never inspects, so campaign
 	// reproducibility is unaffected.
 	CallBase uint32
+	// Trace, when set, receives a structured event for every
+	// protocol action: sends, retransmissions, acks, probes, crash
+	// suspicions, RTT samples, duplicate suppressions, deliveries.
+	// Nil disables tracing at near-zero cost.
+	Trace trace.Sink
 }
 
 func (o Options) withDefaults() Options {
@@ -271,6 +277,7 @@ func (w *Watch) stopLocked() {
 type Conn struct {
 	ep   transport.Endpoint
 	opts Options
+	tr   *trace.Local // nil when tracing is disabled
 
 	mu        sync.Mutex
 	out       map[key]*outTransfer
@@ -318,6 +325,7 @@ func New(ep transport.Endpoint, opts Options) *Conn {
 		incoming: make(chan Message, 256),
 		stop:     make(chan struct{}),
 	}
+	c.tr = trace.NewLocal(c.opts.Trace, ep.Addr(), trace.NextIncarnation())
 	c.wg.Add(2)
 	go c.recvLoop()
 	go c.timerLoop()
@@ -326,6 +334,11 @@ func New(ep transport.Endpoint, opts Options) *Conn {
 
 // Addr returns the local transport address.
 func (c *Conn) Addr() transport.Addr { return c.ep.Addr() }
+
+// Tracer returns the connection's trace emitter (nil when tracing is
+// disabled), stamped with this connection's address and incarnation.
+// Higher layers share it so one process's events carry one identity.
+func (c *Conn) Tracer() *trace.Local { return c.tr }
 
 // Incoming returns the stream of reassembled messages. The channel is
 // closed by Close.
@@ -470,6 +483,12 @@ func (c *Conn) StartSendMulticast(group []transport.Addr, typ MsgType, callNum u
 	c.stats.SegmentsSent += int64(len(segs)) // one multicast op per segment
 	c.mu.Unlock()
 
+	if c.tr.Enabled() {
+		for _, to := range group {
+			c.tr.Emit(trace.Event{Kind: trace.KindMsgSend, Peer: to,
+				MsgType: uint8(typ), CallNum: callNum, N: len(segs)})
+		}
+	}
 	for _, s := range segs {
 		mc.Multicast(group, s)
 	}
@@ -508,6 +527,10 @@ func (c *Conn) StartSend(to transport.Addr, typ MsgType, callNum uint32, msg []b
 	c.stats.SegmentsSent += int64(len(segs))
 	c.mu.Unlock()
 
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.Event{Kind: trace.KindMsgSend, Peer: to,
+			MsgType: uint8(typ), CallNum: callNum, N: len(segs)})
+	}
 	// Initial transmission of all segments with no control bits set
 	// (§4.2.2).
 	for _, s := range segs {
@@ -673,6 +696,20 @@ func (c *Conn) handleData(from transport.Addr, h segHeader, payload []byte) {
 	ackNum, total := in.ackNum, in.total
 	c.mu.Unlock()
 
+	if c.tr.Enabled() {
+		if dup {
+			c.tr.Emit(trace.Event{Kind: trace.KindDupSegment, Peer: from,
+				MsgType: uint8(h.typ), CallNum: h.callNum, N: int(h.segNum)})
+		}
+		if completedNow {
+			// Emitted before the message is handed upward, so the
+			// delivery is recorded strictly before anything the
+			// receiver does in response (e.g. sending a reply).
+			c.tr.Emit(trace.Event{Kind: trace.KindMsgDelivered, Peer: from,
+				MsgType: uint8(h.typ), CallNum: h.callNum, N: total})
+		}
+	}
+
 	// Acknowledgment policy: answer please-ack and gaps immediately;
 	// acknowledge a completed return message at once (its sender is
 	// blocked on it); let a completed call message be acknowledged
@@ -709,6 +746,10 @@ func (c *Conn) sendAck(to transport.Addr, typ MsgType, callNum uint32, ackNum, t
 	c.mu.Lock()
 	c.stats.AcksSent++
 	c.mu.Unlock()
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.Event{Kind: trace.KindAckSend, Peer: to,
+			MsgType: uint8(typ), CallNum: callNum, N: ackNum})
+	}
 	c.ep.Send(to, h.encode(nil))
 }
 
@@ -725,7 +766,17 @@ func (c *Conn) completeOutLocked(t *outTransfer, err error) {
 			e = &rttEstimator{}
 			c.rtt[t.k.peer] = e
 		}
-		e.sample(time.Since(t.firstSent))
+		rtt := time.Since(t.firstSent)
+		e.sample(rtt)
+		if c.tr.Enabled() {
+			c.tr.Emit(trace.Event{Kind: trace.KindRTTSample, Peer: t.k.peer,
+				MsgType: uint8(t.k.typ), CallNum: t.k.callNum, Dur: rtt})
+		}
+	}
+	if err == ErrPeerDown && c.tr.Enabled() {
+		c.tr.Emit(trace.Event{Kind: trace.KindCrashSuspect, Peer: t.k.peer,
+			MsgType: uint8(t.k.typ), CallNum: t.k.callNum,
+			Attempt: t.attempts, Err: err.Error(), Detail: "retry exhaustion"})
 	}
 	t.err = err
 	close(t.done)
@@ -755,8 +806,11 @@ func (c *Conn) timerLoop() {
 
 func (c *Conn) timerPass(now time.Time) {
 	type resend struct {
-		to   transport.Addr
-		segs [][]byte
+		to      transport.Addr
+		segs    [][]byte
+		typ     MsgType
+		callNum uint32
+		attempt int
 	}
 	type probe struct {
 		to transport.Addr
@@ -805,7 +859,8 @@ func (c *Conn) timerPass(now time.Time) {
 		}
 		c.stats.Retransmits += int64(len(segs))
 		c.stats.SegmentsSent += int64(len(segs))
-		resends = append(resends, resend{to: t.k.peer, segs: segs})
+		resends = append(resends, resend{to: t.k.peer, segs: segs,
+			typ: t.k.typ, callNum: t.k.callNum, attempt: t.attempts})
 	}
 	for _, w := range c.watches {
 		if now.Before(w.nextProbe) {
@@ -814,6 +869,11 @@ func (c *Conn) timerPass(now time.Time) {
 		w.nextProbe = now.Add(c.opts.ProbeInterval)
 		w.missed++
 		if w.missed > c.opts.ProbeMissLimit {
+			if c.tr.Enabled() {
+				c.tr.Emit(trace.Event{Kind: trace.KindCrashSuspect,
+					Peer: w.k.peer, MsgType: uint8(w.k.typ), CallNum: w.k.callNum,
+					Attempt: w.missed - 1, Detail: "probe misses"})
+			}
 			close(w.down)
 			w.stopLocked()
 			continue
@@ -838,11 +898,20 @@ func (c *Conn) timerPass(now time.Time) {
 	c.mu.Unlock()
 
 	for _, r := range resends {
+		if c.tr.Enabled() {
+			c.tr.Emit(trace.Event{Kind: trace.KindSegRetransmit, Peer: r.to,
+				MsgType: uint8(r.typ), CallNum: r.callNum,
+				Attempt: r.attempt, N: len(r.segs)})
+		}
 		for _, s := range r.segs {
 			c.ep.Send(r.to, s)
 		}
 	}
 	for _, p := range probes {
+		if c.tr.Enabled() {
+			c.tr.Emit(trace.Event{Kind: trace.KindProbeSend, Peer: p.to,
+				MsgType: uint8(p.h.typ), CallNum: p.h.callNum})
+		}
 		c.ep.Send(p.to, p.h.encode(nil))
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"circus/internal/core"
+	"circus/internal/trace"
 	"circus/internal/wire"
 )
 
@@ -251,6 +252,10 @@ func (c *Client) GarbageCollect(ctx context.Context, probeTimeout time.Duration)
 			}
 			if _, err := c.RemoveMember(ctx, name, m); err == nil {
 				removed++
+				if tr := c.rt.Tracer(); tr.Enabled() {
+					tr.Emit(trace.Event{Kind: trace.KindGCRemove,
+						Peer: m.Addr, Module: m.Module, Detail: name})
+				}
 			}
 		}
 	}

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"circus/internal/core"
+	"circus/internal/trace"
 	"circus/internal/transport"
 	"circus/internal/wire"
 )
@@ -100,6 +101,10 @@ type Service struct {
 	// changes call set_troupe_id at every member of the affected
 	// troupe (§6.2, Figure 6.2).
 	InformMembers bool
+
+	// Tracer, when set (by Node.ServeRingmaster), records binding
+	// operations: registrations, membership changes, lookups.
+	Tracer *trace.Local
 }
 
 // NewService returns an empty Ringmaster.
@@ -192,6 +197,10 @@ func (s *Service) registerTroupe(call *core.ServerCall, a nameMembersArgs) ([]by
 	id := e.id
 	s.mu.Unlock()
 
+	if s.Tracer.Enabled() {
+		s.Tracer.Emit(trace.Event{Kind: trace.KindRegister,
+			Troupe: id, N: len(members), Detail: a.Name})
+	}
 	if err := s.informMembers(call, id, members); err != nil {
 		return nil, err
 	}
@@ -224,6 +233,11 @@ func (s *Service) addMember(call *core.ServerCall, a nameMemberArgs) ([]byte, er
 	members := append([]core.ModuleAddr(nil), e.members...)
 	s.mu.Unlock()
 
+	if s.Tracer.Enabled() {
+		s.Tracer.Emit(trace.Event{Kind: trace.KindAddMember,
+			Peer: m.Addr, Module: m.Module,
+			Troupe: id, N: len(members), Detail: a.Name})
+	}
 	if err := s.informMembers(call, id, members); err != nil {
 		return nil, err
 	}
@@ -253,6 +267,11 @@ func (s *Service) removeMember(call *core.ServerCall, a nameMemberArgs) ([]byte,
 	members := append([]core.ModuleAddr(nil), e.members...)
 	s.mu.Unlock()
 
+	if s.Tracer.Enabled() {
+		s.Tracer.Emit(trace.Event{Kind: trace.KindRemoveMember,
+			Peer: m.Addr, Module: m.Module,
+			Troupe: id, N: len(members), Detail: a.Name})
+	}
 	if err := s.informMembers(call, id, members); err != nil {
 		return nil, err
 	}
@@ -286,6 +305,10 @@ func (s *Service) lookupByName(name string) ([]byte, error) {
 	e, ok := s.entries[name]
 	if !ok || len(e.members) == 0 {
 		s.mu.Unlock()
+		if s.Tracer.Enabled() {
+			s.Tracer.Emit(trace.Event{Kind: trace.KindLookup,
+				Detail: name, Err: "not found"})
+		}
 		return nil, fmt.Errorf("ringmaster: no troupe named %q", name)
 	}
 	rep := troupeReply{ID: e.id}
@@ -293,6 +316,10 @@ func (s *Service) lookupByName(name string) ([]byte, error) {
 		rep.Members = append(rep.Members, toWire(m))
 	}
 	s.mu.Unlock()
+	if s.Tracer.Enabled() {
+		s.Tracer.Emit(trace.Event{Kind: trace.KindLookup,
+			Troupe: rep.ID, N: len(rep.Members), Detail: name})
+	}
 	return wire.Marshal(rep)
 }
 

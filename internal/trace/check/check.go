@@ -1,0 +1,319 @@
+// Package check replays a recorded trace offline and verifies the
+// protocol invariants the paper claims (§4.2–§4.3): exactly-once
+// execution at every troupe member, replies only to fully received
+// requests, monotone call numbers per conversation, and retransmit
+// schedules that respect the configured backoff bounds (including
+// Karn's rule under adaptive retransmission). It runs automatically
+// at the end of every chaos campaign and over any JSONL trace.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"circus/internal/trace"
+	"circus/internal/transport"
+)
+
+// Config describes the protocol parameters the trace was produced
+// under, so the timing invariants know the bounds to enforce.
+type Config struct {
+	// RetransmitInterval is the fixed retransmission interval; used
+	// when Adaptive is false. Zero skips the fixed-schedule check.
+	RetransmitInterval time.Duration
+	// Adaptive selects the adaptive-RTO invariants: non-decreasing
+	// backoff within a transfer and Karn's rule (no RTT sample from a
+	// transfer that was retransmitted).
+	Adaptive bool
+	// MinRTO is the adaptive retransmitter's floor. Zero skips the
+	// floor check.
+	MinRTO time.Duration
+	// Tolerance scales the timing checks' slack to absorb timer
+	// granularity and scheduling jitter; 0 means the default 0.5
+	// (gaps may undershoot their bound by up to half).
+	Tolerance float64
+}
+
+func (c Config) tol() float64 {
+	if c.Tolerance <= 0 {
+		return 0.5
+	}
+	return c.Tolerance
+}
+
+// Violation is one invariant breach found in a trace.
+type Violation struct {
+	// Invariant names the violated invariant.
+	Invariant string
+	// Seq is the capture sequence number of the offending event.
+	Seq uint64
+	// Msg explains the breach.
+	Msg string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("trace[%d] %s: %s", v.Seq, v.Invariant, v.Msg)
+}
+
+// endpoint identifies one process incarnation.
+type endpoint struct {
+	node transport.Addr
+	inc  uint32
+}
+
+// conv identifies one paired-message conversation at one endpoint.
+type conv struct {
+	ep      endpoint
+	peer    transport.Addr
+	msgType uint8
+	callNum uint32
+}
+
+// Check replays events (in capture order; re-sorted by Seq
+// defensively) and returns every invariant breach found. An empty
+// result means the trace is consistent with the protocol.
+func Check(events []trace.Event, cfg Config) []Violation {
+	evs := make([]trace.Event, len(events))
+	copy(evs, events)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+
+	var v []Violation
+	v = append(v, checkAtMostOnce(evs)...)
+	v = append(v, checkReplyAfterRequest(evs)...)
+	v = append(v, checkMonotoneCallNums(evs)...)
+	v = append(v, checkDeliverOnce(evs)...)
+	v = append(v, checkRetransmitSchedule(evs, cfg)...)
+	return v
+}
+
+// checkAtMostOnce: no two executions of the same call (thread ID +
+// call path + module) at the same member incarnation (§4.3.4: troupe
+// members execute each replicated call exactly once; the trace can
+// only witness the at-most-once half).
+func checkAtMostOnce(evs []trace.Event) []Violation {
+	type key struct {
+		ep      endpoint
+		pathKey string
+		module  uint16
+	}
+	var v []Violation
+	started := make(map[key]uint64)
+	for _, e := range evs {
+		if e.Kind != trace.KindCallStart {
+			continue
+		}
+		k := key{endpoint{e.Node, e.Inc}, e.PathKey(), e.Module}
+		if prev, ok := started[k]; ok {
+			v = append(v, Violation{
+				Invariant: "at-most-once",
+				Seq:       e.Seq,
+				Msg: fmt.Sprintf("call %s module %d executed again at %v inc %d (first at trace[%d])",
+					e.PathKey(), e.Module, e.Node, e.Inc, prev),
+			})
+			continue
+		}
+		started[k] = e.Seq
+	}
+	return v
+}
+
+// checkReplyAfterRequest: a member may only reply to a call it has
+// fully received — every reply-sent event must be preceded by the
+// delivery of the corresponding call message from that caller.
+func checkReplyAfterRequest(evs []trace.Event) []Violation {
+	const msgTypeCall = 0
+	type key struct {
+		ep      endpoint
+		peer    transport.Addr
+		callNum uint32
+	}
+	var v []Violation
+	delivered := make(map[key]bool)
+	for _, e := range evs {
+		switch e.Kind {
+		case trace.KindMsgDelivered:
+			if e.MsgType == msgTypeCall {
+				delivered[key{endpoint{e.Node, e.Inc}, e.Peer, e.CallNum}] = true
+			}
+		case trace.KindReplySent:
+			if !delivered[key{endpoint{e.Node, e.Inc}, e.Peer, e.CallNum}] {
+				v = append(v, Violation{
+					Invariant: "reply-after-request",
+					Seq:       e.Seq,
+					Msg: fmt.Sprintf("%v inc %d replied to call %d from %v before fully receiving it",
+						e.Node, e.Inc, e.CallNum, e.Peer),
+				})
+			}
+		}
+	}
+	return v
+}
+
+// checkMonotoneCallNums: within one incarnation, the call numbers a
+// process assigns to new calls to a given peer strictly increase
+// (§4.2.3: call numbers order conversations; the replay cache depends
+// on never reusing one). Unicast and multicast calls draw from
+// disjoint number spaces (top bit), so each is checked separately.
+func checkMonotoneCallNums(evs []trace.Event) []Violation {
+	const msgTypeCall = 0
+	type key struct {
+		ep    endpoint
+		peer  transport.Addr
+		multi bool
+	}
+	var v []Violation
+	last := make(map[key]uint32)
+	for _, e := range evs {
+		if e.Kind != trace.KindMsgSend || e.MsgType != msgTypeCall {
+			continue
+		}
+		k := key{endpoint{e.Node, e.Inc}, e.Peer, e.CallNum&0x8000_0000 != 0}
+		if prev, ok := last[k]; ok && e.CallNum <= prev {
+			v = append(v, Violation{
+				Invariant: "monotone-call-numbers",
+				Seq:       e.Seq,
+				Msg: fmt.Sprintf("%v inc %d sent call %d to %v after call %d",
+					e.Node, e.Inc, e.CallNum, e.Peer, prev),
+			})
+		}
+		if e.CallNum > last[k] {
+			last[k] = e.CallNum
+		}
+	}
+	return v
+}
+
+// checkDeliverOnce: the replay cache must suppress duplicate
+// messages — a conversation's message is delivered upward at most
+// once per receiver incarnation.
+func checkDeliverOnce(evs []trace.Event) []Violation {
+	var v []Violation
+	seen := make(map[conv]uint64)
+	for _, e := range evs {
+		if e.Kind != trace.KindMsgDelivered {
+			continue
+		}
+		k := conv{endpoint{e.Node, e.Inc}, e.Peer, e.MsgType, e.CallNum}
+		if prev, ok := seen[k]; ok {
+			v = append(v, Violation{
+				Invariant: "deliver-once",
+				Seq:       e.Seq,
+				Msg: fmt.Sprintf("%v inc %d delivered message (peer %v type %d call %d) again (first at trace[%d])",
+					e.Node, e.Inc, e.Peer, e.MsgType, e.CallNum, prev),
+			})
+			continue
+		}
+		seen[k] = e.Seq
+	}
+	return v
+}
+
+// transferTrace collects the retransmission history of one transfer.
+type transferTrace struct {
+	retransmits []trace.Event
+	sampled     *trace.Event // first RTT sample attributed to the transfer
+}
+
+// checkRetransmitSchedule verifies timer discipline per transfer:
+//
+//   - Fixed mode: successive retransmission passes are spaced at
+//     least RetransmitInterval apart (within tolerance).
+//   - Adaptive mode: gaps never shrink within a transfer (the RTO
+//     only doubles or stays clamped), the first gap respects MinRTO,
+//     and Karn's rule holds — a transfer that was ever retransmitted
+//     contributes no RTT sample.
+func checkRetransmitSchedule(evs []trace.Event, cfg Config) []Violation {
+	if cfg.RetransmitInterval == 0 && !cfg.Adaptive {
+		return nil
+	}
+	transfers := make(map[conv]*transferTrace)
+	order := []conv{}
+	get := func(k conv) *transferTrace {
+		t := transfers[k]
+		if t == nil {
+			t = &transferTrace{}
+			transfers[k] = t
+			order = append(order, k)
+		}
+		return t
+	}
+	for i := range evs {
+		e := &evs[i]
+		k := conv{endpoint{e.Node, e.Inc}, e.Peer, e.MsgType, e.CallNum}
+		switch e.Kind {
+		case trace.KindSegRetransmit:
+			get(k).retransmits = append(get(k).retransmits, *e)
+		case trace.KindRTTSample:
+			t := get(k)
+			if t.sampled == nil {
+				t.sampled = e
+			}
+		}
+	}
+
+	tol := cfg.tol()
+	var v []Violation
+	for _, k := range order {
+		t := transfers[k]
+		if len(t.retransmits) == 0 {
+			continue
+		}
+		if cfg.Adaptive && t.sampled != nil {
+			v = append(v, Violation{
+				Invariant: "karn-rule",
+				Seq:       t.sampled.Seq,
+				Msg: fmt.Sprintf("%v inc %d took an RTT sample from retransmitted transfer (peer %v type %d call %d)",
+					t.sampled.Node, t.sampled.Inc, k.peer, k.msgType, k.callNum),
+			})
+		}
+		var prevGap time.Duration
+		for i := 1; i < len(t.retransmits); i++ {
+			gap := t.retransmits[i].T.Sub(t.retransmits[i-1].T)
+			switch {
+			case !cfg.Adaptive:
+				if min := time.Duration(float64(cfg.RetransmitInterval) * tol); gap < min {
+					v = append(v, Violation{
+						Invariant: "retransmit-interval",
+						Seq:       t.retransmits[i].Seq,
+						Msg: fmt.Sprintf("retransmit gap %v below interval %v (peer %v call %d)",
+							gap, cfg.RetransmitInterval, k.peer, k.callNum),
+					})
+				}
+			default:
+				if cfg.MinRTO > 0 {
+					if min := time.Duration(float64(cfg.MinRTO) * tol); gap < min {
+						v = append(v, Violation{
+							Invariant: "backoff-floor",
+							Seq:       t.retransmits[i].Seq,
+							Msg: fmt.Sprintf("retransmit gap %v below MinRTO %v (peer %v call %d)",
+								gap, cfg.MinRTO, k.peer, k.callNum),
+						})
+					}
+				}
+				if prevGap > 0 {
+					if min := time.Duration(float64(prevGap) * tol); gap < min {
+						v = append(v, Violation{
+							Invariant: "backoff-monotone",
+							Seq:       t.retransmits[i].Seq,
+							Msg: fmt.Sprintf("retransmit gap shrank %v -> %v (peer %v call %d)",
+								prevGap, gap, k.peer, k.callNum),
+						})
+					}
+				}
+				prevGap = gap
+			}
+		}
+	}
+	return v
+}
+
+// Strings formats violations as plain strings, for merging into a
+// campaign's violation list.
+func Strings(vs []Violation) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package check
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"circus/internal/trace"
+	"circus/internal/transport"
+)
+
+var (
+	nodeA = transport.Addr{Host: 1, Port: 1}
+	nodeB = transport.Addr{Host: 2, Port: 1}
+)
+
+// seq stamps a slice of events with increasing Seq and T values, the
+// way a live recorder would, so tests can list events in order.
+func seq(evs ...trace.Event) []trace.Event {
+	base := time.Unix(1000, 0)
+	for i := range evs {
+		evs[i].Seq = uint64(i + 1)
+		if evs[i].T.IsZero() {
+			evs[i].T = base.Add(time.Duration(i) * 10 * time.Millisecond)
+		}
+	}
+	return evs
+}
+
+func wantInvariants(t *testing.T, vs []Violation, want ...string) {
+	t.Helper()
+	got := make([]string, len(vs))
+	for i, v := range vs {
+		got[i] = v.Invariant
+	}
+	if len(got) != len(want) {
+		t.Fatalf("violations %v, want invariants %v", Strings(vs), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("violation %d is %q, want %q (%v)", i, got[i], want[i], Strings(vs))
+		}
+	}
+}
+
+func TestCleanTracePasses(t *testing.T) {
+	evs := seq(
+		trace.Event{Kind: trace.KindMsgSend, Node: nodeA, Peer: nodeB, MsgType: 0, CallNum: 1},
+		trace.Event{Kind: trace.KindMsgDelivered, Node: nodeB, Peer: nodeA, MsgType: 0, CallNum: 1},
+		trace.Event{Kind: trace.KindCallStart, Node: nodeB, ThreadHost: 1, ThreadProc: 1, Path: []uint32{1}, Module: 3},
+		trace.Event{Kind: trace.KindReplySent, Node: nodeB, Peer: nodeA, CallNum: 1},
+		trace.Event{Kind: trace.KindMsgSend, Node: nodeA, Peer: nodeB, MsgType: 0, CallNum: 2},
+	)
+	wantInvariants(t, Check(evs, Config{RetransmitInterval: 10 * time.Millisecond}))
+}
+
+func TestAtMostOnceViolation(t *testing.T) {
+	exec := trace.Event{Kind: trace.KindCallStart, Node: nodeB, Inc: 5,
+		ThreadHost: 1, ThreadProc: 2, Path: []uint32{1, 1}, Module: 7}
+	vs := Check(seq(exec, exec), Config{})
+	wantInvariants(t, vs, "at-most-once")
+
+	// A new incarnation of the same node may legally re-execute.
+	again := exec
+	again.Inc = 6
+	wantInvariants(t, Check(seq(exec, again), Config{}))
+
+	// A different call path on the same thread is a different call.
+	other := exec
+	other.Path = []uint32{1, 2}
+	wantInvariants(t, Check(seq(exec, other), Config{}))
+}
+
+func TestReplyAfterRequestViolation(t *testing.T) {
+	reply := trace.Event{Kind: trace.KindReplySent, Node: nodeB, Peer: nodeA, CallNum: 9}
+	wantInvariants(t, Check(seq(reply), Config{}), "reply-after-request")
+
+	// Delivery of a non-call message type does not license the reply.
+	vs := Check(seq(
+		trace.Event{Kind: trace.KindMsgDelivered, Node: nodeB, Peer: nodeA, MsgType: 1, CallNum: 9},
+		reply,
+	), Config{})
+	wantInvariants(t, vs, "reply-after-request")
+
+	// Delivery of the call itself does.
+	wantInvariants(t, Check(seq(
+		trace.Event{Kind: trace.KindMsgDelivered, Node: nodeB, Peer: nodeA, MsgType: 0, CallNum: 9},
+		reply,
+	), Config{}))
+}
+
+func TestMonotoneCallNumsViolation(t *testing.T) {
+	send := func(cn uint32) trace.Event {
+		return trace.Event{Kind: trace.KindMsgSend, Node: nodeA, Peer: nodeB, MsgType: 0, CallNum: cn}
+	}
+	wantInvariants(t, Check(seq(send(3), send(3)), Config{}), "monotone-call-numbers")
+	wantInvariants(t, Check(seq(send(3), send(2)), Config{}), "monotone-call-numbers")
+
+	// Unicast and multicast number spaces are disjoint: a small
+	// multicast number after a large unicast one is legal.
+	wantInvariants(t, Check(seq(send(3), send(0x8000_0001), send(4), send(0x8000_0002)), Config{}))
+
+	// Non-call message types reuse the conversation's number freely.
+	ret := send(3)
+	ret.MsgType = 1
+	wantInvariants(t, Check(seq(send(3), ret), Config{}))
+}
+
+func TestDeliverOnceViolation(t *testing.T) {
+	del := trace.Event{Kind: trace.KindMsgDelivered, Node: nodeB, Peer: nodeA, MsgType: 0, CallNum: 4}
+	wantInvariants(t, Check(seq(del, del), Config{}), "deliver-once")
+
+	// Same call number on a different message type is a distinct
+	// conversation direction, not a duplicate.
+	other := del
+	other.MsgType = 1
+	wantInvariants(t, Check(seq(del, other), Config{}))
+}
+
+func TestFixedRetransmitIntervalViolation(t *testing.T) {
+	base := time.Unix(1000, 0)
+	retx := func(at time.Duration) trace.Event {
+		return trace.Event{Kind: trace.KindSegRetransmit, Node: nodeA, Peer: nodeB,
+			MsgType: 0, CallNum: 1, T: base.Add(at)}
+	}
+	cfg := Config{RetransmitInterval: 10 * time.Millisecond}
+
+	// Gaps of exactly the interval pass.
+	wantInvariants(t, Check(seq(retx(0), retx(10*time.Millisecond), retx(20*time.Millisecond)), cfg))
+	// A gap below half the interval (the default tolerance) fails.
+	vs := Check(seq(retx(0), retx(2*time.Millisecond)), cfg)
+	wantInvariants(t, vs, "retransmit-interval")
+	// A stricter tolerance catches a 7ms gap that the default forgives.
+	mid := seq(retx(0), retx(7*time.Millisecond))
+	wantInvariants(t, Check(mid, cfg))
+	strict := cfg
+	strict.Tolerance = 0.9
+	wantInvariants(t, Check(mid, strict), "retransmit-interval")
+}
+
+func TestKarnRuleViolation(t *testing.T) {
+	base := time.Unix(1000, 0)
+	evs := seq(
+		trace.Event{Kind: trace.KindSegRetransmit, Node: nodeA, Peer: nodeB, CallNum: 1, T: base},
+		trace.Event{Kind: trace.KindRTTSample, Node: nodeA, Peer: nodeB, CallNum: 1, T: base.Add(5 * time.Millisecond)},
+	)
+	vs := Check(evs, Config{Adaptive: true})
+	wantInvariants(t, vs, "karn-rule")
+
+	// A sample from a different, clean transfer is fine.
+	clean := seq(
+		trace.Event{Kind: trace.KindSegRetransmit, Node: nodeA, Peer: nodeB, CallNum: 1, T: base},
+		trace.Event{Kind: trace.KindRTTSample, Node: nodeA, Peer: nodeB, CallNum: 2, T: base.Add(5 * time.Millisecond)},
+	)
+	wantInvariants(t, Check(clean, Config{Adaptive: true}))
+}
+
+func TestBackoffFloorViolation(t *testing.T) {
+	base := time.Unix(1000, 0)
+	retx := func(at time.Duration) trace.Event {
+		return trace.Event{Kind: trace.KindSegRetransmit, Node: nodeA, Peer: nodeB,
+			CallNum: 1, T: base.Add(at)}
+	}
+	cfg := Config{Adaptive: true, MinRTO: 4 * time.Millisecond}
+	// 1ms gap < MinRTO/2.
+	wantInvariants(t, Check(seq(retx(0), retx(time.Millisecond)), cfg), "backoff-floor")
+	wantInvariants(t, Check(seq(retx(0), retx(4*time.Millisecond)), cfg))
+}
+
+func TestBackoffMonotoneViolation(t *testing.T) {
+	base := time.Unix(1000, 0)
+	retx := func(at time.Duration) trace.Event {
+		return trace.Event{Kind: trace.KindSegRetransmit, Node: nodeA, Peer: nodeB,
+			CallNum: 1, T: base.Add(at)}
+	}
+	cfg := Config{Adaptive: true}
+	// Gaps 20ms then 4ms: shrank below half the previous gap.
+	vs := Check(seq(retx(0), retx(20*time.Millisecond), retx(24*time.Millisecond)), cfg)
+	wantInvariants(t, vs, "backoff-monotone")
+	// Doubling gaps pass; a plateau (gap repeats at the MaxRTO clamp) passes.
+	wantInvariants(t, Check(seq(
+		retx(0), retx(10*time.Millisecond), retx(30*time.Millisecond),
+		retx(50*time.Millisecond), retx(70*time.Millisecond),
+	), cfg))
+}
+
+func TestCheckSortsBySeq(t *testing.T) {
+	// Events arriving out of capture order (e.g. merged JSONL shards)
+	// are re-sorted before checking: delivery at Seq 1 licenses the
+	// reply at Seq 2 even if listed backwards.
+	evs := seq(
+		trace.Event{Kind: trace.KindMsgDelivered, Node: nodeB, Peer: nodeA, MsgType: 0, CallNum: 1},
+		trace.Event{Kind: trace.KindReplySent, Node: nodeB, Peer: nodeA, CallNum: 1},
+	)
+	evs[0], evs[1] = evs[1], evs[0]
+	wantInvariants(t, Check(evs, Config{}))
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Invariant: "deliver-once", Seq: 12, Msg: "dup"}
+	if got := v.String(); !strings.Contains(got, "trace[12]") || !strings.Contains(got, "deliver-once") {
+		t.Fatalf("String() = %q", got)
+	}
+	if s := Strings([]Violation{v}); len(s) != 1 || s[0] != v.String() {
+		t.Fatalf("Strings mismatch: %v", s)
+	}
+}

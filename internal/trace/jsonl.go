@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"circus/internal/transport"
+)
+
+// jsonEvent is the wire form of an Event: Kind as its stable dotted
+// name, Addr structs flattened to "host:port" integers, durations in
+// nanoseconds. One object per line.
+type jsonEvent struct {
+	Seq        uint64   `json:"seq,omitempty"`
+	T          int64    `json:"t"` // UnixNano
+	Kind       string   `json:"kind"`
+	NodeHost   uint32   `json:"node,omitempty"`
+	NodePort   uint16   `json:"nodePort,omitempty"`
+	Inc        uint32   `json:"inc,omitempty"`
+	PeerHost   uint32   `json:"peer,omitempty"`
+	PeerPort   uint16   `json:"peerPort,omitempty"`
+	MsgType    uint8    `json:"msgType,omitempty"`
+	CallNum    uint32   `json:"callNum,omitempty"`
+	ThreadHost uint32   `json:"threadHost,omitempty"`
+	ThreadProc uint32   `json:"threadProc,omitempty"`
+	Path       []uint32 `json:"path,omitempty"`
+	Troupe     uint64   `json:"troupe,omitempty"`
+	Module     uint16   `json:"module,omitempty"`
+	Proc       uint16   `json:"proc,omitempty"`
+	Member     int      `json:"member,omitempty"`
+	Attempt    int      `json:"attempt,omitempty"`
+	N          int      `json:"n,omitempty"`
+	DurNS      int64    `json:"durNs,omitempty"`
+	Err        string   `json:"err,omitempty"`
+	Detail     string   `json:"detail,omitempty"`
+}
+
+func toJSON(e Event) jsonEvent {
+	return jsonEvent{
+		Seq: e.Seq, T: e.T.UnixNano(), Kind: e.Kind.String(),
+		NodeHost: e.Node.Host, NodePort: e.Node.Port, Inc: e.Inc,
+		PeerHost: e.Peer.Host, PeerPort: e.Peer.Port,
+		MsgType: e.MsgType, CallNum: e.CallNum,
+		ThreadHost: e.ThreadHost, ThreadProc: e.ThreadProc, Path: e.Path,
+		Troupe: e.Troupe, Module: e.Module, Proc: e.Proc,
+		Member: e.Member, Attempt: e.Attempt, N: e.N,
+		DurNS: int64(e.Dur), Err: e.Err, Detail: e.Detail,
+	}
+}
+
+func fromJSON(j jsonEvent) Event {
+	return Event{
+		Seq: j.Seq, T: time.Unix(0, j.T), Kind: KindFromString(j.Kind),
+		Node: transport.Addr{Host: j.NodeHost, Port: j.NodePort}, Inc: j.Inc,
+		Peer: transport.Addr{Host: j.PeerHost, Port: j.PeerPort},
+		MsgType: j.MsgType, CallNum: j.CallNum,
+		ThreadHost: j.ThreadHost, ThreadProc: j.ThreadProc, Path: j.Path,
+		Troupe: j.Troupe, Module: j.Module, Proc: j.Proc,
+		Member: j.Member, Attempt: j.Attempt, N: j.N,
+		Dur: time.Duration(j.DurNS), Err: j.Err, Detail: j.Detail,
+	}
+}
+
+// JSONL is a sink that streams events to a writer as JSON Lines, one
+// event per line, buffered. Call Flush (or Close) before reading the
+// output. Safe for concurrent emitters.
+type JSONL struct {
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	c    io.Closer
+	next uint64
+	err  error
+}
+
+// NewJSONL wraps w. If w is also an io.Closer, Close closes it.
+func NewJSONL(w io.Writer) *JSONL {
+	j := &JSONL{bw: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// Emit encodes one event as a line. Encoding errors are sticky and
+// reported by Flush/Close; Emit itself never fails, as sinks must not
+// disturb the runtime.
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.next++
+	e.Seq = j.next
+	b, err := json.Marshal(toJSON(e))
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.bw.Write(b); err != nil {
+		j.err = err
+		return
+	}
+	if err := j.bw.WriteByte('\n'); err != nil {
+		j.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first sticky error.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.bw.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// Close flushes and closes the underlying writer if it is closable.
+func (j *JSONL) Close() error {
+	err := j.Flush()
+	if j.c != nil {
+		if cerr := j.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ReadJSONL parses a JSONL trace back into events, re-sequencing them
+// in file order so a trace written by multiple emitters still has a
+// total capture order. Malformed lines abort with an error naming the
+// line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var j jsonEvent
+		if err := json.Unmarshal(raw, &j); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		e := fromJSON(j)
+		e.Seq = uint64(len(out) + 1)
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: line %d: %w", line, err)
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"circus/internal/transport"
+)
+
+// latencyBuckets is the number of power-of-two call-latency buckets:
+// bucket i covers [2^i, 2^(i+1)) microseconds, with the final bucket
+// absorbing everything slower (~34s and up).
+const latencyBuckets = 26
+
+// Metrics is a sink that aggregates instead of recording: per-kind
+// event counters, per-peer wire traffic, per-troupe call counts, and
+// a call-latency histogram fed by collation decisions. All hot-path
+// updates are atomic adds; the per-peer and per-troupe maps take a
+// mutex only on first sight of a key.
+type Metrics struct {
+	kinds [kindCount]atomic.Int64
+
+	latency [latencyBuckets]atomic.Int64
+	calls   atomic.Int64 // collated calls, = sum of latency buckets
+	callErr atomic.Int64 // collations that returned an error
+
+	mu      sync.Mutex
+	peers   map[transport.Addr]*PeerCounters
+	troupes map[uint64]*atomic.Int64
+}
+
+// PeerCounters aggregates wire-level traffic with one peer.
+type PeerCounters struct {
+	MsgsSent    atomic.Int64 // messages handed to the transport
+	Retransmits atomic.Int64 // segments resent
+	AcksSent    atomic.Int64
+	ProbesSent  atomic.Int64
+	Suspects    atomic.Int64 // times the peer was declared down
+	Delivered   atomic.Int64 // messages received fully from the peer
+	DupSegments atomic.Int64
+}
+
+// NewMetrics returns an empty aggregator.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		peers:   make(map[transport.Addr]*PeerCounters),
+		troupes: make(map[uint64]*atomic.Int64),
+	}
+}
+
+func (m *Metrics) peer(a transport.Addr) *PeerCounters {
+	m.mu.Lock()
+	p := m.peers[a]
+	if p == nil {
+		p = &PeerCounters{}
+		m.peers[a] = p
+	}
+	m.mu.Unlock()
+	return p
+}
+
+// Emit aggregates one event.
+func (m *Metrics) Emit(e Event) {
+	if int(e.Kind) < len(m.kinds) {
+		m.kinds[e.Kind].Add(1)
+	}
+	switch e.Kind {
+	case KindMsgSend:
+		m.peer(e.Peer).MsgsSent.Add(1)
+	case KindSegRetransmit:
+		m.peer(e.Peer).Retransmits.Add(int64(e.N))
+	case KindAckSend:
+		m.peer(e.Peer).AcksSent.Add(1)
+	case KindProbeSend:
+		m.peer(e.Peer).ProbesSent.Add(1)
+	case KindCrashSuspect:
+		if !e.Peer.IsZero() {
+			m.peer(e.Peer).Suspects.Add(1)
+		}
+	case KindMsgDelivered:
+		m.peer(e.Peer).Delivered.Add(1)
+	case KindDupSegment:
+		m.peer(e.Peer).DupSegments.Add(1)
+	case KindCollateDone:
+		m.calls.Add(1)
+		if e.Err != "" {
+			m.callErr.Add(1)
+		}
+		m.latency[latencyBucket(e.Dur)].Add(1)
+		if e.Troupe != 0 {
+			m.mu.Lock()
+			c := m.troupes[e.Troupe]
+			if c == nil {
+				c = &atomic.Int64{}
+				m.troupes[e.Troupe] = c
+			}
+			m.mu.Unlock()
+			c.Add(1)
+		}
+	}
+}
+
+func latencyBucket(d time.Duration) int {
+	us := d.Microseconds()
+	b := 0
+	for us > 1 && b < latencyBuckets-1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// LatencyBucketLow returns the inclusive lower bound of histogram
+// bucket i.
+func LatencyBucketLow(i int) time.Duration {
+	return time.Duration(1<<uint(i)) * time.Microsecond
+}
+
+// Snapshot is a point-in-time copy of the aggregates.
+type Snapshot struct {
+	// Kinds maps each event kind to its count (zero entries omitted).
+	Kinds map[Kind]int64
+	// Peers maps each peer address to its wire counters.
+	Peers map[transport.Addr]PeerSnapshot
+	// Troupes maps troupe ID to collated-call count.
+	Troupes map[uint64]int64
+	// Calls and CallErrors count collation decisions and failures.
+	Calls      int64
+	CallErrors int64
+	// Latency is the call-latency histogram: Latency[i] counts calls
+	// in [LatencyBucketLow(i), LatencyBucketLow(i+1)).
+	Latency [latencyBuckets]int64
+}
+
+// PeerSnapshot is the plain-value form of PeerCounters.
+type PeerSnapshot struct {
+	MsgsSent    int64
+	Retransmits int64
+	AcksSent    int64
+	ProbesSent  int64
+	Suspects    int64
+	Delivered   int64
+	DupSegments int64
+}
+
+// Snapshot copies the current aggregates.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Kinds:      make(map[Kind]int64),
+		Peers:      make(map[transport.Addr]PeerSnapshot),
+		Troupes:    make(map[uint64]int64),
+		Calls:      m.calls.Load(),
+		CallErrors: m.callErr.Load(),
+	}
+	for k := range m.kinds {
+		if v := m.kinds[k].Load(); v != 0 {
+			s.Kinds[Kind(k)] = v
+		}
+	}
+	for i := range m.latency {
+		s.Latency[i] = m.latency[i].Load()
+	}
+	m.mu.Lock()
+	for a, p := range m.peers {
+		s.Peers[a] = PeerSnapshot{
+			MsgsSent:    p.MsgsSent.Load(),
+			Retransmits: p.Retransmits.Load(),
+			AcksSent:    p.AcksSent.Load(),
+			ProbesSent:  p.ProbesSent.Load(),
+			Suspects:    p.Suspects.Load(),
+			Delivered:   p.Delivered.Load(),
+			DupSegments: p.DupSegments.Load(),
+		}
+	}
+	for id, c := range m.troupes {
+		s.Troupes[id] = c.Load()
+	}
+	m.mu.Unlock()
+	return s
+}
+
+// Count returns the count for one kind.
+func (m *Metrics) Count(k Kind) int64 {
+	if int(k) >= len(m.kinds) {
+		return 0
+	}
+	return m.kinds[k].Load()
+}

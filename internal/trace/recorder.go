@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Recorder is an in-memory sink for tests: it retains every event in
+// emission order and lets tests block until an event matching a
+// predicate appears, replacing sleep-based waits with waits on the
+// actual protocol occurrence.
+//
+// Emit is called synchronously from inside the runtime, often under
+// component locks, so the recorder only appends under its own mutex
+// and signals waiters via channel close — it never calls back out.
+type Recorder struct {
+	mu      sync.Mutex
+	events  []Event
+	waiters map[*waiter]struct{}
+}
+
+type waiter struct {
+	pred  func(Event) bool
+	need  int // remaining matches before firing
+	last  Event
+	ready chan struct{}
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{waiters: make(map[*waiter]struct{})}
+}
+
+// Emit appends the event, assigns its capture sequence number, and
+// wakes any waiter whose predicate it satisfies.
+func (r *Recorder) Emit(e Event) {
+	r.mu.Lock()
+	e.Seq = uint64(len(r.events) + 1)
+	r.events = append(r.events, e)
+	for w := range r.waiters {
+		if w.pred(e) {
+			w.need--
+			w.last = e
+			if w.need <= 0 {
+				close(w.ready)
+				delete(r.waiters, w)
+			}
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Events returns a snapshot of everything recorded so far.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Count returns how many recorded events satisfy pred.
+func (r *Recorder) Count(pred func(Event) bool) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.events {
+		if pred(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// Wait blocks until an event satisfying pred has been recorded (past
+// events count) or the timeout elapses. It returns the first matching
+// event and whether one arrived in time.
+func (r *Recorder) Wait(timeout time.Duration, pred func(Event) bool) (Event, bool) {
+	return r.WaitN(timeout, 1, pred)
+}
+
+// WaitN blocks until at least n events satisfying pred have been
+// recorded, counting events already present. It returns the n-th
+// matching event and whether the count was reached in time.
+func (r *Recorder) WaitN(timeout time.Duration, n int, pred func(Event) bool) (Event, bool) {
+	r.mu.Lock()
+	seen := 0
+	var nth Event
+	for _, e := range r.events {
+		if pred(e) {
+			seen++
+			if seen == n {
+				nth = e
+				break
+			}
+		}
+	}
+	if seen >= n {
+		r.mu.Unlock()
+		return nth, true
+	}
+	w := &waiter{pred: pred, need: n - seen, ready: make(chan struct{})}
+	r.waiters[w] = struct{}{}
+	r.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		r.mu.Lock()
+		last := w.last
+		r.mu.Unlock()
+		return last, true
+	case <-timer.C:
+		r.mu.Lock()
+		delete(r.waiters, w)
+		// The waiter may have fired between the timeout and the lock.
+		select {
+		case <-w.ready:
+			last := w.last
+			r.mu.Unlock()
+			return last, true
+		default:
+		}
+		r.mu.Unlock()
+		return Event{}, false
+	}
+}
+
+// ByKind is a predicate matching a single kind, the common Wait
+// argument.
+func ByKind(k Kind) func(Event) bool {
+	return func(e Event) bool { return e.Kind == k }
+}

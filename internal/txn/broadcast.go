@@ -8,6 +8,7 @@ import (
 
 	"circus/internal/collate"
 	"circus/internal/core"
+	"circus/internal/trace"
 	"circus/internal/wire"
 )
 
@@ -62,6 +63,8 @@ type bcastEntry struct {
 // and on a single goroutine, for each message released for
 // application-level processing.
 type Queue struct {
+	tr trace.Sink // nil disables accept-order tracing
+
 	mu      sync.Mutex
 	clock   uint64
 	entries []*bcastEntry // sorted by (time, msgID)
@@ -72,6 +75,12 @@ type Queue struct {
 func NewQueue(deliver func(msgID string, msg []byte)) *Queue {
 	return &Queue{deliver: deliver}
 }
+
+// SetTrace installs a sink recording each message's release for
+// application-level processing in acceptance order: the message ID in
+// Detail, the accepted Lamport time in N. Comparing the accept-order
+// events of all members checks the §5.4 agreement property offline.
+func (q *Queue) SetTrace(s trace.Sink) { q.tr = s }
 
 // Propose implements get_proposed_time: the message is inserted with a
 // proposed time from the local clock, which is returned.
@@ -117,6 +126,10 @@ func (q *Queue) Accept(msgID string, t uint64) error {
 	q.mu.Unlock()
 
 	for _, r := range release {
+		if q.tr != nil {
+			trace.Stamp(q.tr, trace.Event{Kind: trace.KindAcceptOrder,
+				Detail: r.msgID, N: int(r.time)})
+		}
 		q.deliver(r.msgID, r.msg)
 	}
 	return nil

@@ -3,6 +3,8 @@ package txn
 import (
 	"errors"
 	"sync"
+
+	"circus/internal/trace"
 )
 
 // Mode is a lock mode. Two-phase locking distinguishes read locks,
@@ -59,6 +61,7 @@ type lockState struct {
 // configurable deadlock handling.
 type LockManager struct {
 	policy Policy
+	tr     trace.Sink // nil disables lock tracing
 
 	mu    sync.Mutex
 	locks map[string]*lockState
@@ -75,6 +78,12 @@ func NewLockManager(policy Policy) *LockManager {
 		waitsFor: make(map[uint64]map[uint64]bool),
 	}
 }
+
+// SetTrace installs a sink recording lock grants and releases. Lock
+// events carry the root transaction ID in Troupe, the object name in
+// Detail, and the mode in N; they have no transport identity, so
+// traces join them to call events by time and detail.
+func (lm *LockManager) SetTrace(s trace.Sink) { lm.tr = s }
 
 // Acquire obtains the lock on obj in the given mode on behalf of tx,
 // blocking while conflicting transactions hold it. It returns
@@ -94,6 +103,10 @@ func (lm *LockManager) Acquire(tx uint64, obj string, mode Mode) error {
 				ls.holders[tx] = mode
 			}
 			lm.mu.Unlock()
+			if lm.tr != nil {
+				trace.Stamp(lm.tr, trace.Event{Kind: trace.KindLockAcquire,
+					Troupe: tx, Detail: obj, N: int(mode)})
+			}
 			return nil
 		}
 		blockers := lm.blockersLocked(ls, tx, mode)
@@ -209,6 +222,9 @@ func (lm *LockManager) wouldDeadlockLocked(tx uint64, blockers map[uint64]bool) 
 // waiters; 2PL requires each transaction to hold all locks until it
 // commits or aborts (§2.3.1).
 func (lm *LockManager) ReleaseAll(tx uint64) {
+	if lm.tr != nil {
+		trace.Stamp(lm.tr, trace.Event{Kind: trace.KindLockRelease, Troupe: tx})
+	}
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
 	delete(lm.waitsFor, tx)

@@ -20,6 +20,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"circus/internal/trace"
 )
 
 // ErrTxDone reports use of a committed or aborted transaction.
@@ -33,10 +35,19 @@ var ErrNotFound = errors.New("txn: key not found")
 // undone (§5.2).
 type Store struct {
 	lm *LockManager
+	tr trace.Sink // nil disables transaction tracing
 
 	mu     sync.Mutex
 	data   map[string][]byte
 	nextTx uint64
+}
+
+// SetTrace installs a sink recording transaction commits and aborts
+// (and, via the lock manager, lock grants and releases). Transaction
+// events carry the root transaction ID in Troupe.
+func (s *Store) SetTrace(sink trace.Sink) {
+	s.tr = sink
+	s.lm.SetTrace(sink)
 }
 
 // NewStore returns an empty store using the given locking policy.
@@ -222,6 +233,10 @@ func (t *Tx) Commit() error {
 		t.parent.mu.Unlock()
 		// Locks were acquired in the root's name and are retained by
 		// the parent (Moss's rules, §2.3.2).
+		if t.store.tr != nil {
+			trace.Stamp(t.store.tr, trace.Event{Kind: trace.KindTxnCommit,
+				Troupe: t.id, N: len(writes), Detail: "sub"})
+		}
 		return nil
 	}
 
@@ -234,6 +249,10 @@ func (t *Tx) Commit() error {
 		}
 	}
 	t.store.mu.Unlock()
+	if t.store.tr != nil {
+		trace.Stamp(t.store.tr, trace.Event{Kind: trace.KindTxnCommit,
+			Troupe: t.id, N: len(writes)})
+	}
 	t.store.lm.ReleaseAll(t.id)
 	return nil
 }
@@ -260,7 +279,14 @@ func (t *Tx) Abort() error {
 		t.parent.mu.Unlock()
 		// Locks acquired by the aborted subtransaction remain with
 		// the root: conservative and safe.
+		if t.store.tr != nil {
+			trace.Stamp(t.store.tr, trace.Event{Kind: trace.KindTxnAbort,
+				Troupe: t.id, Detail: "sub"})
+		}
 		return nil
+	}
+	if t.store.tr != nil {
+		trace.Stamp(t.store.tr, trace.Event{Kind: trace.KindTxnAbort, Troupe: t.id})
 	}
 	t.store.lm.ReleaseAll(t.id)
 	return nil

@@ -1,6 +1,15 @@
 package wire
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+)
+
+// maxDatagram mirrors transport.MaxDatagram: the payload size at which
+// a message exactly fills one network MTU. Boundary cases around it
+// exercise the encoder's length-prefix and padding arithmetic at the
+// sizes the segmentation layer actually produces.
+const maxDatagram = 1472
 
 // FuzzUnmarshal: the decoder must never panic on arbitrary bytes, for
 // every shape of target the runtime and generated stubs use.
@@ -48,12 +57,78 @@ type inner2 struct {
 	Y [2]uint16
 }
 
+// nestedMsg is the deepest shape the runtime marshals: structs inside
+// structs, pointer indirection, zero-length arrays, and byte payloads.
+type nestedMsg struct {
+	Tag   string
+	Inner struct {
+		Depth  uint32
+		Pins   [0]uint32 // zero-length array: encodes to nothing, must still round-trip
+		Leaf   *inner2
+		Labels []string
+	}
+	Payload []byte
+	Footer  [3]int16
+}
+
+// FuzzRoundTripNested: nested structs, zero-length arrays, and
+// MTU-boundary payloads round-trip bit-exactly through Marshal and
+// Unmarshal.
+func FuzzRoundTripNested(f *testing.F) {
+	f.Add("t", uint32(1), 3.5, []byte("p"), int16(-1))
+	f.Add("", uint32(0), 0.0, []byte{}, int16(0))
+	// Payloads straddling the MTU boundary, where a message goes from
+	// filling one datagram to needing a second segment.
+	for _, n := range []int{maxDatagram - 1, maxDatagram, maxDatagram + 1} {
+		f.Add("mtu", uint32(n), 1.0, make([]byte, n), int16(7))
+	}
+	f.Fuzz(func(t *testing.T, tag string, depth uint32, x float64, payload []byte, foot int16) {
+		if x != x { // NaN never compares equal; covered by wire_test's quick checks
+			t.Skip()
+		}
+		in := nestedMsg{Tag: tag, Payload: payload}
+		in.Inner.Depth = depth
+		in.Inner.Leaf = &inner2{X: x, Y: [2]uint16{uint16(depth), uint16(depth >> 16)}}
+		in.Inner.Labels = []string{tag, "", tag + "2"}
+		in.Footer = [3]int16{foot, -foot, 0}
+
+		data, err := Marshal(in)
+		if err != nil {
+			t.Fatalf("Marshal: %v", err)
+		}
+		var out nestedMsg
+		if err := Unmarshal(data, &out); err != nil {
+			t.Fatalf("Unmarshal: %v", err)
+		}
+		if out.Tag != in.Tag || out.Inner.Depth != in.Inner.Depth ||
+			out.Footer != in.Footer {
+			t.Fatalf("scalar fields diverged: %+v vs %+v", out, in)
+		}
+		if out.Inner.Leaf == nil || *out.Inner.Leaf != *in.Inner.Leaf {
+			t.Fatalf("nested pointer leaf diverged: %+v vs %+v", out.Inner.Leaf, in.Inner.Leaf)
+		}
+		if len(out.Inner.Labels) != len(in.Inner.Labels) {
+			t.Fatalf("labels length %d, want %d", len(out.Inner.Labels), len(in.Inner.Labels))
+		}
+		for i := range in.Inner.Labels {
+			if out.Inner.Labels[i] != in.Inner.Labels[i] {
+				t.Fatalf("label %d diverged", i)
+			}
+		}
+		if !bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("payload diverged: %d vs %d bytes", len(out.Payload), len(in.Payload))
+		}
+	})
+}
+
 // FuzzRoundTripString: strings of every size and content round-trip.
 func FuzzRoundTripString(f *testing.F) {
 	f.Add("")
 	f.Add("odd")
 	f.Add(string(make([]byte, 70000)))
 	f.Add("\x00\xff\xfe")
+	f.Add(string(make([]byte, maxDatagram)))
+	f.Add(string(make([]byte, maxDatagram-4))) // exactly fills after the length prefix
 	f.Fuzz(func(t *testing.T, s string) {
 		data, err := Marshal(s)
 		if err != nil {

@@ -13,6 +13,7 @@ import (
 	"circus/internal/pairedmsg"
 	"circus/internal/ringmaster"
 	"circus/internal/thread"
+	"circus/internal/trace"
 	"circus/internal/transport"
 	"circus/internal/udptrans"
 )
@@ -26,6 +27,8 @@ type nodeConfig struct {
 	m2oWait   time.Duration
 	retention time.Duration
 	multicast bool
+	trace     []trace.Sink
+	metrics   bool
 }
 
 // WithMulticast enables the multicast implementation of one-to-many
@@ -40,6 +43,26 @@ func WithMulticast() Option {
 // addresses of its members (the degenerate bootstrap binding of §6.3).
 func WithBinder(members []ModuleAddr) Option {
 	return func(c *nodeConfig) { c.binder = append([]ModuleAddr(nil), members...) }
+}
+
+// WithTrace attaches a structured event sink to the node: the paired
+// message layer, the call layers, and any Ringmaster service hosted on
+// this node emit trace events into it. Multiple WithTrace options
+// compose. A nil sink is ignored; with no sink the tracing hot paths
+// compile to a single nil check.
+func WithTrace(sink trace.Sink) Option {
+	return func(c *nodeConfig) {
+		if sink != nil {
+			c.trace = append(c.trace, sink)
+		}
+	}
+}
+
+// WithMetrics attaches an in-process metrics aggregator — per-kind
+// event counters, per-peer message counters, per-troupe call counters,
+// and a call-latency histogram — queryable via Node.Metrics().
+func WithMetrics() Option {
+	return func(c *nodeConfig) { c.metrics = true }
 }
 
 // WithTimers overrides the paired message protocol timers: the
@@ -82,8 +105,9 @@ func fastSimTimers() pairedmsg.Options {
 // optionally attached to a binding agent. On a SimNetwork each node is
 // also its own simulated machine.
 type Node struct {
-	rt     *core.Runtime
-	binder *ringmaster.Client
+	rt      *core.Runtime
+	binder  *ringmaster.Client
+	metrics *trace.Metrics // nil unless WithMetrics
 
 	// suspicion is shared by every resilient stub of this node, so one
 	// stub's crash evidence spares the others a timeout.
@@ -129,13 +153,19 @@ func newNode(ep transport.Endpoint, msg pairedmsg.Options, opts ...Option) (*Nod
 	for _, o := range opts {
 		o(&cfg)
 	}
+	var metrics *trace.Metrics
+	if cfg.metrics {
+		metrics = trace.NewMetrics()
+		cfg.trace = append(cfg.trace, metrics)
+	}
 	rt := core.NewRuntime(ep, core.Options{
 		Message:          cfg.msg,
 		ManyToOneTimeout: cfg.m2oWait,
 		CallRetention:    cfg.retention,
 		Multicast:        cfg.multicast,
+		Trace:            trace.Multi(cfg.trace...),
 	})
-	n := &Node{rt: rt, suspicion: core.NewSuspicion(), exports: make(map[string]uint16)}
+	n := &Node{rt: rt, metrics: metrics, suspicion: core.NewSuspicion(), exports: make(map[string]uint16)}
 	if len(cfg.binder) > 0 {
 		n.binder = ringmaster.NewClient(rt, Troupe{Members: cfg.binder})
 		rt.SetResolver(n.binder)
@@ -149,6 +179,10 @@ func (n *Node) Addr() Addr { return n.rt.Addr() }
 // Runtime exposes the underlying runtime for advanced use (the
 // experiment harness and tests).
 func (n *Node) Runtime() *core.Runtime { return n.rt }
+
+// Metrics returns the node's metrics aggregator, or nil unless the
+// node was created with WithMetrics.
+func (n *Node) Metrics() *trace.Metrics { return n.metrics }
 
 // Close shuts the node down.
 func (n *Node) Close() error { return n.rt.Close() }
@@ -274,6 +308,7 @@ func (n *Node) ServeRingmaster() (ModuleAddr, error) {
 	n.mu.Lock()
 	if n.ringSvc == nil {
 		n.ringSvc = ringmaster.NewService()
+		n.ringSvc.Tracer = n.rt.Tracer()
 	}
 	svc := n.ringSvc
 	n.mu.Unlock()
@@ -476,6 +511,10 @@ func (s *Stub) Call(ctx context.Context, proc uint16, args []byte, opts ...CallO
 		fresh, rerr := s.node.binder.Rebind(ctx, s.name, s.Troupe())
 		if rerr != nil {
 			return nil, fmt.Errorf("circus: rebinding %q: %w", s.name, rerr)
+		}
+		if tr := s.node.rt.Tracer(); tr.Enabled() {
+			tr.Emit(trace.Event{Kind: trace.KindRebind,
+				Troupe: uint64(fresh.ID), N: fresh.Degree(), Detail: s.name})
 		}
 		s.mu.Lock()
 		s.troupe = fresh
