@@ -1,0 +1,163 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"circus/internal/bench"
+	"circus/internal/netsim"
+	"circus/internal/pairedmsg"
+	"circus/internal/wire"
+)
+
+// benchResult is one benchmark measurement in BENCH_<n>.json, the
+// machine-readable counterpart of `go test -bench` for CI trend
+// tracking.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type benchDoc struct {
+	Go         string        `json:"go"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	MaxDegree  int           `json:"max_degree"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func record(name string, r testing.BenchmarkResult) benchResult {
+	return benchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+type benchRec struct {
+	Name  string
+	Count uint32
+	Tags  []string
+	Data  []byte
+}
+
+// writeBenchJSON measures the hot-path benchmarks — wire codec,
+// paired message exchange, and the native replicated call at degrees
+// 1..maxDegree — and writes them to BENCH_<maxDegree>.json in the
+// current directory.
+func writeBenchJSON(maxDegree int, seed int64) (string, error) {
+	doc := benchDoc{
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		MaxDegree: maxDegree,
+	}
+
+	var v any = benchRec{Name: "troupe", Count: 3, Tags: []string{"a", "b"}, Data: make([]byte, 64)}
+	doc.Benchmarks = append(doc.Benchmarks, record("Marshal", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.Marshal(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})))
+
+	data, err := wire.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	var out benchRec
+	doc.Benchmarks = append(doc.Benchmarks, record("Unmarshal", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := wire.Unmarshal(data, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})))
+
+	if r, err := benchPairedExchange(seed); err != nil {
+		return "", err
+	} else {
+		doc.Benchmarks = append(doc.Benchmarks, r)
+	}
+
+	for n := 1; n <= maxDegree; n++ {
+		c, err := bench.NewCluster(seed+int64(n), n, 0)
+		if err != nil {
+			return "", err
+		}
+		payload := []byte("0123456789abcdef")
+		if err := c.Call(payload); err != nil {
+			c.Close()
+			return "", err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := c.Call(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		c.Close()
+		doc.Benchmarks = append(doc.Benchmarks,
+			record(fmt.Sprintf("NativeReplicatedCall/degree=%d", n), r))
+	}
+
+	path := fmt.Sprintf("BENCH_%d.json", maxDegree)
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// benchPairedExchange measures one reliable call/return exchange at the
+// paired message layer, mirroring BenchmarkPairedMessageExchange.
+func benchPairedExchange(seed int64) (benchResult, error) {
+	net := netsim.New(seed)
+	epA, err := net.Listen(net.NewHost(), 0)
+	if err != nil {
+		return benchResult{}, err
+	}
+	epB, err := net.Listen(net.NewHost(), 0)
+	if err != nil {
+		return benchResult{}, err
+	}
+	opts := pairedmsg.Options{RetransmitInterval: 50 * time.Millisecond}
+	ca, cb := pairedmsg.New(epA, opts), pairedmsg.New(epB, opts)
+	defer ca.Close()
+	defer cb.Close()
+
+	go func() {
+		for m := range cb.Incoming() {
+			if m.Type == pairedmsg.Call {
+				cb.StartSend(m.From, pairedmsg.Return, m.CallNum, m.Data)
+			}
+		}
+	}()
+
+	payload := []byte("0123456789abcdef")
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cn := ca.NextCallNum(epB.Addr())
+			if err := ca.Send(context.Background(), epB.Addr(), pairedmsg.Call, cn, payload); err != nil {
+				b.Fatal(err)
+			}
+			m := <-ca.Incoming()
+			if m.CallNum != cn {
+				b.Fatal("mismatched return")
+			}
+		}
+	})
+	return record("PairedMessageExchange", r), nil
+}

@@ -30,7 +30,17 @@ func main() {
 	seed := flag.Int64("seed", 1985, "random seed for Monte-Carlo experiments")
 	quick := flag.Bool("quick", false, "smaller iteration counts")
 	traceFile := flag.String("trace", "", "write a JSONL protocol trace of the native experiments to this file")
+	benchJSON := flag.Int("bench-json", 0, "measure hot-path benchmarks up to this replication degree, write BENCH_<n>.json, and exit")
 	flag.Parse()
+
+	if *benchJSON > 0 {
+		path, err := writeBenchJSON(*benchJSON, *seed)
+		if err != nil {
+			log.Fatalf("bench-json: %v", err)
+		}
+		fmt.Println("wrote", path)
+		return
+	}
 
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)

@@ -73,7 +73,7 @@ func (rt *Runtime) CallEach(ctx context.Context, dest Troupe, proc uint16, args 
 		opts.clientTroupe = opts.AsTroupe
 	}
 	path := tc.NextCallPath()
-	if rt.tr.Enabled() {
+	if rt.tr.EnabledFor(trace.KindCallIssued) {
 		rt.tr.Emit(trace.Event{Kind: trace.KindCallIssued,
 			Troupe: uint64(dest.ID), Proc: proc,
 			ThreadHost: tc.ID().Host, ThreadProc: tc.ID().Proc, Path: path,
@@ -90,12 +90,58 @@ func (rt *Runtime) CallEach(ctx context.Context, dest Troupe, proc uint16, args 
 	}
 	var wg sync.WaitGroup
 	if !rt.multicastEach(callCtx, dest, tc.ID(), path, proc, args, opts, items, &wg) {
+		// Unicast fan-out. The call message is identical for every
+		// member that shares a module number — the common case, since
+		// troupe members are replicas of one module — so marshal the
+		// header once and hand all members the same bytes.
+		hdr := callHeader{
+			ThreadHost:   tc.ID().Host,
+			ThreadProc:   tc.ID().Proc,
+			Path:         path,
+			ClientTroupe: uint64(opts.clientTroupe),
+			DestTroupe:   uint64(dest.ID),
+			Proc:         proc,
+			Args:         args,
+		}
+		var shared []byte
+		if len(dest.Members) > 0 {
+			mod := dest.Members[0].Module
+			same := true
+			for _, m := range dest.Members[1:] {
+				if m.Module != mod {
+					same = false
+					break
+				}
+			}
+			if same {
+				hdr.Module = mod
+				var err error
+				if shared, err = wire.Marshal(hdr); err != nil {
+					for i := range dest.Members {
+						items <- collate.Item{Member: i, Err: err}
+					}
+					if cancel != nil {
+						cancel()
+					}
+					return items
+				}
+			}
+		}
 		for i, m := range dest.Members {
-			i, m := i, m
+			data := shared
+			if data == nil {
+				hdr.Module = m.Module
+				var err error
+				if data, err = wire.Marshal(hdr); err != nil {
+					items <- collate.Item{Member: i, Err: err}
+					continue
+				}
+			}
+			i, m, data := i, m, data
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				rt.callMember(callCtx, i, m, dest.ID, tc.ID(), path, proc, args, opts, items)
+				rt.callMember(callCtx, i, m, data, items)
 			}()
 		}
 	}
@@ -180,7 +226,7 @@ func (rt *Runtime) multicastEach(ctx context.Context, dest Troupe, tid thread.ID
 // traceReply records one member's contribution to a replicated call
 // as it is handed to the collator.
 func (rt *Runtime) traceReply(m ModuleAddr, it collate.Item) {
-	if !rt.tr.Enabled() {
+	if !rt.tr.EnabledFor(trace.KindMemberReply) {
 		return
 	}
 	e := trace.Event{Kind: trace.KindMemberReply,
@@ -279,7 +325,7 @@ func (rt *Runtime) Call(ctx context.Context, dest Troupe, proc uint16, args []by
 	if err != nil && errors.Is(err, collate.ErrAllFailed) {
 		err = summarizeFailure(got)
 	}
-	if rt.tr.Enabled() {
+	if rt.tr.EnabledFor(trace.KindCollateDone) {
 		e := trace.Event{Kind: trace.KindCollateDone,
 			Troupe: uint64(dest.ID), Proc: proc,
 			N: len(got), Dur: time.Since(started)}
@@ -336,27 +382,11 @@ func summarizeFailure(items []collate.Item) error {
 	}
 }
 
-// callMember sends one call message and awaits the return, the
-// client's half of one leg of Figure 4.3.
-func (rt *Runtime) callMember(ctx context.Context, idx int, m ModuleAddr, destID TroupeID,
-	tid thread.ID, path []uint32, proc uint16, args []byte, opts CallOptions, items chan<- collate.Item) {
-
-	hdr := callHeader{
-		ThreadHost:   tid.Host,
-		ThreadProc:   tid.Proc,
-		Path:         path,
-		ClientTroupe: uint64(opts.clientTroupe),
-		DestTroupe:   uint64(destID),
-		Module:       m.Module,
-		Proc:         proc,
-		Args:         args,
-	}
-	data, err := wire.Marshal(hdr)
-	if err != nil {
-		items <- collate.Item{Member: idx, Err: err}
-		return
-	}
-
+// callMember sends one pre-marshaled call message and awaits the
+// return, the client's half of one leg of Figure 4.3. The header is
+// encoded by CallEach — once for the whole fan-out when the members
+// share a module number.
+func (rt *Runtime) callMember(ctx context.Context, idx int, m ModuleAddr, data []byte, items chan<- collate.Item) {
 	push := func(it collate.Item) {
 		rt.traceReply(m, it)
 		items <- it

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"time"
@@ -19,26 +20,54 @@ import (
 // call path; the client troupe ID tells the member how many call
 // messages to expect.
 type serverCall struct {
-	mu         sync.Mutex
-	hdr        callHeader
-	tid        thread.ID
-	exp        *export
-	callers    []transport.Addr
-	callNums   map[transport.Addr]uint32
-	args       [][]byte
-	expected   int // number of client troupe members; 0 until resolved
-	started    bool
-	startedCh  chan struct{} // closed when started flips true
-	finished   bool
-	finishedAt time.Time
-	result     []byte // encoded returnHeader, buffered for late callers
+	mu       sync.Mutex
+	hdr      callHeader
+	tid      thread.ID
+	exp      *export
+	callers  []transport.Addr
+	callNums []uint32 // parallel to callers (troupes are small: linear scan)
+	args     [][]byte
+	// In-place backing for the three slices above, covering typical
+	// troupe degrees without heap growth.
+	callersArr  [4]transport.Addr
+	callNumsArr [4]uint32
+	argsArr     [4][]byte
+	expected    int // number of client troupe members; 0 until resolved
+	started     bool
+	timer       *time.Timer // availability timeout; stopped when started flips
+	finished    bool
+	finishedAt  time.Time
+	result      []byte // encoded returnHeader, buffered for late callers
+	status      uint16 // status word of result, for tracing late replies
 }
 
 // markStartedLocked flips started and releases the availability
 // timeout's timer. Caller holds sc.mu.
 func (sc *serverCall) markStartedLocked() {
 	sc.started = true
-	close(sc.startedCh)
+	if sc.timer != nil {
+		sc.timer.Stop()
+		sc.timer = nil
+	}
+}
+
+// callKey renders the collation key — thread identity (§4.3.2), call
+// path, and module number — in a single allocation. Two troupe members
+// co-located in one process have distinct module numbers, and a
+// replicated call addressing both must collate separately per member.
+func callKey(tid thread.ID, path []uint32, module uint16) string {
+	var arr [64]byte
+	buf := arr[:0]
+	if n := 10 + 4*len(path); n > len(arr) {
+		buf = make([]byte, 0, n)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, tid.Host)
+	buf = binary.BigEndian.AppendUint32(buf, tid.Proc)
+	for _, p := range path {
+		buf = binary.BigEndian.AppendUint32(buf, p)
+	}
+	buf = binary.BigEndian.AppendUint16(buf, module)
+	return string(buf)
 }
 
 // handleCall processes one incoming call message: the entry point of
@@ -70,20 +99,13 @@ func (rt *Runtime) handleCall(msg pairedmsg.Message) {
 		return
 	}
 
-	// The collation key is the thread identity (§4.3.2) plus the
-	// module number: two troupe members co-located in one process have
-	// distinct module numbers, and a replicated call addressing both
-	// must collate separately per member.
-	key := thread.PathKey(tid, hdr.Path) + string([]byte{byte(hdr.Module >> 8), byte(hdr.Module)})
+	key := callKey(tid, hdr.Path, hdr.Module)
 	sc, ok := rt.calls[key]
 	if !ok {
-		sc = &serverCall{
-			hdr:       hdr,
-			tid:       tid,
-			exp:       exp,
-			callNums:  make(map[transport.Addr]uint32),
-			startedCh: make(chan struct{}),
-		}
+		sc = &serverCall{hdr: hdr, tid: tid, exp: exp}
+		sc.callers = sc.callersArr[:0]
+		sc.callNums = sc.callNumsArr[:0]
+		sc.args = sc.argsArr[:0]
 		rt.calls[key] = sc
 	}
 	rt.mu.Unlock()
@@ -92,44 +114,50 @@ func (rt *Runtime) handleCall(msg pairedmsg.Message) {
 	if sc.finished {
 		// A slow client troupe member: execution appears instantaneous
 		// to it, because the return message is ready and waiting
-		// (§4.3.4).
-		result := sc.result
+		// (§4.3.4) — already encoded, so replay the stored bytes.
+		result, status := sc.result, sc.status
 		sc.mu.Unlock()
-		if rt.tr.Enabled() {
+		if rt.tr.EnabledFor(trace.KindDupCall) {
 			rt.tr.Emit(trace.Event{Kind: trace.KindDupCall,
 				Peer: msg.From, CallNum: msg.CallNum,
 				ThreadHost: hdr.ThreadHost, ThreadProc: hdr.ThreadProc,
 				Path: hdr.Path, Troupe: hdr.DestTroupe,
 				Module: hdr.Module, Proc: hdr.Proc})
 		}
-		rt.sendReturn(msg.From, msg.CallNum, decodedReturn(result))
+		rt.sendReturnEncoded(msg.From, msg.CallNum, status, result)
 		return
 	}
-	if _, seen := sc.callNums[msg.From]; !seen {
-		sc.callers = append(sc.callers, msg.From)
-		sc.args = append(sc.args, hdr.Args)
+	seen := -1
+	for i, a := range sc.callers {
+		if a == msg.From {
+			seen = i
+			break
+		}
 	}
-	sc.callNums[msg.From] = msg.CallNum
+	if seen < 0 {
+		sc.callers = append(sc.callers, msg.From)
+		sc.callNums = append(sc.callNums, msg.CallNum)
+		sc.args = append(sc.args, hdr.Args)
+	} else {
+		sc.callNums[seen] = msg.CallNum
+	}
 	first := len(sc.callers) == 1
+	if first && hdr.ClientTroupe == 0 {
+		// An unreplicated client sends exactly one call message; no
+		// membership lookup is needed.
+		sc.expected = 1
+	}
 	sc.mu.Unlock()
 
 	if first {
-		// Resolve the client troupe membership (consulting a local
-		// cache or the binding agent, §4.3.2) off the receive loop,
-		// and arm the availability timeout.
-		rt.background(func() { rt.resolveExpected(sc, TroupeID(hdr.ClientTroupe)) })
-		rt.background(func() { rt.armTimeout(sc) })
+		rt.armTimeout(sc)
+		if hdr.ClientTroupe != 0 {
+			// Resolve the client troupe membership (consulting a local
+			// cache or the binding agent, §4.3.2) off the receive loop.
+			rt.background(func() { rt.resolveExpected(sc, TroupeID(hdr.ClientTroupe)) })
+		}
 	}
 	rt.maybeStart(sc)
-}
-
-// decodedReturn re-wraps a buffered, already-encoded return header.
-func decodedReturn(encoded []byte) returnHeader {
-	var hdr returnHeader
-	if err := wire.Unmarshal(encoded, &hdr); err != nil {
-		return returnHeader{Status: statusBadMessage}
-	}
-	return hdr
 }
 
 // resolveExpected learns how many call messages to expect as part of
@@ -163,32 +191,52 @@ func (rt *Runtime) resolveExpected(sc *serverCall, clientTroupe TroupeID) {
 // §4.3.5's discipline exists precisely to keep it from diverging. Such
 // a call stalls until the partition heals or more messages arrive.
 func (rt *Runtime) armTimeout(sc *serverCall) {
-	t := time.NewTimer(rt.opts.ManyToOneTimeout)
-	defer t.Stop()
-	select {
-	case <-rt.done:
-	case <-sc.startedCh:
-		// The call started before the availability timeout expired;
-		// stop the timer now rather than letting a long campaign
-		// accumulate one live timer per completed call.
-	case <-t.C:
-		sc.mu.Lock()
-		floor := 1
-		if sc.exp.opts.Policy == ArgMajority {
-			if sc.expected == 0 {
-				sc.mu.Unlock()
-				return // membership unresolved: cannot establish a majority
-			}
-			floor = sc.expected/2 + 1
-		}
-		force := !sc.started && len(sc.callers) >= floor
-		if force {
-			sc.markStartedLocked()
-		}
+	// One AfterFunc timer instead of a goroutine parked on a
+	// NewTimer: markStartedLocked stops it when the call starts, so a
+	// long campaign does not accumulate one live timer per completed
+	// call, and the common case costs no goroutine at all.
+	t := time.AfterFunc(rt.opts.ManyToOneTimeout, func() { rt.timeoutFire(sc) })
+	sc.mu.Lock()
+	if sc.started {
 		sc.mu.Unlock()
-		if force {
-			rt.background(func() { rt.execute(sc) })
+		t.Stop()
+		return
+	}
+	sc.timer = t
+	sc.mu.Unlock()
+}
+
+// timeoutFire runs on the availability timer's goroutine when the
+// timeout expires before the call starts.
+func (rt *Runtime) timeoutFire(sc *serverCall) {
+	// Register with the shutdown WaitGroup under rt.mu, mirroring
+	// background(): after Close flips rt.closed the timer fire is a
+	// no-op, and Close's wait cannot complete while we run.
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return
+	}
+	rt.bg.Add(1)
+	rt.mu.Unlock()
+	defer rt.bg.Done()
+
+	sc.mu.Lock()
+	floor := 1
+	if sc.exp.opts.Policy == ArgMajority {
+		if sc.expected == 0 {
+			sc.mu.Unlock()
+			return // membership unresolved: cannot establish a majority
 		}
+		floor = sc.expected/2 + 1
+	}
+	force := !sc.started && len(sc.callers) >= floor
+	if force {
+		sc.markStartedLocked()
+	}
+	sc.mu.Unlock()
+	if force {
+		rt.execute(sc)
 	}
 }
 
@@ -219,8 +267,17 @@ func (rt *Runtime) maybeStart(sc *serverCall) {
 	}
 	sc.mu.Unlock()
 	if start {
-		rt.background(func() { rt.execute(sc) })
+		rt.bg.Add(1)
+		go rt.executeBG(sc)
 	}
+}
+
+// executeBG is the tracked-goroutine wrapper of execute, spawned
+// directly rather than through background() to spare the closure
+// allocations on the per-call path.
+func (rt *Runtime) executeBG(sc *serverCall) {
+	defer rt.bg.Done()
+	rt.execute(sc)
 }
 
 // execute performs the requested procedure exactly once and sends a
@@ -233,8 +290,11 @@ func (rt *Runtime) execute(sc *serverCall) {
 	hdr := sc.hdr
 	tid := sc.tid
 	exp := sc.exp
-	callers := append([]transport.Addr(nil), sc.callers...)
-	args := append([][]byte(nil), sc.args...)
+	// The slice headers are snapshot under the lock without copying:
+	// elements below the snapshot length are never rewritten (late
+	// call messages only append), so later growth is invisible here.
+	callers := sc.callers
+	args := sc.args
 	sc.mu.Unlock()
 
 	call := &ServerCall{
@@ -249,7 +309,7 @@ func (rt *Runtime) execute(sc *serverCall) {
 	}
 
 	began := time.Now()
-	if rt.tr.Enabled() {
+	if rt.tr.EnabledFor(trace.KindCallStart) {
 		// The at-most-once anchor: exactly one of these per (thread
 		// ID, call path, module) per member incarnation (§4.3.4).
 		rt.tr.Emit(trace.Event{Kind: trace.KindCallStart,
@@ -280,7 +340,7 @@ func (rt *Runtime) execute(sc *serverCall) {
 	} else {
 		ret = returnHeader{Status: statusOK, Payload: res}
 	}
-	if rt.tr.Enabled() {
+	if rt.tr.EnabledFor(trace.KindCallDone) {
 		e := trace.Event{Kind: trace.KindCallDone,
 			ThreadHost: tid.Host, ThreadProc: tid.Proc, Path: hdr.Path,
 			Troupe: hdr.DestTroupe, Module: hdr.Module, Proc: hdr.Proc,
@@ -307,14 +367,17 @@ func (rt *Runtime) finishAndReply(sc *serverCall, ret returnHeader) {
 	sc.finished = true
 	sc.finishedAt = time.Now()
 	sc.result = encoded
-	targets := make(map[transport.Addr]uint32, len(sc.callNums))
-	for a, cn := range sc.callNums {
-		targets[a] = cn
-	}
+	sc.status = ret.Status
+	callers := sc.callers // append-only: the header snapshot suffices
+	// callNums entries are rewritten in place when a client member
+	// retransmits with a fresh call number, so these must be copied.
+	callNums := append([]uint32(nil), sc.callNums...)
 	sc.mu.Unlock()
 
-	for addr, callNum := range targets {
-		rt.sendReturn(addr, callNum, ret)
+	// One encode serves every client troupe member (and any late
+	// arrival, via the buffer stored above).
+	for i, addr := range callers {
+		rt.sendReturnEncoded(addr, callNums[i], ret.Status, encoded)
 	}
 }
 
@@ -353,9 +416,15 @@ func (rt *Runtime) sendReturn(to transport.Addr, callNum uint32, ret returnHeade
 	if err != nil {
 		return
 	}
-	if rt.tr.Enabled() {
+	rt.sendReturnEncoded(to, callNum, ret.Status, data)
+}
+
+// sendReturnEncoded transmits an already-encoded return message, so
+// the reply fan-out and duplicate replay reuse one encoding.
+func (rt *Runtime) sendReturnEncoded(to transport.Addr, callNum uint32, status uint16, data []byte) {
+	if rt.tr.EnabledFor(trace.KindReplySent) {
 		e := trace.Event{Kind: trace.KindReplySent,
-			Peer: to, CallNum: callNum, N: int(ret.Status)}
+			Peer: to, CallNum: callNum, N: int(status)}
 		rt.tr.Emit(e)
 	}
 	if _, err := rt.conn.StartSend(to, pairedmsg.Return, callNum, data); err != nil {

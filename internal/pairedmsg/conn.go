@@ -169,8 +169,9 @@ type key struct {
 type outTransfer struct {
 	k        key
 	segs     [][]byte
-	acked    int // highest consecutive segment acknowledged
-	attempts int // retransmission passes since last progress
+	segsArr  [1][]byte // in-place backing of segs for single-segment sends
+	acked    int       // highest consecutive segment acknowledged
+	attempts int       // retransmission passes since last progress
 	nextSend time.Time
 	done     chan struct{}
 	err      error
@@ -210,7 +211,8 @@ func (e *rttEstimator) rto() time.Duration { return e.srtt + 4*e.rttvar }
 
 type inTransfer struct {
 	total     int
-	segs      [][]byte
+	segs      [][]byte  // segs[1..total]; nil marks a missing segment
+	segArr    [4][]byte // in-place backing of segs for small messages
 	have      int
 	ackNum    int // highest consecutive segment received
 	delivered bool
@@ -294,6 +296,30 @@ type Conn struct {
 	stop     chan struct{}
 	wg       sync.WaitGroup
 }
+
+// ctlBufs pools the fixed 8-byte buffers of ack and probe control
+// segments. The transport contract (transport.Endpoint.Send) is that
+// the datagram is not retained after Send returns, so a buffer can go
+// straight back to the pool.
+var ctlBufs = sync.Pool{New: func() any { return new([headerLen]byte) }}
+
+// sendControl transmits one header-only control segment from a pooled
+// buffer.
+func (c *Conn) sendControl(to transport.Addr, h segHeader) {
+	buf := ctlBufs.Get().(*[headerLen]byte)
+	h.put(buf[:])
+	c.ep.Send(to, buf[:])
+	ctlBufs.Put(buf)
+}
+
+// segScratch pools retransmission staging buffers. Retransmitted
+// segments need the please-ack bit set, but the stored originals must
+// not be flipped in place: the initial transmission loop may still be
+// reading them outside the connection lock.
+var segScratch = sync.Pool{New: func() any {
+	b := make([]byte, 0, transport.MaxDatagram)
+	return &b
+}}
 
 // connSeq and connSalt seed the default call number base so
 // successive incarnations on one address cannot collide (see
@@ -483,7 +509,7 @@ func (c *Conn) StartSendMulticast(group []transport.Addr, typ MsgType, callNum u
 	c.stats.SegmentsSent += int64(len(segs)) // one multicast op per segment
 	c.mu.Unlock()
 
-	if c.tr.Enabled() {
+	if c.tr.EnabledFor(trace.KindMsgSend) {
 		for _, to := range group {
 			c.tr.Emit(trace.Event{Kind: trace.KindMsgSend, Peer: to,
 				MsgType: uint8(typ), CallNum: callNum, N: len(segs)})
@@ -502,15 +528,25 @@ func (c *Conn) StartSendMulticast(group []transport.Addr, typ MsgType, callNum u
 // StartSend begins a reliable transfer without blocking; servers use
 // it to send return messages while continuing to serve (§4.3.2).
 func (c *Conn) StartSend(to transport.Addr, typ MsgType, callNum uint32, msg []byte) (*outTransfer, error) {
-	segs, err := segmentMessage(typ, callNum, msg)
-	if err != nil {
-		return nil, err
-	}
 	k := key{peer: to, typ: typ, callNum: callNum}
 	t := &outTransfer{
 		k:    k,
-		segs: segs,
 		done: make(chan struct{}),
+	}
+	if len(msg) <= maxSegPayload {
+		// Single-segment fast path: the segment vector lives in the
+		// transfer itself.
+		backing := make([]byte, headerLen+len(msg))
+		segHeader{typ: typ, totalSegs: 1, segNum: 1, callNum: callNum}.put(backing)
+		copy(backing[headerLen:], msg)
+		t.segsArr[0] = backing
+		t.segs = t.segsArr[:1]
+	} else {
+		segs, err := segmentMessage(typ, callNum, msg)
+		if err != nil {
+			return nil, err
+		}
+		t.segs = segs
 	}
 
 	c.mu.Lock()
@@ -524,16 +560,16 @@ func (c *Conn) StartSend(to transport.Addr, typ MsgType, callNum uint32, msg []b
 	}
 	c.out[k] = t
 	c.initTransferLocked(t, to, time.Now())
-	c.stats.SegmentsSent += int64(len(segs))
+	c.stats.SegmentsSent += int64(len(t.segs))
 	c.mu.Unlock()
 
-	if c.tr.Enabled() {
+	if c.tr.EnabledFor(trace.KindMsgSend) {
 		c.tr.Emit(trace.Event{Kind: trace.KindMsgSend, Peer: to,
-			MsgType: uint8(typ), CallNum: callNum, N: len(segs)})
+			MsgType: uint8(typ), CallNum: callNum, N: len(t.segs)})
 	}
 	// Initial transmission of all segments with no control bits set
 	// (§4.2.2).
-	for _, s := range segs {
+	for _, s := range t.segs {
 		c.ep.Send(to, s)
 	}
 	return t, nil
@@ -641,9 +677,11 @@ func (c *Conn) handleData(from transport.Addr, h segHeader, payload []byte) {
 
 	in, ok := c.in[k]
 	if !ok {
-		in = &inTransfer{
-			total: int(h.totalSegs),
-			segs:  make([][]byte, int(h.totalSegs)+1),
+		in = &inTransfer{total: int(h.totalSegs)}
+		if n := in.total + 1; n <= len(in.segArr) {
+			in.segs = in.segArr[:n]
+		} else {
+			in.segs = make([][]byte, n)
 		}
 		c.in[k] = in
 	}
@@ -662,9 +700,11 @@ func (c *Conn) handleData(from transport.Addr, h segHeader, payload []byte) {
 	case in.segs[h.segNum] != nil:
 		dup = true
 	default:
-		seg := make([]byte, len(payload)) // non-nil even when empty: nil marks "missing"
-		copy(seg, payload)
-		in.segs[h.segNum] = seg
+		// Each received packet arrives in a fresh buffer the receiver
+		// owns (see transport.Packet), so the payload is kept without
+		// copying. It is non-nil even when empty — the datagram had a
+		// header prefix — which matters because nil marks "missing".
+		in.segs[h.segNum] = payload
 		in.have++
 		for in.ackNum < in.total && in.segs[in.ackNum+1] != nil {
 			in.ackNum++
@@ -686,8 +726,19 @@ func (c *Conn) handleData(from transport.Addr, h segHeader, payload []byte) {
 	var msg Message
 	if completedNow {
 		var buf []byte
+		if in.total == 1 {
+			buf = in.segs[1] // single segment: hand the payload up as-is
+		} else {
+			size := 0
+			for i := 1; i <= in.total; i++ {
+				size += len(in.segs[i])
+			}
+			buf = make([]byte, 0, size)
+			for i := 1; i <= in.total; i++ {
+				buf = append(buf, in.segs[i]...)
+			}
+		}
 		for i := 1; i <= in.total; i++ {
-			buf = append(buf, in.segs[i]...)
 			in.segs[i] = []byte{} // free the payload, keep "seen"
 		}
 		msg = Message{From: from, Type: h.typ, CallNum: h.callNum, Data: buf}
@@ -696,18 +747,16 @@ func (c *Conn) handleData(from transport.Addr, h segHeader, payload []byte) {
 	ackNum, total := in.ackNum, in.total
 	c.mu.Unlock()
 
-	if c.tr.Enabled() {
-		if dup {
-			c.tr.Emit(trace.Event{Kind: trace.KindDupSegment, Peer: from,
-				MsgType: uint8(h.typ), CallNum: h.callNum, N: int(h.segNum)})
-		}
-		if completedNow {
-			// Emitted before the message is handed upward, so the
-			// delivery is recorded strictly before anything the
-			// receiver does in response (e.g. sending a reply).
-			c.tr.Emit(trace.Event{Kind: trace.KindMsgDelivered, Peer: from,
-				MsgType: uint8(h.typ), CallNum: h.callNum, N: total})
-		}
+	if dup && c.tr.EnabledFor(trace.KindDupSegment) {
+		c.tr.Emit(trace.Event{Kind: trace.KindDupSegment, Peer: from,
+			MsgType: uint8(h.typ), CallNum: h.callNum, N: int(h.segNum)})
+	}
+	if completedNow && c.tr.EnabledFor(trace.KindMsgDelivered) {
+		// Emitted before the message is handed upward, so the
+		// delivery is recorded strictly before anything the
+		// receiver does in response (e.g. sending a reply).
+		c.tr.Emit(trace.Event{Kind: trace.KindMsgDelivered, Peer: from,
+			MsgType: uint8(h.typ), CallNum: h.callNum, N: total})
 	}
 
 	// Acknowledgment policy: answer please-ack and gaps immediately;
@@ -746,11 +795,11 @@ func (c *Conn) sendAck(to transport.Addr, typ MsgType, callNum uint32, ackNum, t
 	c.mu.Lock()
 	c.stats.AcksSent++
 	c.mu.Unlock()
-	if c.tr.Enabled() {
+	if c.tr.EnabledFor(trace.KindAckSend) {
 		c.tr.Emit(trace.Event{Kind: trace.KindAckSend, Peer: to,
 			MsgType: uint8(typ), CallNum: callNum, N: ackNum})
 	}
-	c.ep.Send(to, h.encode(nil))
+	c.sendControl(to, h)
 }
 
 func (c *Conn) completeOutLocked(t *outTransfer, err error) {
@@ -768,12 +817,12 @@ func (c *Conn) completeOutLocked(t *outTransfer, err error) {
 		}
 		rtt := time.Since(t.firstSent)
 		e.sample(rtt)
-		if c.tr.Enabled() {
+		if c.tr.EnabledFor(trace.KindRTTSample) {
 			c.tr.Emit(trace.Event{Kind: trace.KindRTTSample, Peer: t.k.peer,
 				MsgType: uint8(t.k.typ), CallNum: t.k.callNum, Dur: rtt})
 		}
 	}
-	if err == ErrPeerDown && c.tr.Enabled() {
+	if err == ErrPeerDown && c.tr.EnabledFor(trace.KindCrashSuspect) {
 		c.tr.Emit(trace.Event{Kind: trace.KindCrashSuspect, Peer: t.k.peer,
 			MsgType: uint8(t.k.typ), CallNum: t.k.callNum,
 			Attempt: t.attempts, Err: err.Error(), Detail: "retry exhaustion"})
@@ -847,15 +896,17 @@ func (c *Conn) timerPass(now time.Time) {
 		}
 		// Retransmit the first unacknowledged segment with please-ack
 		// set (§4.2.2), or all of them under RetransmitAll (§4.2.4).
+		// Only references to the stored originals are collected here;
+		// they are never mutated after creation, so they can be read
+		// outside the lock, where the send loop stamps the please-ack
+		// bit onto a pooled copy.
 		last := t.acked + 1
 		if c.opts.Strategy == RetransmitAll {
 			last = len(t.segs)
 		}
 		var segs [][]byte
 		for i := t.acked + 1; i <= last && i <= len(t.segs); i++ {
-			seg := append([]byte(nil), t.segs[i-1]...)
-			seg[1] |= ctlPleaseAck
-			segs = append(segs, seg)
+			segs = append(segs, t.segs[i-1])
 		}
 		c.stats.Retransmits += int64(len(segs))
 		c.stats.SegmentsSent += int64(len(segs))
@@ -898,20 +949,25 @@ func (c *Conn) timerPass(now time.Time) {
 	c.mu.Unlock()
 
 	for _, r := range resends {
-		if c.tr.Enabled() {
+		if c.tr.EnabledFor(trace.KindSegRetransmit) {
 			c.tr.Emit(trace.Event{Kind: trace.KindSegRetransmit, Peer: r.to,
 				MsgType: uint8(r.typ), CallNum: r.callNum,
 				Attempt: r.attempt, N: len(r.segs)})
 		}
 		for _, s := range r.segs {
-			c.ep.Send(r.to, s)
+			bp := segScratch.Get().(*[]byte)
+			b := append((*bp)[:0], s...)
+			b[1] |= ctlPleaseAck
+			c.ep.Send(r.to, b)
+			*bp = b
+			segScratch.Put(bp)
 		}
 	}
 	for _, p := range probes {
-		if c.tr.Enabled() {
+		if c.tr.EnabledFor(trace.KindProbeSend) {
 			c.tr.Emit(trace.Event{Kind: trace.KindProbeSend, Peer: p.to,
 				MsgType: uint8(p.h.typ), CallNum: p.h.callNum})
 		}
-		c.ep.Send(p.to, p.h.encode(nil))
+		c.sendControl(p.to, p.h)
 	}
 }

@@ -62,8 +62,11 @@ type segHeader struct {
 	callNum   uint32
 }
 
-func (h segHeader) encode(payload []byte) []byte {
-	buf := make([]byte, headerLen+len(payload))
+// put writes the header into buf[:headerLen], which the caller has
+// already sized; it is the allocation-free core of encode, also used
+// to stamp headers into pooled control buffers and the contiguous
+// segment backing of segmentMessage.
+func (h segHeader) put(buf []byte) {
 	buf[0] = byte(h.typ)
 	var ctl byte
 	if h.pleaseAck {
@@ -76,6 +79,11 @@ func (h segHeader) encode(payload []byte) []byte {
 	buf[2] = h.totalSegs
 	buf[3] = h.segNum
 	binary.BigEndian.PutUint32(buf[4:8], h.callNum)
+}
+
+func (h segHeader) encode(payload []byte) []byte {
+	buf := make([]byte, headerLen+len(payload))
+	h.put(buf)
 	copy(buf[headerLen:], payload)
 	return buf
 }
@@ -107,7 +115,11 @@ func segmentMessage(typ MsgType, callNum uint32, msg []byte) ([][]byte, error) {
 	if n > maxSegments {
 		return nil, ErrMessageTooLarge
 	}
+	// One contiguous backing array holds every segment: two
+	// allocations per message instead of one per segment.
+	backing := make([]byte, n*headerLen+len(msg))
 	segs := make([][]byte, n)
+	off := 0
 	for i := 0; i < n; i++ {
 		lo := i * maxSegPayload
 		hi := lo + maxSegPayload
@@ -120,7 +132,12 @@ func segmentMessage(typ MsgType, callNum uint32, msg []byte) ([][]byte, error) {
 			segNum:    uint8(i + 1),
 			callNum:   callNum,
 		}
-		segs[i] = h.encode(msg[lo:hi])
+		segLen := headerLen + (hi - lo)
+		seg := backing[off : off+segLen : off+segLen]
+		h.put(seg)
+		copy(seg[headerLen:], msg[lo:hi])
+		segs[i] = seg
+		off += segLen
 	}
 	return segs, nil
 }

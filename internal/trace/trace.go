@@ -181,11 +181,72 @@ func (e Event) PathKey() string {
 	return fmt.Sprintf("%d.%d/%v", e.ThreadHost, e.ThreadProc, e.Path)
 }
 
+// KindSet is a bitmask over Kind. kindCount is well under 64, so one
+// word covers the whole taxonomy.
+type KindSet uint64
+
+// AllKinds has every kind set.
+const AllKinds = KindSet(1<<kindCount) - 1
+
+// MaskOf builds a KindSet from individual kinds.
+func MaskOf(kinds ...Kind) KindSet {
+	var s KindSet
+	for _, k := range kinds {
+		s |= 1 << k
+	}
+	return s
+}
+
+// Has reports whether k is in the set.
+func (s KindSet) Has(k Kind) bool { return s&(1<<k) != 0 }
+
 // Sink receives events. Implementations must be safe for concurrent
 // use, must not block, and must not call back into the runtime: Emit
 // is invoked synchronously, often under component locks.
 type Sink interface {
 	Emit(Event)
+}
+
+// KindFilter is optionally implemented by sinks that only want a
+// subset of kinds. Local emitters consult it once at construction and
+// then skip filtered-out emissions before the Event is even built, so
+// an attached-but-filtered sink costs the same as a disabled one on
+// the hot path.
+type KindFilter interface {
+	TraceKinds() KindSet
+}
+
+// kindFiltered wraps a sink with a static kind mask.
+type kindFiltered struct {
+	sink Sink
+	keep KindSet
+}
+
+func (f kindFiltered) Emit(e Event) {
+	if f.keep.Has(e.Kind) {
+		f.sink.Emit(e)
+	}
+}
+
+func (f kindFiltered) TraceKinds() KindSet { return f.keep }
+
+// FilterKinds narrows sink to the given set of kinds. The Emit-side
+// check makes the filter correct with any emitter; emitters that go
+// through a Local additionally skip building filtered events at all.
+// A nil sink or an empty set yields nil (the disabled state).
+func FilterKinds(sink Sink, keep KindSet) Sink {
+	if sink == nil || keep == 0 {
+		return nil
+	}
+	return kindFiltered{sink: sink, keep: keep}
+}
+
+// sinkKinds is the mask a Local caches for a sink.
+func sinkKinds(s Sink) KindSet {
+	if f, ok := s.(KindFilter); ok {
+		return f.TraceKinds()
+	}
+	return AllKinds
 }
 
 // multi fans one event out to several sinks.
@@ -195,6 +256,16 @@ func (m multi) Emit(e Event) {
 	for _, s := range m {
 		s.Emit(e)
 	}
+}
+
+// TraceKinds is the union of the members' interests, so a Local over a
+// Multi only skips kinds no member wants.
+func (m multi) TraceKinds() KindSet {
+	var s KindSet
+	for _, sub := range m {
+		s |= sinkKinds(sub)
+	}
+	return s
 }
 
 // Multi combines sinks, dropping nils. It returns nil when no sink
@@ -232,6 +303,7 @@ type Local struct {
 	sink Sink
 	node transport.Addr
 	inc  uint32
+	mask KindSet // kinds the sink wants; cached at construction
 }
 
 // NewLocal builds an emitter stamping node and inc. It returns nil if
@@ -240,7 +312,7 @@ func NewLocal(sink Sink, node transport.Addr, inc uint32) *Local {
 	if sink == nil {
 		return nil
 	}
-	return &Local{sink: sink, node: node, inc: inc}
+	return &Local{sink: sink, node: node, inc: inc, mask: sinkKinds(sink)}
 }
 
 // Enabled reports whether emissions will reach a sink. Call sites
@@ -252,10 +324,22 @@ func NewLocal(sink Sink, node transport.Addr, inc uint32) *Local {
 //	}
 func (l *Local) Enabled() bool { return l != nil && l.sink != nil }
 
+// EnabledFor reports whether an event of kind k would reach the sink.
+// Hot paths guard with it so that a sink interested in other kinds
+// costs nothing here — the Event literal is never built:
+//
+//	if tr.EnabledFor(trace.KindMsgSend) {
+//		tr.Emit(trace.Event{Kind: trace.KindMsgSend, ...})
+//	}
+func (l *Local) EnabledFor(k Kind) bool {
+	return l != nil && l.sink != nil && l.mask.Has(k)
+}
+
 // Emit stamps the event with time, node, and incarnation, then hands
-// it to the sink. Emitting on a disabled Local is a no-op.
+// it to the sink. Emitting on a disabled Local, or an event the sink's
+// kind mask excludes, is a no-op.
 func (l *Local) Emit(e Event) {
-	if l == nil || l.sink == nil {
+	if l == nil || l.sink == nil || !l.mask.Has(e.Kind) {
 		return
 	}
 	e.T = time.Now()

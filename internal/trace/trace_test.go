@@ -61,6 +61,56 @@ func TestLocalStampsIdentity(t *testing.T) {
 	}
 }
 
+func TestFilterKinds(t *testing.T) {
+	if FilterKinds(nil, AllKinds) != nil {
+		t.Fatal("FilterKinds(nil) != nil")
+	}
+	if FilterKinds(NewRecorder(), 0) != nil {
+		t.Fatal("FilterKinds with empty set != nil")
+	}
+
+	rec := NewRecorder()
+	keep := MaskOf(KindCallIssued, KindCollateDone)
+	l := NewLocal(FilterKinds(rec, keep), transport.Addr{Host: 1}, 1)
+	if !l.Enabled() {
+		t.Fatal("filtered Local reports disabled")
+	}
+	if l.EnabledFor(KindMsgSend) || !l.EnabledFor(KindCallIssued) {
+		t.Fatal("EnabledFor disagrees with the filter")
+	}
+	l.Emit(Event{Kind: KindMsgSend}) // excluded: dropped before the sink
+	l.Emit(Event{Kind: KindCallIssued})
+	if evs := rec.Events(); len(evs) != 1 || evs[0].Kind != KindCallIssued {
+		t.Fatalf("filter leaked: %+v", evs)
+	}
+
+	// Filtered-out emission must not allocate: the hot path builds no
+	// Event when EnabledFor says no, and Emit drops excluded kinds
+	// before stamping.
+	allocs := testing.AllocsPerRun(100, func() {
+		if l.EnabledFor(KindMsgSend) {
+			t.Fatal("unexpected enable")
+		}
+		l.Emit(Event{Kind: KindMsgSend})
+	})
+	if allocs > 0 {
+		t.Fatalf("filtered emission allocated %.1f times per op", allocs)
+	}
+
+	// A Multi's mask is the union of its members' interests.
+	other := NewRecorder()
+	m := Multi(FilterKinds(rec, MaskOf(KindAckSend)), FilterKinds(other, MaskOf(KindProbeSend)))
+	lm := NewLocal(m, transport.Addr{Host: 2}, 2)
+	if !lm.EnabledFor(KindAckSend) || !lm.EnabledFor(KindProbeSend) || lm.EnabledFor(KindTxnCommit) {
+		t.Fatal("multi mask union wrong")
+	}
+	lm.Emit(Event{Kind: KindAckSend})
+	lm.Emit(Event{Kind: KindProbeSend})
+	if rec.Len() != 2 || other.Len() != 1 {
+		t.Fatalf("multi filter routing wrong: %d/%d", rec.Len(), other.Len())
+	}
+}
+
 func TestMultiComposition(t *testing.T) {
 	if Multi() != nil || Multi(nil, nil) != nil {
 		t.Fatal("Multi of no live sinks is not nil")

@@ -36,7 +36,10 @@ func (a Addr) String() string {
 		byte(a.Host>>24), byte(a.Host>>16), byte(a.Host>>8), byte(a.Host), a.Port)
 }
 
-// Packet is one datagram as delivered to a receiver.
+// Packet is one datagram as delivered to a receiver. Data is a fresh
+// buffer owned by the receiver: the transport never reuses it, and no
+// other delivery (including an injected duplicate) shares its backing
+// array, so the receiver may retain or alias it freely.
 type Packet struct {
 	From Addr
 	To   Addr
@@ -59,7 +62,9 @@ type Endpoint interface {
 
 	// Send transmits one datagram. Delivery is unreliable: the
 	// datagram may be lost, delayed, duplicated or reordered. Send
-	// never blocks awaiting the receiver.
+	// never blocks awaiting the receiver, and must not retain data
+	// after it returns — callers may immediately reuse the buffer
+	// (the paired message layer sends from pooled buffers).
 	Send(to Addr, data []byte) error
 
 	// Recv returns the channel of incoming datagrams. The channel is

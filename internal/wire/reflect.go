@@ -4,7 +4,11 @@ import (
 	"fmt"
 	"reflect"
 	"sort"
+	"sync"
 )
+
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+var decoderPool = sync.Pool{New: func() any { return new(Decoder) }}
 
 // Marshal externalizes v using reflection, covering the constructed
 // types of the Courier subset (§7.1.1): records become their fields in
@@ -19,30 +23,84 @@ import (
 // (exported fields), and pointers to any of these. int and uint travel
 // as 64-bit. Recursive types are the programmer's responsibility, as
 // they were for the Modula-2 stub compiler (§7.1.4).
+// Marshaling runs through the compiled codec for v's type (codec.go),
+// with the recursive walker below retained as the fallback for kinds
+// outside the compiled subset and as the parity oracle for tests.
 func Marshal(v any) ([]byte, error) {
-	e := NewEncoder()
-	if err := marshalValue(e, reflect.ValueOf(v)); err != nil {
-		return nil, err
+	rv := reflect.ValueOf(v)
+	if !rv.IsValid() {
+		return nil, fmt.Errorf("wire: cannot marshal invalid value")
 	}
-	return e.Bytes(), nil
+	c := codecFor(rv.Type())
+	e := encoderPool.Get().(*Encoder)
+	e.buf = e.buf[:0]
+	e.Grow(c.fixed)
+	err := c.enc(e, rv)
+	var out []byte
+	if err == nil {
+		out = make([]byte, len(e.buf))
+		copy(out, e.buf)
+	}
+	encoderPool.Put(e)
+	return out, err
+}
+
+// MarshalAppend externalizes v onto buf, growing it as needed, and
+// returns the extended slice. It allocates nothing when buf has room.
+func MarshalAppend(buf []byte, v any) ([]byte, error) {
+	rv := reflect.ValueOf(v)
+	if !rv.IsValid() {
+		return buf, fmt.Errorf("wire: cannot marshal invalid value")
+	}
+	c := codecFor(rv.Type())
+	// Borrow a pooled Encoder as the execution frame, swapping the
+	// caller's buffer in; the pooled scratch is restored before Put so
+	// the caller's buffer is never retained by the pool.
+	e := encoderPool.Get().(*Encoder)
+	scratch := e.buf
+	e.buf = buf
+	e.Grow(c.fixed)
+	err := c.enc(e, rv)
+	out := e.buf
+	e.buf = scratch
+	encoderPool.Put(e)
+	if err != nil {
+		return buf, err
+	}
+	return out, nil
 }
 
 // Append externalizes v onto an existing encoder.
 func Append(e *Encoder, v any) error {
-	return marshalValue(e, reflect.ValueOf(v))
+	rv := reflect.ValueOf(v)
+	if !rv.IsValid() {
+		return fmt.Errorf("wire: cannot marshal invalid value")
+	}
+	return codecFor(rv.Type()).enc(e, rv)
 }
 
 // Unmarshal internalizes data into the value pointed to by out,
-// rejecting trailing garbage.
+// rejecting trailing garbage. Decoding reuses the target's existing
+// backing store (strings, slices, maps, pointees) when capacity
+// allows, so steady-state decodes into a long-lived value allocate
+// nothing; as with encoding/json, references previously extracted
+// from the target may be overwritten by the next decode into it.
 func Unmarshal(data []byte, out any) error {
-	d := NewDecoder(data)
-	if err := Consume(d, out); err != nil {
-		return err
+	rv := reflect.ValueOf(out)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("wire: Unmarshal target must be a non-nil pointer, got %T", out)
 	}
-	if !d.Finished() {
-		return fmt.Errorf("%w: %d trailing bytes", ErrBadValue, d.Remaining())
+	elem := rv.Elem()
+	c := codecFor(elem.Type())
+	d := decoderPool.Get().(*Decoder)
+	d.buf, d.off = data, 0
+	err := c.dec(d, elem)
+	if err == nil && !d.Finished() {
+		err = fmt.Errorf("%w: %d trailing bytes", ErrBadValue, d.Remaining())
 	}
-	return nil
+	d.buf = nil
+	decoderPool.Put(d)
+	return err
 }
 
 // Consume internalizes one value from an existing decoder.
@@ -51,7 +109,8 @@ func Consume(d *Decoder, out any) error {
 	if rv.Kind() != reflect.Pointer || rv.IsNil() {
 		return fmt.Errorf("wire: Unmarshal target must be a non-nil pointer, got %T", out)
 	}
-	return unmarshalValue(d, rv.Elem())
+	elem := rv.Elem()
+	return codecFor(elem.Type()).dec(d, elem)
 }
 
 func marshalValue(e *Encoder, v reflect.Value) error {

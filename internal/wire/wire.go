@@ -44,6 +44,18 @@ func (e *Encoder) Bytes() []byte { return e.buf }
 // Len returns the number of bytes encoded so far.
 func (e *Encoder) Len() int { return len(e.buf) }
 
+// Reset truncates the encoder, keeping its buffer for reuse.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Grow ensures room for at least n more bytes without reallocating.
+func (e *Encoder) Grow(n int) {
+	if cap(e.buf)-len(e.buf) < n {
+		buf := make([]byte, len(e.buf), len(e.buf)+n)
+		copy(buf, e.buf)
+		e.buf = buf
+	}
+}
+
 // PutBool encodes a BOOLEAN as one 16-bit word, 0 or 1.
 func (e *Encoder) PutBool(v bool) {
 	if v {
