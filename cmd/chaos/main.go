@@ -23,11 +23,12 @@ import (
 
 func main() {
 	var (
-		seeds   = flag.Int("seeds", 1, "run campaigns for seeds 1..N")
-		seed    = flag.Int64("seed", 0, "run a single campaign with this seed (overrides -seeds)")
-		servers = flag.Int("servers", 3, "KV troupe degree")
-		clients = flag.Int("clients", 3, "concurrent client processes")
-		ops      = flag.Int("ops", 20, "minimum put operations per client")
+		seeds    = flag.Int("seeds", 1, "run campaigns for seeds 1..N")
+		seed     = flag.Int64("seed", 0, "run a single campaign with this seed (overrides -seeds)")
+		servers  = flag.Int("servers", 3, "KV troupe degree")
+		clients  = flag.Int("clients", 3, "concurrent client processes")
+		ops      = flag.Int("ops", 20, "minimum put operations per client caller")
+		callers  = flag.Int("callers", 1, "concurrent caller goroutines per client process")
 		verbose  = flag.Bool("v", false, "log schedule events and repair actions")
 		traceDir = flag.String("trace", "", "write per-seed JSONL traces (seed<N>.jsonl) into this directory")
 	)
@@ -57,7 +58,7 @@ func main() {
 		removed, rejoined, viols int
 	}
 	for _, s := range list {
-		cfg := chaos.Config{Seed: s, Servers: *servers, Clients: *clients, Ops: *ops}
+		cfg := chaos.Config{Seed: s, Servers: *servers, Clients: *clients, Ops: *ops, Callers: *callers}
 		if *verbose {
 			cfg.Log = func(format string, args ...any) {
 				fmt.Printf(format+"\n", args...)

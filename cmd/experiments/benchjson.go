@@ -24,6 +24,9 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Extra carries benchmark-reported metrics beyond the standard
+	// three — the throughput suite records "calls/s" here.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type benchDoc struct {
@@ -35,13 +38,20 @@ type benchDoc struct {
 }
 
 func record(name string, r testing.BenchmarkResult) benchResult {
-	return benchResult{
+	res := benchResult{
 		Name:        name,
 		Iterations:  r.N,
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
 	}
+	if len(r.Extra) > 0 {
+		res.Extra = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			res.Extra[k] = v
+		}
+	}
+	return res
 }
 
 type benchRec struct {
@@ -111,6 +121,35 @@ func writeBenchJSON(maxDegree int, seed int64) (string, error) {
 		c.Close()
 		doc.Benchmarks = append(doc.Benchmarks,
 			record(fmt.Sprintf("NativeReplicatedCall/degree=%d", n), r))
+	}
+
+	// Concurrent-call throughput scaling (BenchmarkThroughput): closed-
+	// loop callers against echo troupes over a 1 ms netsim wire. The
+	// "calls/s" extra metric is the scaling curve; ns_per_op is
+	// wall-time per call at that concurrency.
+	for _, degree := range []int{1, 3} {
+		for _, callers := range []int{1, 4, 16, 64} {
+			c, err := bench.NewCluster(seed+int64(100*degree+callers), degree, time.Millisecond)
+			if err != nil {
+				return "", err
+			}
+			if err := c.Call(bench.ThroughputPayload); err != nil {
+				c.Close()
+				return "", err
+			}
+			callers := callers
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				if err := c.ConcurrentCalls(callers, b.N); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+			})
+			c.Close()
+			doc.Benchmarks = append(doc.Benchmarks,
+				record(fmt.Sprintf("Throughput/callers=%d/degree=%d", callers, degree), r))
+		}
 	}
 
 	path := fmt.Sprintf("BENCH_%d.json", maxDegree)

@@ -6,7 +6,7 @@
 //	go run ./cmd/experiments -run table4.1
 //
 // Experiment IDs: table4.1 table4.2 table4.3 figure4.8 multicast
-// eq5.1 figure5.1 figure6.3 ablation native
+// eq5.1 figure5.1 figure6.3 ablation native throughput
 package main
 
 import (
@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"circus/internal/bench"
@@ -31,7 +33,16 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller iteration counts")
 	traceFile := flag.String("trace", "", "write a JSONL protocol trace of the native experiments to this file")
 	benchJSON := flag.Int("bench-json", 0, "measure hot-path benchmarks up to this replication degree, write BENCH_<n>.json, and exit")
+	mutexProf := flag.String("mutexprofile", "", "record runtime mutex contention during the run and write the profile to this file")
 	flag.Parse()
+
+	if *mutexProf != "" {
+		// Sample every blocking mutex event: the experiments are short,
+		// and the point is to see whether the message/dispatch paths
+		// still serialize on shared locks under concurrent load.
+		runtime.SetMutexProfileFraction(1)
+		defer writeMutexProfile(*mutexProf)
+	}
 
 	if *benchJSON > 0 {
 		path, err := writeBenchJSON(*benchJSON, *seed)
@@ -93,6 +104,9 @@ func main() {
 		{"native", func() (string, error) {
 			return bench.NativeReplicatedCall(*seed, []int{1, 2, 3, 4, 5}, callIters)
 		}},
+		{"throughput", func() (string, error) {
+			return bench.ThroughputTable(*seed, callIters/2)
+		}},
 	}
 
 	ran := 0
@@ -111,4 +125,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *runID)
 		os.Exit(2)
 	}
+}
+
+// writeMutexProfile dumps the accumulated mutex-contention profile.
+// It runs deferred from main, so any experiment (or the bench-json
+// mode) can be profiled by adding -mutexprofile.
+func writeMutexProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("mutexprofile: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+		log.Printf("mutexprofile: %v", err)
+		return
+	}
+	fmt.Println("wrote", path)
 }

@@ -57,6 +57,26 @@ func TestCampaignSmoke(t *testing.T) {
 		res.Seed, res.Acked, res.Failed, res.Retries, res.Rebinds, res.Suspected, res.Removed, res.Rejoined)
 }
 
+// TestCampaignConcurrentCallers runs a campaign with four concurrent
+// caller goroutines per client process sharing each client's stub —
+// the fault schedule plays out against genuinely concurrent replicated
+// calls, and every survivability invariant (plus the trace conformance
+// check inside Run) must still hold.
+func TestCampaignConcurrentCallers(t *testing.T) {
+	res, err := Run(Config{Seed: 11, Ops: 6, Callers: 4, Log: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("invariant violations under concurrent callers: %v", res.Violations)
+	}
+	if res.Acked == 0 {
+		t.Fatal("no operation was acknowledged during the campaign")
+	}
+	t.Logf("seed %d: acked=%d failed=%d retries=%d rebinds=%d suspected=%d removed=%d rejoined=%d",
+		res.Seed, res.Acked, res.Failed, res.Retries, res.Rebinds, res.Suspected, res.Removed, res.Rejoined)
+}
+
 // TestRebindDuringReconfiguration pins the acceptance scenario
 // deterministically: the binding agent reconfigures the troupe while
 // a client holds the old binding; the client's next call must succeed

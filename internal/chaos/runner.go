@@ -23,8 +23,13 @@ type Config struct {
 	Servers int
 	// Clients is the number of concurrent client processes. Default 3.
 	Clients int
-	// Ops is the number of put operations per client. Default 30.
+	// Ops is the number of put operations per client caller. Default 30.
 	Ops int
+	// Callers is the number of concurrent caller goroutines per client
+	// process, all sharing that client's resilient stub — exercising
+	// the sharded message layer and parallel dispatch under faults.
+	// Default 1 (the historical serial client).
+	Callers int
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
 	// Trace, when set, additionally receives every node's trace events
@@ -42,6 +47,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Ops == 0 {
 		c.Ops = 30
+	}
+	if c.Callers == 0 {
+		c.Callers = 1
 	}
 	if c.Log == nil {
 		c.Log = func(string, ...any) {}
@@ -180,34 +188,36 @@ func Run(cfg Config) (*Result, error) {
 	scheduleDone := make(chan struct{})
 	var wg sync.WaitGroup
 	for ci := range clients {
-		ci := ci
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(0x5eed<<8|ci)))
-			for op := 0; ; op++ {
-				if op >= cfg.Ops {
-					select {
-					case <-scheduleDone:
-						return
-					default:
+		for gi := 0; gi < cfg.Callers; gi++ {
+			ci, gi := ci, gi
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed ^ int64(0x5eed<<16|ci<<8|gi)))
+				for op := 0; ; op++ {
+					if op >= cfg.Ops {
+						select {
+						case <-scheduleDone:
+							return
+						default:
+						}
 					}
+					key := fmt.Sprintf("c%d.g%d.k%d", ci, gi, op)
+					val := fmt.Sprintf("v%d.%s", cfg.Seed, key)
+					args, _ := circus.Marshal(kvPair{Key: key, Val: val})
+					_, err := clients[ci].stub.Call(ctx, ProcPut, args,
+						circus.WithTimeout(600*time.Millisecond))
+					mu.Lock()
+					if err == nil {
+						acked[key] = val
+					} else {
+						failed++
+					}
+					mu.Unlock()
+					time.Sleep(time.Duration(10+rng.Intn(20)) * time.Millisecond)
 				}
-				key := fmt.Sprintf("c%d.k%d", ci, op)
-				val := fmt.Sprintf("v%d.%s", cfg.Seed, key)
-				args, _ := circus.Marshal(kvPair{Key: key, Val: val})
-				_, err := clients[ci].stub.Call(ctx, ProcPut, args,
-					circus.WithTimeout(600*time.Millisecond))
-				mu.Lock()
-				if err == nil {
-					acked[key] = val
-				} else {
-					failed++
-				}
-				mu.Unlock()
-				time.Sleep(time.Duration(10+rng.Intn(20)) * time.Millisecond)
-			}
-		}()
+			}()
+		}
 	}
 
 	// The repairman sweeps concurrently with the faults.

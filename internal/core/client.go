@@ -186,31 +186,27 @@ func (rt *Runtime) multicastEach(ctx context.Context, dest Troupe, tid thread.ID
 		return false
 	}
 
-	callNum := rt.conn.NextMulticastCallNum()
 	group := make([]transport.Addr, len(dest.Members))
-	chans := make([]chan returnHeader, len(dest.Members))
-	rt.mu.Lock()
-	if rt.closed {
-		rt.mu.Unlock()
-		return false
-	}
 	for i, m := range dest.Members {
 		group[i] = m.Addr
+	}
+	// Two-phase send: BeginCallMulticast allocates the call number and
+	// registers the transfers without transmitting, so the return
+	// routing below is installed before any call message is on the
+	// wire — a reply can never race its own pending entry.
+	transfers, callNum, err := rt.conn.BeginCallMulticast(group, data)
+	if err != nil {
+		return false // no multicast support (or closing): fall back to unicast
+	}
+	chans := make([]chan returnHeader, len(dest.Members))
+	rt.pendMu.Lock()
+	for i, m := range dest.Members {
 		ch := make(chan returnHeader, 1)
 		chans[i] = ch
 		rt.pending[retKey{peer: m.Addr, callNum: callNum}] = ch
 	}
-	rt.mu.Unlock()
-
-	transfers, err := rt.conn.StartSendMulticast(group, pairedmsg.Call, callNum, data)
-	if err != nil {
-		rt.mu.Lock()
-		for _, m := range dest.Members {
-			delete(rt.pending, retKey{peer: m.Addr, callNum: callNum})
-		}
-		rt.mu.Unlock()
-		return false // no multicast support: fall back to unicast
-	}
+	rt.pendMu.Unlock()
+	rt.conn.TransmitMulticast(group, transfers)
 
 	for i, m := range dest.Members {
 		i, m := i, m
@@ -247,9 +243,9 @@ func (rt *Runtime) awaitReply(ctx context.Context, idx int, m ModuleAddr, callNu
 		items <- it
 	}
 	unregister := func() {
-		rt.mu.Lock()
+		rt.pendMu.Lock()
 		delete(rt.pending, retKey{peer: m.Addr, callNum: callNum})
-		rt.mu.Unlock()
+		rt.pendMu.Unlock()
 	}
 
 	// Phase 1: until the call message is acknowledged (the return may
@@ -391,24 +387,31 @@ func (rt *Runtime) callMember(ctx context.Context, idx int, m ModuleAddr, data [
 		rt.traceReply(m, it)
 		items <- it
 	}
-	callNum := rt.conn.NextCallNum(m.Addr)
-	ch := make(chan returnHeader, 1)
-	rt.mu.Lock()
-	if rt.closed {
-		rt.mu.Unlock()
-		push(collate.Item{Member: idx, Err: ErrClosed})
+	// Two-phase send: BeginCall allocates the member's call number and
+	// registers the transfer atomically (so concurrent callers' trace
+	// events stay in call-number order), the pending entry is installed
+	// under the allocated number, and only then does the call message
+	// go on the wire — the return can never beat its routing. A closed
+	// runtime surfaces as ErrClosed from BeginCall.
+	t, err := rt.conn.BeginCall(m.Addr, data)
+	if err != nil {
+		push(collate.Item{Member: idx, Err: memberErr(err)})
 		return
 	}
+	callNum := t.CallNum()
+	ch := make(chan returnHeader, 1)
+	rt.pendMu.Lock()
 	rt.pending[retKey{peer: m.Addr, callNum: callNum}] = ch
-	rt.mu.Unlock()
+	rt.pendMu.Unlock()
 
 	unregister := func() {
-		rt.mu.Lock()
+		rt.pendMu.Lock()
 		delete(rt.pending, retKey{peer: m.Addr, callNum: callNum})
-		rt.mu.Unlock()
+		rt.pendMu.Unlock()
 	}
 
-	if err := rt.conn.Send(ctx, m.Addr, pairedmsg.Call, callNum, data); err != nil {
+	rt.conn.Transmit(t)
+	if err := rt.conn.Await(ctx, t); err != nil {
 		unregister()
 		push(collate.Item{Member: idx, Err: memberErr(err)})
 		return

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -92,6 +93,16 @@ type Options struct {
 	// operation reaches the whole server troupe, m+n messages instead
 	// of m·n.
 	Multicast bool
+	// DispatchWorkers sizes the worker pool that executes incoming
+	// message handling off the receive loop: messages are distributed
+	// to workers by sender address, so different senders' calls are
+	// parsed, collated, and answered concurrently while each sender's
+	// message stream is still handled in arrival order (the ordering
+	// the paired message layer's per-peer FIFO guarantees end-to-end).
+	// Zero means max(4, GOMAXPROCS). A negative value restores the
+	// serial pre-pool behavior — every message handled inline on the
+	// receive loop — kept for ablation comparisons.
+	DispatchWorkers int
 	// Trace, when set, receives structured events from both the
 	// message layer and the call layer (call issued, member replies,
 	// collation, execution, duplicate suppression). It is installed
@@ -121,14 +132,31 @@ type Runtime struct {
 	opts Options
 	tr   *trace.Local // shared with conn; nil when tracing is disabled
 
-	mu        sync.Mutex
+	// mu guards the read-mostly configuration state: the module table,
+	// troupe IDs, and resolver are written at setup/reconfiguration
+	// time and read on every incoming call, so readers take RLock.
+	mu        sync.RWMutex
 	modules   map[uint16]*export
 	troupeIDs map[uint16]TroupeID
 	resolver  Resolver
-	pending   map[retKey]chan returnHeader // client calls awaiting returns
-	calls     map[string]*serverCall       // many-to-one collation table
 	nextMod   uint16
 	closed    bool
+
+	// pendMu guards the client-side return routing table; it is touched
+	// once to register and once to consume per member call, never held
+	// across I/O.
+	pendMu  sync.Mutex
+	pending map[retKey]chan returnHeader // client calls awaiting returns
+
+	// callMu guards the server-side many-to-one collation table; the
+	// per-call state behind each entry has its own lock (serverCall.mu).
+	callMu sync.Mutex
+	calls  map[string]*serverCall
+
+	// workers are the dispatch pool's per-worker queues, indexed by a
+	// hash of the sender address; nil in serial (DispatchWorkers < 0)
+	// mode.
+	workers []chan pairedmsg.Message
 
 	nextThread uint32
 	done       chan struct{}
@@ -167,10 +195,38 @@ func NewRuntime(ep transport.Endpoint, opts Options) *Runtime {
 	rt.nextThread = (threadSeq.Add(1) * 0x9E3779B1) ^
 		(uint32(ep.Addr().Port) * 0x85EBCA6B) ^ threadSalt
 	rt.ctx, rt.cancel = context.WithCancel(context.Background())
+	if n := dispatchWorkers(opts.DispatchWorkers); n > 0 {
+		rt.workers = make([]chan pairedmsg.Message, n)
+		for i := range rt.workers {
+			ch := make(chan pairedmsg.Message, workerQueueLen)
+			rt.workers[i] = ch
+			rt.bg.Add(1)
+			go rt.dispatchLoop(ch)
+		}
+	}
 	rt.bg.Add(2)
 	go rt.recvLoop()
 	go rt.sweepLoop()
 	return rt
+}
+
+// workerQueueLen is the per-worker dispatch queue depth. The receive
+// loop blocks when one sender's queue fills, which is fine: the
+// paired message layer's incoming queue above it applies its own
+// backpressure policy, and a worker drains its queue continuously.
+const workerQueueLen = 128
+
+func dispatchWorkers(n int) int {
+	if n < 0 {
+		return 0 // serial ablation mode
+	}
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n < 4 {
+			n = 4
+		}
+	}
+	return n
 }
 
 // Addr returns the process address of this runtime.
@@ -231,8 +287,8 @@ func (rt *Runtime) SetTroupeID(module uint16, id TroupeID) {
 // TroupeIDOf returns the module's current troupe ID, zero if none was
 // set.
 func (rt *Runtime) TroupeIDOf(module uint16) TroupeID {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
 	return rt.troupeIDs[module]
 }
 
@@ -290,13 +346,43 @@ func (rt *Runtime) Tracer() *trace.Local { return rt.tr }
 
 func (rt *Runtime) recvLoop() {
 	defer rt.bg.Done()
-	for msg := range rt.conn.Incoming() {
-		switch msg.Type {
-		case pairedmsg.Call:
-			rt.handleCall(msg)
-		case pairedmsg.Return:
-			rt.handleReturn(msg)
+	if rt.workers == nil {
+		// Serial ablation mode: every message handled inline.
+		for msg := range rt.conn.Incoming() {
+			rt.handleMsg(msg)
 		}
+		return
+	}
+	// Distribute by sender so one sender's messages are handled in
+	// arrival order by one worker, while different senders proceed in
+	// parallel. The per-(sender, thread) execution order the collation
+	// layer depends on is therefore preserved: a sender's messages
+	// never overtake each other.
+	n := uint32(len(rt.workers))
+	for msg := range rt.conn.Incoming() {
+		h := msg.From.Host*0x9E3779B1 ^ uint32(msg.From.Port)*0x85EBCA6B
+		rt.workers[h%n] <- msg
+	}
+	for _, ch := range rt.workers {
+		close(ch)
+	}
+}
+
+// dispatchLoop is one dispatch worker: it applies the same handling
+// the receive loop would, for the subset of senders hashed to it.
+func (rt *Runtime) dispatchLoop(ch <-chan pairedmsg.Message) {
+	defer rt.bg.Done()
+	for msg := range ch {
+		rt.handleMsg(msg)
+	}
+}
+
+func (rt *Runtime) handleMsg(msg pairedmsg.Message) {
+	switch msg.Type {
+	case pairedmsg.Call:
+		rt.handleCall(msg)
+	case pairedmsg.Return:
+		rt.handleReturn(msg)
 	}
 }
 
@@ -307,10 +393,10 @@ func (rt *Runtime) handleReturn(msg pairedmsg.Message) {
 		return // garbled application payload: drop
 	}
 	k := retKey{peer: msg.From, callNum: msg.CallNum}
-	rt.mu.Lock()
+	rt.pendMu.Lock()
 	ch := rt.pending[k]
 	delete(rt.pending, k)
-	rt.mu.Unlock()
+	rt.pendMu.Unlock()
 	if ch != nil {
 		ch <- hdr
 	}
@@ -328,7 +414,7 @@ func (rt *Runtime) sweepLoop() {
 		case <-rt.done:
 			return
 		case now := <-ticker.C:
-			rt.mu.Lock()
+			rt.callMu.Lock()
 			for k, sc := range rt.calls {
 				sc.mu.Lock()
 				expired := sc.finished && now.Sub(sc.finishedAt) > rt.opts.CallRetention
@@ -337,7 +423,7 @@ func (rt *Runtime) sweepLoop() {
 					delete(rt.calls, k)
 				}
 			}
-			rt.mu.Unlock()
+			rt.callMu.Unlock()
 		}
 	}
 }

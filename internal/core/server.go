@@ -80,11 +80,14 @@ func (rt *Runtime) handleCall(msg pairedmsg.Message) {
 	}
 	tid := thread.ID{Host: hdr.ThreadHost, Proc: hdr.ThreadProc}
 
-	rt.mu.Lock()
+	// Module and troupe lookups are read-mostly: every incoming call
+	// takes this path, possibly on many dispatch workers at once, while
+	// writes happen only at export/registration time.
+	rt.mu.RLock()
 	exp, haveModule := rt.modules[hdr.Module]
 	myTroupe := rt.troupeIDs[hdr.Module]
+	rt.mu.RUnlock()
 	if !haveModule {
-		rt.mu.Unlock()
 		rt.sendReturn(msg.From, msg.CallNum, returnHeader{Status: statusNoModule})
 		return
 	}
@@ -94,12 +97,12 @@ func (rt *Runtime) handleCall(msg pairedmsg.Message) {
 	// destination ID skips the check (direct addressing); a zero local
 	// ID means the member has not yet been registered.
 	if hdr.DestTroupe != 0 && myTroupe != 0 && TroupeID(hdr.DestTroupe) != myTroupe {
-		rt.mu.Unlock()
 		rt.sendReturn(msg.From, msg.CallNum, returnHeader{Status: statusBadTroupe})
 		return
 	}
 
 	key := callKey(tid, hdr.Path, hdr.Module)
+	rt.callMu.Lock()
 	sc, ok := rt.calls[key]
 	if !ok {
 		sc = &serverCall{hdr: hdr, tid: tid, exp: exp}
@@ -108,7 +111,7 @@ func (rt *Runtime) handleCall(msg pairedmsg.Message) {
 		sc.args = sc.argsArr[:0]
 		rt.calls[key] = sc
 	}
-	rt.mu.Unlock()
+	rt.callMu.Unlock()
 
 	sc.mu.Lock()
 	if sc.finished {
@@ -165,9 +168,9 @@ func (rt *Runtime) handleCall(msg pairedmsg.Message) {
 func (rt *Runtime) resolveExpected(sc *serverCall, clientTroupe TroupeID) {
 	expected := 1
 	if clientTroupe != 0 {
-		rt.mu.Lock()
+		rt.mu.RLock()
 		r := rt.resolver
-		rt.mu.Unlock()
+		rt.mu.RUnlock()
 		if r != nil {
 			if members, err := r.LookupByID(clientTroupe); err == nil && len(members) > 0 {
 				expected = len(members)
@@ -209,16 +212,18 @@ func (rt *Runtime) armTimeout(sc *serverCall) {
 // timeoutFire runs on the availability timer's goroutine when the
 // timeout expires before the call starts.
 func (rt *Runtime) timeoutFire(sc *serverCall) {
-	// Register with the shutdown WaitGroup under rt.mu, mirroring
-	// background(): after Close flips rt.closed the timer fire is a
-	// no-op, and Close's wait cannot complete while we run.
-	rt.mu.Lock()
+	// Register with the shutdown WaitGroup under a read lock: after
+	// Close flips rt.closed (under the write lock) the timer fire is a
+	// no-op, and because closed is still false while we hold the read
+	// lock, Close cannot have reached its bg.Wait yet — the Add is
+	// safely ordered before it.
+	rt.mu.RLock()
 	if rt.closed {
-		rt.mu.Unlock()
+		rt.mu.RUnlock()
 		return
 	}
 	rt.bg.Add(1)
-	rt.mu.Unlock()
+	rt.mu.RUnlock()
 	defer rt.bg.Done()
 
 	sc.mu.Lock()

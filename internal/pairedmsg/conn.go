@@ -21,10 +21,19 @@
 // Instead, a completed return message is explicitly acknowledged at
 // once, and the exact-match implicit acknowledgment (return n acks
 // call n) is kept. The wire format of Figure 4.2 is unchanged.
+//
+// All protocol state — transfer tables, call-number counters, RTT
+// estimators, liveness watches — is sharded per peer: each remote
+// address gets its own session struct with its own lock, reached
+// through a lock-free peer table, so concurrent exchanges with
+// different peers never contend (see DESIGN.md "Concurrency model").
+// Call numbers were always scoped to a process pair (§4.2), so the
+// sharding changes no protocol semantics.
 package pairedmsg
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -98,6 +107,14 @@ type Options struct {
 	// simulation's fault injection never inspects, so campaign
 	// reproducibility is unaffected.
 	CallBase uint32
+	// IncomingBuffer is the capacity of the reassembled-message queue
+	// behind Incoming(). Zero means 256. When the queue is full a
+	// completed message is not handed up: the attempt is counted
+	// (Stats.DeliveryDrops, trace event msg.delivery-drop) and the
+	// final acknowledgment withheld, so the sender's retransmission
+	// drives a later redelivery attempt — backpressure without losing
+	// the at-most-once guarantee (see DESIGN.md "Concurrency model").
+	IncomingBuffer int
 	// Trace, when set, receives a structured event for every
 	// protocol action: sends, retransmissions, acks, probes, crash
 	// suspicions, RTT samples, duplicate suppressions, deliveries.
@@ -130,6 +147,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxRetryTime == 0 {
 		o.MaxRetryTime = time.Duration(o.MaxRetries) * o.RetransmitInterval
 	}
+	if o.IncomingBuffer == 0 {
+		o.IncomingBuffer = 256
+	}
 	return o
 }
 
@@ -141,6 +161,8 @@ var ErrPeerDown = errors.New("pairedmsg: peer presumed crashed")
 
 // ErrClosed reports use of a closed Conn.
 var ErrClosed = errors.New("pairedmsg: connection closed")
+
+var errDupCallNum = errors.New("pairedmsg: duplicate call number in flight")
 
 // Message is one fully reassembled incoming message.
 type Message struct {
@@ -158,16 +180,44 @@ type Stats struct {
 	ProbesSent        int64
 	DupSegments       int64
 	MessagesDelivered int64
+	// DeliveryDrops counts reassembled messages that could not be
+	// handed up because the incoming queue was full. Each drop
+	// withholds the exchange's final acknowledgment, so the sender
+	// retransmits and the message is redelivered later (or the sender
+	// gives up and declares the peer down) — a drop is backpressure,
+	// not message loss.
+	DeliveryDrops int64
 }
 
-type key struct {
-	peer    transport.Addr
+// sessKey identifies one transfer within a peer session. The peer
+// itself is implicit in the session, so the key is just direction-free
+// exchange identity: message type plus call number.
+type sessKey struct {
 	typ     MsgType
 	callNum uint32
 }
 
+// session holds all protocol state shared with one peer, behind its
+// own lock: transfer tables, liveness watches, the unicast call-number
+// counter, and the RTT estimator. Sessions are created on first
+// contact and retained for the life of the Conn (call numbers and RTT
+// estimates must survive quiet periods), reached via Conn.peers.
+type session struct {
+	peer transport.Addr
+
+	mu        sync.Mutex
+	out       map[sessKey]*outTransfer
+	in        map[sessKey]*inTransfer
+	watches   map[sessKey]*Watch
+	nextCall  uint32
+	rtt       rttEstimator
+	nextSweep time.Time // next completed-record expiry scan
+}
+
 type outTransfer struct {
-	k        key
+	peer     transport.Addr
+	typ      MsgType
+	callNum  uint32
 	segs     [][]byte
 	segsArr  [1][]byte // in-place backing of segs for single-segment sends
 	acked    int       // highest consecutive segment acknowledged
@@ -181,7 +231,42 @@ type outTransfer struct {
 	deadline  time.Time     // no-progress crash deadline
 	rto       time.Duration // current backoff interval
 	retx      bool          // retransmitted at least once (Karn's rule)
+	lastRetx  time.Time     // clock reading of the last retransmit pass
 }
+
+// fill builds the transfer's segment vector for msg, using the
+// in-place single-segment fast path when it fits one datagram.
+func (t *outTransfer) fill(typ MsgType, callNum uint32, msg []byte) error {
+	if len(msg) <= maxSegPayload {
+		backing := make([]byte, headerLen+len(msg))
+		segHeader{typ: typ, totalSegs: 1, segNum: 1, callNum: callNum}.put(backing)
+		copy(backing[headerLen:], msg)
+		t.segsArr[0] = backing
+		t.segs = t.segsArr[:1]
+		return nil
+	}
+	segs, err := segmentMessage(typ, callNum, msg)
+	if err != nil {
+		return err
+	}
+	t.segs = segs
+	return nil
+}
+
+// stampCallNum rewrites the call number in every prepared segment
+// header. BeginCall builds segments before the number is known so the
+// payload copy happens outside the session lock.
+func (t *outTransfer) stampCallNum(callNum uint32) {
+	t.callNum = callNum
+	for _, s := range t.segs {
+		binary.BigEndian.PutUint32(s[callNumOff:], callNum)
+	}
+}
+
+// CallNum returns the call number the transfer was registered under;
+// for transfers begun with BeginCall this is where the allocated
+// number is read back.
+func (t *outTransfer) CallNum() uint32 { return t.callNum }
 
 // rttEstimator keeps the per-peer smoothed round-trip time and mean
 // deviation (Jacobson/Karels), from which the retransmission timeout
@@ -217,13 +302,34 @@ type inTransfer struct {
 	ackNum    int // highest consecutive segment received
 	delivered bool
 	doneAt    time.Time
+
+	// Backpressure state: a fully reassembled message that the
+	// incoming queue refused is parked in assembled and re-offered on
+	// the next (retransmitted) segment or probe for this exchange.
+	// announced records that msg.delivered was already traced, so a
+	// redelivery attempt never emits a second delivery event.
+	assembled []byte
+	announced bool
+}
+
+// ackable returns the acknowledgment number to advertise for this
+// transfer: normally the highest consecutive segment received, but
+// capped at total-1 while a reassembled message is still waiting for
+// queue space, so the sender keeps retransmitting (and so redelivering)
+// instead of considering the exchange complete.
+func (in *inTransfer) ackable() int {
+	if !in.delivered && in.have == in.total {
+		return in.total - 1
+	}
+	return in.ackNum
 }
 
 // Watch monitors a peer for liveness while a return message is
 // awaited (§4.2.3). Down is signalled if probes go unanswered.
 type Watch struct {
 	conn      *Conn
-	k         key
+	sess      *session
+	k         sessKey
 	missed    int
 	nextProbe time.Time
 	down      chan struct{}
@@ -231,13 +337,13 @@ type Watch struct {
 }
 
 // rtoForLocked returns the retransmission interval for a fresh
-// transfer to peer. Caller holds c.mu.
-func (c *Conn) rtoForLocked(peer transport.Addr) time.Duration {
+// transfer to the session's peer. Caller holds s.mu.
+func (c *Conn) rtoForLocked(s *session) time.Duration {
 	if !c.opts.Adaptive {
 		return c.opts.RetransmitInterval
 	}
-	if e, ok := c.rtt[peer]; ok && e.valid {
-		rto := e.rto()
+	if s.rtt.valid {
+		rto := s.rtt.rto()
 		if rto < c.opts.MinRTO {
 			rto = c.opts.MinRTO
 		}
@@ -250,11 +356,11 @@ func (c *Conn) rtoForLocked(peer transport.Addr) time.Duration {
 }
 
 // initTransferLocked stamps the adaptive-mode schedule onto a transfer
-// about to make its initial transmission. Caller holds c.mu.
-func (c *Conn) initTransferLocked(t *outTransfer, peer transport.Addr, now time.Time) {
+// about to make its initial transmission. Caller holds s.mu.
+func (c *Conn) initTransferLocked(s *session, t *outTransfer, now time.Time) {
 	t.firstSent = now
 	t.deadline = now.Add(c.opts.MaxRetryTime)
-	t.rto = c.rtoForLocked(peer)
+	t.rto = c.rtoForLocked(s)
 	t.nextSend = now.Add(t.rto)
 }
 
@@ -263,15 +369,15 @@ func (w *Watch) Down() <-chan struct{} { return w.down }
 
 // Stop cancels the watch.
 func (w *Watch) Stop() {
-	w.conn.mu.Lock()
-	defer w.conn.mu.Unlock()
+	w.sess.mu.Lock()
+	defer w.sess.mu.Unlock()
 	w.stopLocked()
 }
 
 func (w *Watch) stopLocked() {
 	if !w.stopped {
 		w.stopped = true
-		delete(w.conn.watches, w.k)
+		delete(w.sess.watches, w.k)
 	}
 }
 
@@ -281,20 +387,35 @@ type Conn struct {
 	opts Options
 	tr   *trace.Local // nil when tracing is disabled
 
-	mu        sync.Mutex
-	out       map[key]*outTransfer
-	in        map[key]*inTransfer
-	watches   map[key]*Watch
-	nextCall  map[transport.Addr]uint32
-	nextMulti uint32
-	callBase  uint32
-	rtt       map[transport.Addr]*rttEstimator
-	stats     Stats
-	closed    bool
+	// peers maps transport.Addr to *session. Lookups on the steady
+	// path are lock-free; a session is created once per peer.
+	peers sync.Map
+
+	// multiMu serializes multicast call-number allocation with the
+	// registration and trace emission of the transfers it numbers, so
+	// multicast msg.send events appear in call-number order.
+	multiMu   sync.Mutex
+	nextMulti uint32 // guarded by multiMu
+
+	callBase uint32
+	closed   atomic.Bool
+	stats    counters
 
 	incoming chan Message
 	stop     chan struct{}
 	wg       sync.WaitGroup
+}
+
+// counters is the internal all-atomic form of Stats, updated without
+// any lock.
+type counters struct {
+	segmentsSent      atomic.Int64
+	retransmits       atomic.Int64
+	acksSent          atomic.Int64
+	probesSent        atomic.Int64
+	dupSegments       atomic.Int64
+	messagesDelivered atomic.Int64
+	deliveryDrops     atomic.Int64
 }
 
 // ctlBufs pools the fixed 8-byte buffers of ack and probe control
@@ -315,7 +436,7 @@ func (c *Conn) sendControl(to transport.Addr, h segHeader) {
 // segScratch pools retransmission staging buffers. Retransmitted
 // segments need the please-ack bit set, but the stored originals must
 // not be flipped in place: the initial transmission loop may still be
-// reading them outside the connection lock.
+// reading them outside the session lock.
 var segScratch = sync.Pool{New: func() any {
 	b := make([]byte, 0, transport.MaxDatagram)
 	return &b
@@ -342,20 +463,31 @@ func New(ep transport.Endpoint, opts Options) *Conn {
 	c := &Conn{
 		ep:       ep,
 		opts:     opts.withDefaults(),
-		out:      make(map[key]*outTransfer),
-		in:       make(map[key]*inTransfer),
-		watches:  make(map[key]*Watch),
-		nextCall: make(map[transport.Addr]uint32),
 		callBase: base,
-		rtt:      make(map[transport.Addr]*rttEstimator),
-		incoming: make(chan Message, 256),
 		stop:     make(chan struct{}),
 	}
+	c.incoming = make(chan Message, c.opts.IncomingBuffer)
 	c.tr = trace.NewLocal(c.opts.Trace, ep.Addr(), trace.NextIncarnation())
 	c.wg.Add(2)
 	go c.recvLoop()
 	go c.timerLoop()
 	return c
+}
+
+// session returns the per-peer state shard, creating it on first
+// contact with peer.
+func (c *Conn) session(peer transport.Addr) *session {
+	if v, ok := c.peers.Load(peer); ok {
+		return v.(*session)
+	}
+	v, _ := c.peers.LoadOrStore(peer, &session{
+		peer:     peer,
+		out:      make(map[sessKey]*outTransfer),
+		in:       make(map[sessKey]*inTransfer),
+		watches:  make(map[sessKey]*Watch),
+		nextCall: c.callBase,
+	})
+	return v.(*session)
 }
 
 // Addr returns the local transport address.
@@ -372,48 +504,96 @@ func (c *Conn) Incoming() <-chan Message { return c.incoming }
 
 // Stats returns a snapshot of the protocol counters.
 func (c *Conn) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return Stats{
+		SegmentsSent:      c.stats.segmentsSent.Load(),
+		Retransmits:       c.stats.retransmits.Load(),
+		AcksSent:          c.stats.acksSent.Load(),
+		ProbesSent:        c.stats.probesSent.Load(),
+		DupSegments:       c.stats.dupSegments.Load(),
+		MessagesDelivered: c.stats.messagesDelivered.Load(),
+		DeliveryDrops:     c.stats.deliveryDrops.Load(),
+	}
+}
+
+// RTT returns the smoothed round-trip estimate for peer, and whether
+// the estimator has accepted any sample yet. Estimation is per-peer
+// session state, so one peer's estimate never bleeds into another's.
+func (c *Conn) RTT(peer transport.Addr) (time.Duration, bool) {
+	v, ok := c.peers.Load(peer)
+	if !ok {
+		return 0, false
+	}
+	s := v.(*session)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rtt.srtt, s.rtt.valid
 }
 
 // NextCallNum allocates a call number unique among exchanges between
 // this process and peer (§4.2: call numbers identify each pair of
 // messages among all those exchanged by a given pair of processes).
 func (c *Conn) NextCallNum(peer transport.Addr) uint32 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.nextCall[peer]; !ok {
-		c.nextCall[peer] = c.callBase
-	}
-	c.nextCall[peer]++
-	return c.nextCall[peer]
+	s := c.session(peer)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextCall++
+	return s.nextCall
 }
 
 // Close shuts the protocol down, failing pending sends with ErrClosed.
 func (c *Conn) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if !c.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	c.closed = true
-	for k, t := range c.out {
-		t.err = ErrClosed
-		close(t.done)
-		delete(c.out, k)
-	}
-	for _, w := range c.watches {
-		w.stopped = true
-	}
-	c.watches = map[key]*Watch{}
+	c.peers.Range(func(_, v any) bool {
+		s := v.(*session)
+		s.mu.Lock()
+		for k, t := range s.out {
+			t.err = ErrClosed
+			close(t.done)
+			delete(s.out, k)
+		}
+		for _, w := range s.watches {
+			w.stopped = true
+		}
+		s.watches = map[sessKey]*Watch{}
+		s.mu.Unlock()
+		return true
+	})
 	close(c.stop)
-	c.mu.Unlock()
 
 	err := c.ep.Close()
 	c.wg.Wait()
 	close(c.incoming)
 	return err
+}
+
+// register installs a fully built transfer into its session, starting
+// its retransmission schedule. The post-unlock closed recheck covers
+// the window where Close's teardown sweep ran before this session was
+// published: either the sweep saw the session (and failed the
+// transfer) or the recheck fires — no transfer outlives Close.
+func (c *Conn) register(s *session, t *outTransfer) error {
+	k := sessKey{typ: t.typ, callNum: t.callNum}
+	s.mu.Lock()
+	if c.closed.Load() {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if _, dup := s.out[k]; dup {
+		s.mu.Unlock()
+		return errDupCallNum
+	}
+	s.out[k] = t
+	c.initTransferLocked(s, t, time.Now())
+	s.mu.Unlock()
+	if c.closed.Load() {
+		s.mu.Lock()
+		c.completeOutLocked(s, t, ErrClosed)
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	return nil
 }
 
 // Send reliably transmits one message to peer, blocking until every
@@ -424,15 +604,20 @@ func (c *Conn) Send(ctx context.Context, to transport.Addr, typ MsgType, callNum
 	if err != nil {
 		return err
 	}
+	return c.Await(ctx, t)
+}
+
+// Await blocks until a transfer completes or the context is cancelled;
+// cancellation abandons the transfer.
+func (c *Conn) Await(ctx context.Context, t *outTransfer) error {
 	select {
 	case <-t.done:
 		return t.err
 	case <-ctx.Done():
-		c.mu.Lock()
-		if _, active := c.out[t.k]; active {
-			delete(c.out, t.k)
-		}
-		c.mu.Unlock()
+		s := c.session(t.peer)
+		s.mu.Lock()
+		delete(s.out, sessKey{typ: t.typ, callNum: t.callNum})
+		s.mu.Unlock()
 		return ctx.Err()
 	}
 }
@@ -455,8 +640,12 @@ type Transfer interface {
 // counters; within one pair of processes every exchange still bears a
 // unique number, as §4.2 requires.
 func (c *Conn) NextMulticastCallNum() uint32 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.multiMu.Lock()
+	defer c.multiMu.Unlock()
+	return c.nextMulticastLocked()
+}
+
+func (c *Conn) nextMulticastLocked() uint32 {
 	if c.nextMulti == 0 {
 		c.nextMulti = c.callBase
 	}
@@ -464,13 +653,127 @@ func (c *Conn) NextMulticastCallNum() uint32 {
 	return 0x8000_0000 | (c.nextMulti & 0x7FFF_FFFF)
 }
 
+// BeginCall allocates the next unicast call number for peer and
+// registers a call-message transfer under it, without transmitting.
+// Allocation, registration, and the msg.send trace event happen in one
+// session critical section, so the per-peer trace order always matches
+// call-number order no matter how many callers race — the property the
+// monotone-call-numbers conformance check verifies. The caller reads
+// the number with CallNum, installs any reply routing keyed by it, and
+// then calls Transmit; nothing is on the wire before that, so a reply
+// can never arrive before its routing exists.
+func (c *Conn) BeginCall(to transport.Addr, msg []byte) (*outTransfer, error) {
+	t := &outTransfer{peer: to, typ: Call, done: make(chan struct{})}
+	if err := t.fill(Call, 0, msg); err != nil {
+		return nil, err
+	}
+	s := c.session(to)
+	s.mu.Lock()
+	if c.closed.Load() {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.nextCall++
+	for {
+		if _, dup := s.out[sessKey{typ: Call, callNum: s.nextCall}]; !dup {
+			break
+		}
+		s.nextCall++ // wrapped onto a number still in flight: skip it
+	}
+	t.stampCallNum(s.nextCall)
+	s.out[sessKey{typ: Call, callNum: t.callNum}] = t
+	c.initTransferLocked(s, t, time.Now())
+	if c.tr.EnabledFor(trace.KindMsgSend) {
+		c.tr.Emit(trace.Event{Kind: trace.KindMsgSend, Peer: to,
+			MsgType: uint8(Call), CallNum: t.callNum, N: len(t.segs)})
+	}
+	s.mu.Unlock()
+	if c.closed.Load() { // see register for why this recheck is needed
+		s.mu.Lock()
+		c.completeOutLocked(s, t, ErrClosed)
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.stats.segmentsSent.Add(int64(len(t.segs)))
+	return t, nil
+}
+
+// Transmit performs the initial transmission of a transfer begun with
+// BeginCall, all segments with no control bits set (§4.2.2).
+func (c *Conn) Transmit(t *outTransfer) {
+	for _, s := range t.segs {
+		c.ep.Send(t.peer, s)
+	}
+}
+
+// BeginCallMulticast is the multicast analog of BeginCall: it
+// allocates one multicast call number and registers a call transfer to
+// every member of group under it, without transmitting. The returned
+// transfers parallel group. Retransmission and acknowledgment remain
+// per-recipient, because delivery reliability varies from recipient to
+// recipient (§2.2). The caller installs reply routing and then calls
+// TransmitMulticast.
+func (c *Conn) BeginCallMulticast(group []transport.Addr, msg []byte) ([]Transfer, uint32, error) {
+	if _, ok := c.ep.(transport.Multicaster); !ok {
+		return nil, 0, ErrNoMulticast
+	}
+	segs, err := segmentMessage(Call, 0, msg)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	c.multiMu.Lock()
+	defer c.multiMu.Unlock()
+	if c.closed.Load() {
+		return nil, 0, ErrClosed
+	}
+	callNum := c.nextMulticastLocked()
+	for _, s := range segs {
+		binary.BigEndian.PutUint32(s[callNumOff:], callNum)
+	}
+	transfers := make([]Transfer, len(group))
+	registered := make([]*outTransfer, 0, len(group))
+	for i, to := range group {
+		t := &outTransfer{peer: to, typ: Call, callNum: callNum, segs: segs,
+			done: make(chan struct{})}
+		if err := c.register(c.session(to), t); err != nil {
+			for _, r := range registered {
+				rs := c.session(r.peer)
+				rs.mu.Lock()
+				c.completeOutLocked(rs, r, ErrClosed)
+				rs.mu.Unlock()
+			}
+			return nil, 0, err
+		}
+		if c.tr.EnabledFor(trace.KindMsgSend) {
+			c.tr.Emit(trace.Event{Kind: trace.KindMsgSend, Peer: to,
+				MsgType: uint8(Call), CallNum: callNum, N: len(segs)})
+		}
+		transfers[i] = t
+		registered = append(registered, t)
+	}
+	c.stats.segmentsSent.Add(int64(len(segs))) // one multicast op per segment
+	return transfers, callNum, nil
+}
+
+// TransmitMulticast performs the initial transmission of transfers
+// begun with BeginCallMulticast: one multicast operation per segment
+// reaches the whole group (§4.3.3 — m+n messages instead of m·n).
+func (c *Conn) TransmitMulticast(group []transport.Addr, transfers []Transfer) {
+	if len(transfers) == 0 {
+		return
+	}
+	mc := c.ep.(transport.Multicaster)
+	for _, s := range transfers[0].(*outTransfer).segs {
+		mc.Multicast(group, s)
+	}
+}
+
 // StartSendMulticast begins one reliable transfer to every member of
-// group, transmitting the initial copy of each segment with a single
-// multicast operation (§4.3.3: call messages are sent to the entire
-// troupe, so this step needs one send instead of n). Retransmission
-// and acknowledgment remain per-recipient, because delivery
-// reliability varies from recipient to recipient (§2.2). The returned
-// transfers parallel group.
+// group with a caller-supplied call number, transmitting the initial
+// copy of each segment with a single multicast operation. It remains
+// for callers that allocate numbers via NextMulticastCallNum;
+// BeginCallMulticast is the race-free allocation path.
 func (c *Conn) StartSendMulticast(group []transport.Addr, typ MsgType, callNum uint32, msg []byte) ([]Transfer, error) {
 	mc, ok := c.ep.(transport.Multicaster)
 	if !ok {
@@ -480,34 +783,24 @@ func (c *Conn) StartSendMulticast(group []transport.Addr, typ MsgType, callNum u
 	if err != nil {
 		return nil, err
 	}
-
-	raw := make([]*outTransfer, len(group))
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, ErrClosed
-	}
+	transfers := make([]Transfer, len(group))
+	registered := make([]*outTransfer, 0, len(group))
 	for i, to := range group {
-		k := key{peer: to, typ: typ, callNum: callNum}
-		if _, dup := c.out[k]; dup {
-			// Roll back the ones we registered.
-			for j := 0; j < i; j++ {
-				delete(c.out, raw[j].k)
+		t := &outTransfer{peer: to, typ: typ, callNum: callNum, segs: segs,
+			done: make(chan struct{})}
+		if err := c.register(c.session(to), t); err != nil {
+			for _, r := range registered {
+				rs := c.session(r.peer)
+				rs.mu.Lock()
+				c.completeOutLocked(rs, r, ErrClosed)
+				rs.mu.Unlock()
 			}
-			c.mu.Unlock()
-			return nil, errors.New("pairedmsg: duplicate call number in flight")
+			return nil, err
 		}
-		t := &outTransfer{
-			k:    k,
-			segs: segs,
-			done: make(chan struct{}),
-		}
-		c.initTransferLocked(t, to, time.Now())
-		c.out[k] = t
-		raw[i] = t
+		transfers[i] = t
+		registered = append(registered, t)
 	}
-	c.stats.SegmentsSent += int64(len(segs)) // one multicast op per segment
-	c.mu.Unlock()
+	c.stats.segmentsSent.Add(int64(len(segs)))
 
 	if c.tr.EnabledFor(trace.KindMsgSend) {
 		for _, to := range group {
@@ -518,50 +811,20 @@ func (c *Conn) StartSendMulticast(group []transport.Addr, typ MsgType, callNum u
 	for _, s := range segs {
 		mc.Multicast(group, s)
 	}
-	transfers := make([]Transfer, len(raw))
-	for i, t := range raw {
-		transfers[i] = t
-	}
 	return transfers, nil
 }
 
 // StartSend begins a reliable transfer without blocking; servers use
 // it to send return messages while continuing to serve (§4.3.2).
 func (c *Conn) StartSend(to transport.Addr, typ MsgType, callNum uint32, msg []byte) (*outTransfer, error) {
-	k := key{peer: to, typ: typ, callNum: callNum}
-	t := &outTransfer{
-		k:    k,
-		done: make(chan struct{}),
+	t := &outTransfer{peer: to, typ: typ, callNum: callNum, done: make(chan struct{})}
+	if err := t.fill(typ, callNum, msg); err != nil {
+		return nil, err
 	}
-	if len(msg) <= maxSegPayload {
-		// Single-segment fast path: the segment vector lives in the
-		// transfer itself.
-		backing := make([]byte, headerLen+len(msg))
-		segHeader{typ: typ, totalSegs: 1, segNum: 1, callNum: callNum}.put(backing)
-		copy(backing[headerLen:], msg)
-		t.segsArr[0] = backing
-		t.segs = t.segsArr[:1]
-	} else {
-		segs, err := segmentMessage(typ, callNum, msg)
-		if err != nil {
-			return nil, err
-		}
-		t.segs = segs
+	if err := c.register(c.session(to), t); err != nil {
+		return nil, err
 	}
-
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, ErrClosed
-	}
-	if _, dup := c.out[k]; dup {
-		c.mu.Unlock()
-		return nil, errors.New("pairedmsg: duplicate call number in flight")
-	}
-	c.out[k] = t
-	c.initTransferLocked(t, to, time.Now())
-	c.stats.SegmentsSent += int64(len(t.segs))
-	c.mu.Unlock()
+	c.stats.segmentsSent.Add(int64(len(t.segs)))
 
 	if c.tr.EnabledFor(trace.KindMsgSend) {
 		c.tr.Emit(trace.Event{Kind: trace.KindMsgSend, Peer: to,
@@ -586,20 +849,21 @@ func (t *outTransfer) Err() error { return t.err }
 // message is fully acknowledged and while the return is pending
 // (§4.2.3).
 func (c *Conn) WatchPeer(to transport.Addr, callNum uint32) *Watch {
-	k := key{peer: to, typ: Call, callNum: callNum}
+	s := c.session(to)
 	w := &Watch{
 		conn:      c,
-		k:         k,
+		sess:      s,
+		k:         sessKey{typ: Call, callNum: callNum},
 		down:      make(chan struct{}),
 		nextProbe: time.Now().Add(c.opts.ProbeInterval),
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.closed.Load() {
 		w.stopped = true
 		return w
 	}
-	c.watches[k] = w
+	s.watches[w.k] = w
 	return w
 }
 
@@ -624,11 +888,11 @@ func (c *Conn) recvLoop() {
 // handleAck processes an explicit acknowledgment: all segments with
 // numbers <= the acknowledgment number have been received (§4.2.2).
 func (c *Conn) handleAck(from transport.Addr, h segHeader) {
-	k := key{peer: from, typ: h.typ, callNum: h.callNum}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.peerAliveLocked(from, h.callNum)
-	t, ok := c.out[k]
+	s := c.session(from)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.aliveLocked(h.callNum)
+	t, ok := s.out[sessKey{typ: h.typ, callNum: h.callNum}]
 	if !ok {
 		return
 	}
@@ -638,44 +902,52 @@ func (c *Conn) handleAck(from transport.Addr, h segHeader) {
 		t.deadline = time.Now().Add(c.opts.MaxRetryTime)
 	}
 	if t.acked >= len(t.segs) {
-		c.completeOutLocked(t, nil)
+		c.completeOutLocked(s, t, nil)
 	}
 }
 
 // handleProbe answers a please-ack control segment with the current
 // acknowledgment state for that exchange, telling the prober both
-// "alive" and "here is how much I have" (§4.2.3).
+// "alive" and "here is how much I have" (§4.2.3). A probe also
+// re-offers a reassembled message the incoming queue refused earlier.
 func (c *Conn) handleProbe(from transport.Addr, h segHeader) {
 	if !h.pleaseAck {
 		return
 	}
-	k := key{peer: from, typ: h.typ, callNum: h.callNum}
-	c.mu.Lock()
-	in := c.in[k]
+	s := c.session(from)
+	s.mu.Lock()
+	in := s.in[sessKey{typ: h.typ, callNum: h.callNum}]
 	ackNum, total := 0, int(h.totalSegs)
+	var dropped bool
 	if in != nil {
-		ackNum, total = in.ackNum, in.total
+		if !in.delivered && in.have == in.total {
+			_, dropped = c.deliverLocked(in, from, h.typ, h.callNum)
+		}
+		ackNum, total = in.ackable(), in.total
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
+	if dropped {
+		c.traceDrop(from, h.typ, h.callNum)
+	}
 	c.sendAck(from, h.typ, h.callNum, ackNum, total)
 }
 
 func (c *Conn) handleData(from transport.Addr, h segHeader, payload []byte) {
-	k := key{peer: from, typ: h.typ, callNum: h.callNum}
+	s := c.session(from)
+	k := sessKey{typ: h.typ, callNum: h.callNum}
 
-	c.mu.Lock()
-	c.peerAliveLocked(from, h.callNum)
+	s.mu.Lock()
+	s.aliveLocked(h.callNum)
 
 	// A return segment implicitly acknowledges all segments of the
 	// call bearing the same call number (§4.2.2).
 	if h.typ == Return {
-		ck := key{peer: from, typ: Call, callNum: h.callNum}
-		if t, ok := c.out[ck]; ok {
-			c.completeOutLocked(t, nil)
+		if t, ok := s.out[sessKey{typ: Call, callNum: h.callNum}]; ok {
+			c.completeOutLocked(s, t, nil)
 		}
 	}
 
-	in, ok := c.in[k]
+	in, ok := s.in[k]
 	if !ok {
 		in = &inTransfer{total: int(h.totalSegs)}
 		if n := in.total + 1; n <= len(in.segArr) {
@@ -683,11 +955,12 @@ func (c *Conn) handleData(from transport.Addr, h segHeader, payload []byte) {
 		} else {
 			in.segs = make([][]byte, n)
 		}
-		c.in[k] = in
+		s.in[k] = in
 	}
 
 	var (
-		completedNow bool
+		deliveredNow bool
+		dropped      bool
 		gap          bool
 		dup          bool
 	)
@@ -695,10 +968,16 @@ func (c *Conn) handleData(from transport.Addr, h segHeader, payload []byte) {
 	case in.delivered:
 		dup = true // replayed segment of a finished exchange
 	case int(h.segNum) < 1 || int(h.segNum) > in.total:
-		c.mu.Unlock()
+		s.mu.Unlock()
 		return // malformed
 	case in.segs[h.segNum] != nil:
 		dup = true
+		// A duplicate of a fully reassembled message still waiting for
+		// queue space is the sender's retransmission doing its job:
+		// attempt the delivery again (backpressure recovery).
+		if in.have == in.total {
+			deliveredNow, dropped = c.deliverLocked(in, from, h.typ, h.callNum)
+		}
 	default:
 		// Each received packet arrives in a fresh buffer the receiver
 		// owns (see transport.Packet), so the payload is kept without
@@ -714,72 +993,91 @@ func (c *Conn) handleData(from transport.Addr, h segHeader, payload []byte) {
 		// than waiting out its timer (§4.2.4).
 		gap = int(h.segNum) > in.ackNum+1
 		if in.have == in.total {
-			in.delivered = true
-			in.doneAt = time.Now()
-			completedNow = true
+			deliveredNow, dropped = c.deliverLocked(in, from, h.typ, h.callNum)
 		}
 	}
 	if dup {
-		c.stats.DupSegments++
+		c.stats.dupSegments.Add(1)
 	}
-
-	var msg Message
-	if completedNow {
-		var buf []byte
-		if in.total == 1 {
-			buf = in.segs[1] // single segment: hand the payload up as-is
-		} else {
-			size := 0
-			for i := 1; i <= in.total; i++ {
-				size += len(in.segs[i])
-			}
-			buf = make([]byte, 0, size)
-			for i := 1; i <= in.total; i++ {
-				buf = append(buf, in.segs[i]...)
-			}
-		}
-		for i := 1; i <= in.total; i++ {
-			in.segs[i] = []byte{} // free the payload, keep "seen"
-		}
-		msg = Message{From: from, Type: h.typ, CallNum: h.callNum, Data: buf}
-		c.stats.MessagesDelivered++
-	}
-	ackNum, total := in.ackNum, in.total
-	c.mu.Unlock()
+	ackNum, total := in.ackable(), in.total
+	s.mu.Unlock()
 
 	if dup && c.tr.EnabledFor(trace.KindDupSegment) {
 		c.tr.Emit(trace.Event{Kind: trace.KindDupSegment, Peer: from,
 			MsgType: uint8(h.typ), CallNum: h.callNum, N: int(h.segNum)})
 	}
-	if completedNow && c.tr.EnabledFor(trace.KindMsgDelivered) {
-		// Emitted before the message is handed upward, so the
-		// delivery is recorded strictly before anything the
-		// receiver does in response (e.g. sending a reply).
-		c.tr.Emit(trace.Event{Kind: trace.KindMsgDelivered, Peer: from,
-			MsgType: uint8(h.typ), CallNum: h.callNum, N: total})
+	if dropped {
+		c.traceDrop(from, h.typ, h.callNum)
 	}
 
 	// Acknowledgment policy: answer please-ack and gaps immediately;
 	// acknowledge a completed return message at once (its sender is
 	// blocked on it); let a completed call message be acknowledged
 	// implicitly by the forthcoming return (§4.2.4's postponement),
-	// unless the sender asked.
-	if h.pleaseAck || gap || (completedNow && h.typ == Return) {
+	// unless the sender asked. A message still parked by backpressure
+	// reports ackable() = total-1, so these acks never finalize it.
+	if h.pleaseAck || gap || (deliveredNow && h.typ == Return) {
 		c.sendAck(from, h.typ, h.callNum, ackNum, total)
-	}
-
-	if completedNow {
-		select {
-		case c.incoming <- msg:
-		case <-c.stop:
-		}
 	}
 }
 
-// peerAliveLocked resets the probe miss counters of any watches on
-// this peer and call number.
-func (c *Conn) peerAliveLocked(from transport.Addr, callNum uint32) {
-	if w, ok := c.watches[key{peer: from, typ: Call, callNum: callNum}]; ok {
+// deliverLocked assembles a completed inbound message (once) and
+// offers it to the incoming queue without blocking. On refusal the
+// assembled message stays parked in the transfer for the next attempt
+// and the drop is counted; the caller emits the trace event outside
+// the session lock. The msg.delivered event is emitted on the first
+// completion only — before anything the receiver could do in response
+// — so redelivery attempts never duplicate it. Caller holds the
+// session lock.
+func (c *Conn) deliverLocked(in *inTransfer, from transport.Addr, typ MsgType, callNum uint32) (delivered, dropped bool) {
+	if !in.announced {
+		if in.total == 1 {
+			in.assembled = in.segs[1] // single segment: hand the payload up as-is
+		} else {
+			size := 0
+			for i := 1; i <= in.total; i++ {
+				size += len(in.segs[i])
+			}
+			buf := make([]byte, 0, size)
+			for i := 1; i <= in.total; i++ {
+				buf = append(buf, in.segs[i]...)
+			}
+			in.assembled = buf
+		}
+		for i := 1; i <= in.total; i++ {
+			in.segs[i] = []byte{} // free the payload, keep "seen"
+		}
+		in.announced = true
+		if c.tr.EnabledFor(trace.KindMsgDelivered) {
+			c.tr.Emit(trace.Event{Kind: trace.KindMsgDelivered, Peer: from,
+				MsgType: uint8(typ), CallNum: callNum, N: in.total})
+		}
+	}
+	msg := Message{From: from, Type: typ, CallNum: callNum, Data: in.assembled}
+	select {
+	case c.incoming <- msg:
+		in.delivered = true
+		in.doneAt = time.Now()
+		in.assembled = nil
+		c.stats.messagesDelivered.Add(1)
+		return true, false
+	default:
+		c.stats.deliveryDrops.Add(1)
+		return false, true
+	}
+}
+
+func (c *Conn) traceDrop(from transport.Addr, typ MsgType, callNum uint32) {
+	if c.tr.EnabledFor(trace.KindDeliveryDrop) {
+		c.tr.Emit(trace.Event{Kind: trace.KindDeliveryDrop, Peer: from,
+			MsgType: uint8(typ), CallNum: callNum})
+	}
+}
+
+// aliveLocked resets the probe miss counters of any watch on this
+// call number. Caller holds s.mu.
+func (s *session) aliveLocked(callNum uint32) {
+	if w, ok := s.watches[sessKey{typ: Call, callNum: callNum}]; ok {
 		w.missed = 0
 	}
 }
@@ -792,9 +1090,7 @@ func (c *Conn) sendAck(to transport.Addr, typ MsgType, callNum uint32, ackNum, t
 		segNum:    uint8(ackNum),
 		callNum:   callNum,
 	}
-	c.mu.Lock()
-	c.stats.AcksSent++
-	c.mu.Unlock()
+	c.stats.acksSent.Add(1)
 	if c.tr.EnabledFor(trace.KindAckSend) {
 		c.tr.Emit(trace.Event{Kind: trace.KindAckSend, Peer: to,
 			MsgType: uint8(typ), CallNum: callNum, N: ackNum})
@@ -802,29 +1098,27 @@ func (c *Conn) sendAck(to transport.Addr, typ MsgType, callNum uint32, ackNum, t
 	c.sendControl(to, h)
 }
 
-func (c *Conn) completeOutLocked(t *outTransfer, err error) {
-	if _, active := c.out[t.k]; !active {
+// completeOutLocked finishes an outbound transfer. Caller holds the
+// session lock of t's peer.
+func (c *Conn) completeOutLocked(s *session, t *outTransfer, err error) {
+	k := sessKey{typ: t.typ, callNum: t.callNum}
+	if s.out[k] != t {
 		return
 	}
-	delete(c.out, t.k)
+	delete(s.out, k)
 	if err == nil && c.opts.Adaptive && !t.retx && !t.firstSent.IsZero() {
 		// Karn's rule: only exchanges that were never retransmitted
 		// yield an unambiguous round-trip sample.
-		e, ok := c.rtt[t.k.peer]
-		if !ok {
-			e = &rttEstimator{}
-			c.rtt[t.k.peer] = e
-		}
 		rtt := time.Since(t.firstSent)
-		e.sample(rtt)
+		s.rtt.sample(rtt)
 		if c.tr.EnabledFor(trace.KindRTTSample) {
-			c.tr.Emit(trace.Event{Kind: trace.KindRTTSample, Peer: t.k.peer,
-				MsgType: uint8(t.k.typ), CallNum: t.k.callNum, Dur: rtt})
+			c.tr.Emit(trace.Event{Kind: trace.KindRTTSample, Peer: t.peer,
+				MsgType: uint8(t.typ), CallNum: t.callNum, Dur: rtt})
 		}
 	}
 	if err == ErrPeerDown && c.tr.EnabledFor(trace.KindCrashSuspect) {
-		c.tr.Emit(trace.Event{Kind: trace.KindCrashSuspect, Peer: t.k.peer,
-			MsgType: uint8(t.k.typ), CallNum: t.k.callNum,
+		c.tr.Emit(trace.Event{Kind: trace.KindCrashSuspect, Peer: t.peer,
+			MsgType: uint8(t.typ), CallNum: t.callNum,
 			Attempt: t.attempts, Err: err.Error(), Detail: "retry exhaustion"})
 	}
 	t.err = err
@@ -847,29 +1141,37 @@ func (c *Conn) timerLoop() {
 		select {
 		case <-c.stop:
 			return
-		case now := <-ticker.C:
-			c.timerPass(now)
+		case <-ticker.C:
+			c.timerPass()
 		}
 	}
 }
 
-func (c *Conn) timerPass(now time.Time) {
-	type resend struct {
-		to      transport.Addr
-		segs    [][]byte
-		typ     MsgType
-		callNum uint32
-		attempt int
-	}
-	type probe struct {
-		to transport.Addr
-		h  segHeader
-	}
-	var resends []resend
-	var probes []probe
+func (c *Conn) timerPass() {
+	c.peers.Range(func(_, v any) bool {
+		c.timerPassSession(v.(*session))
+		return true
+	})
+}
 
-	c.mu.Lock()
-	for _, t := range c.out {
+// timerPassSession runs one retransmission/probe/expiry pass over a
+// single peer session. Segment references are collected under the
+// session lock and transmitted outside it; stored segments are never
+// mutated after creation, so reading them unlocked is safe — the send
+// loop stamps the please-ack bit onto a pooled copy.
+func (c *Conn) timerPassSession(s *session) {
+	var resends [][][]byte // per due transfer, its unacked segments
+	var probes []segHeader
+
+	s.mu.Lock()
+	// Clock read under the lock, not at the tick: the previous
+	// session's sends run before this one's collection, and the
+	// conformance checker derives retransmit gaps from trace
+	// timestamps — scheduling against a clock reading older than the
+	// emitted stamps would make legitimately-paced retransmits look
+	// faster than the RTO floor.
+	now := time.Now()
+	for _, t := range s.out {
 		if now.Before(t.nextSend) {
 			continue
 		}
@@ -878,7 +1180,7 @@ func (c *Conn) timerPass(now time.Time) {
 			// Crash declaration is bounded by wall time, not pass
 			// count, so exponential backoff cannot delay detection.
 			if now.After(t.deadline) {
-				c.completeOutLocked(t, ErrPeerDown)
+				c.completeOutLocked(s, t, ErrPeerDown)
 				continue
 			}
 			t.retx = true
@@ -886,20 +1188,27 @@ func (c *Conn) timerPass(now time.Time) {
 			if t.rto > c.opts.MaxRTO {
 				t.rto = c.opts.MaxRTO
 			}
-			t.nextSend = now.Add(t.rto)
+			// Backoff means a non-increasing retransmission rate until
+			// progress: if scheduling stalls stretched the gap actually
+			// kept beyond the RTO, don't speed back up — schedule the
+			// next retransmit no sooner than that observed gap.
+			interval := t.rto
+			if !t.lastRetx.IsZero() {
+				if kept := now.Sub(t.lastRetx); kept > interval {
+					interval = kept
+				}
+			}
+			t.nextSend = now.Add(interval)
+			t.lastRetx = now
 		} else {
 			if t.attempts > c.opts.MaxRetries {
-				c.completeOutLocked(t, ErrPeerDown)
+				c.completeOutLocked(s, t, ErrPeerDown)
 				continue
 			}
 			t.nextSend = now.Add(c.opts.RetransmitInterval)
 		}
 		// Retransmit the first unacknowledged segment with please-ack
 		// set (§4.2.2), or all of them under RetransmitAll (§4.2.4).
-		// Only references to the stored originals are collected here;
-		// they are never mutated after creation, so they can be read
-		// outside the lock, where the send loop stamps the please-ack
-		// bit onto a pooled copy.
 		last := t.acked + 1
 		if c.opts.Strategy == RetransmitAll {
 			last = len(t.segs)
@@ -908,12 +1217,20 @@ func (c *Conn) timerPass(now time.Time) {
 		for i := t.acked + 1; i <= last && i <= len(t.segs); i++ {
 			segs = append(segs, t.segs[i-1])
 		}
-		c.stats.Retransmits += int64(len(segs))
-		c.stats.SegmentsSent += int64(len(segs))
-		resends = append(resends, resend{to: t.k.peer, segs: segs,
-			typ: t.k.typ, callNum: t.k.callNum, attempt: t.attempts})
+		c.stats.retransmits.Add(int64(len(segs)))
+		c.stats.segmentsSent.Add(int64(len(segs)))
+		// Stamped with the pass's own clock reading — the one nextSend
+		// was checked and rescheduled against — so the conformance
+		// checker's gap computation sees the schedule the timer kept,
+		// not jitter from lock waits or sink contention.
+		if c.tr.EnabledFor(trace.KindSegRetransmit) {
+			c.tr.Emit(trace.Event{Kind: trace.KindSegRetransmit, T: now,
+				Peer: s.peer, MsgType: uint8(t.typ), CallNum: t.callNum,
+				Attempt: t.attempts, N: len(segs)})
+		}
+		resends = append(resends, segs)
 	}
-	for _, w := range c.watches {
+	for _, w := range s.watches {
 		if now.Before(w.nextProbe) {
 			continue
 		}
@@ -922,52 +1239,50 @@ func (c *Conn) timerPass(now time.Time) {
 		if w.missed > c.opts.ProbeMissLimit {
 			if c.tr.Enabled() {
 				c.tr.Emit(trace.Event{Kind: trace.KindCrashSuspect,
-					Peer: w.k.peer, MsgType: uint8(w.k.typ), CallNum: w.k.callNum,
+					Peer: s.peer, MsgType: uint8(w.k.typ), CallNum: w.k.callNum,
 					Attempt: w.missed - 1, Detail: "probe misses"})
 			}
 			close(w.down)
 			w.stopLocked()
 			continue
 		}
-		c.stats.ProbesSent++
-		probes = append(probes, probe{
-			to: w.k.peer,
-			h: segHeader{
-				typ:       w.k.typ,
-				pleaseAck: true,
-				callNum:   w.k.callNum,
-			},
+		c.stats.probesSent.Add(1)
+		probes = append(probes, segHeader{
+			typ:       w.k.typ,
+			pleaseAck: true,
+			callNum:   w.k.callNum,
 		})
 	}
 	// Expire completed-exchange records once delayed duplicates can no
-	// longer arrive (§4.2.4).
-	for k, in := range c.in {
-		if in.delivered && now.Sub(in.doneAt) > c.opts.CompletedTTL {
-			delete(c.in, k)
+	// longer arrive (§4.2.4). The scan touches every completed record,
+	// so it runs on its own coarse cadence — TTL precision is tens of
+	// seconds; paying an O(completed exchanges) walk under the session
+	// lock every retransmit tick would tax the call hot path instead.
+	if !now.Before(s.nextSweep) {
+		s.nextSweep = now.Add(c.opts.CompletedTTL / 8)
+		for k, in := range s.in {
+			if in.delivered && now.Sub(in.doneAt) > c.opts.CompletedTTL {
+				delete(s.in, k)
+			}
 		}
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 
-	for _, r := range resends {
-		if c.tr.EnabledFor(trace.KindSegRetransmit) {
-			c.tr.Emit(trace.Event{Kind: trace.KindSegRetransmit, Peer: r.to,
-				MsgType: uint8(r.typ), CallNum: r.callNum,
-				Attempt: r.attempt, N: len(r.segs)})
-		}
-		for _, s := range r.segs {
+	for _, segs := range resends {
+		for _, seg := range segs {
 			bp := segScratch.Get().(*[]byte)
-			b := append((*bp)[:0], s...)
+			b := append((*bp)[:0], seg...)
 			b[1] |= ctlPleaseAck
-			c.ep.Send(r.to, b)
+			c.ep.Send(s.peer, b)
 			*bp = b
 			segScratch.Put(bp)
 		}
 	}
-	for _, p := range probes {
+	for _, h := range probes {
 		if c.tr.EnabledFor(trace.KindProbeSend) {
-			c.tr.Emit(trace.Event{Kind: trace.KindProbeSend, Peer: p.to,
-				MsgType: uint8(p.h.typ), CallNum: p.h.callNum})
+			c.tr.Emit(trace.Event{Kind: trace.KindProbeSend, Peer: s.peer,
+				MsgType: uint8(h.typ), CallNum: h.callNum})
 		}
-		c.sendControl(p.to, p.h)
+		c.sendControl(s.peer, h)
 	}
 }

@@ -38,6 +38,11 @@ const (
 // call number (4).
 const headerLen = 8
 
+// callNumOff is the byte offset of the call number within the header;
+// BeginCall stamps a late-allocated call number into prepared segments
+// at this offset.
+const callNumOff = 4
+
 // maxSegPayload is the data carried per segment; segments must fit in
 // one datagram (§4.2.4).
 const maxSegPayload = transport.MaxDatagram - headerLen

@@ -32,13 +32,14 @@ type Metrics struct {
 
 // PeerCounters aggregates wire-level traffic with one peer.
 type PeerCounters struct {
-	MsgsSent    atomic.Int64 // messages handed to the transport
-	Retransmits atomic.Int64 // segments resent
-	AcksSent    atomic.Int64
-	ProbesSent  atomic.Int64
-	Suspects    atomic.Int64 // times the peer was declared down
-	Delivered   atomic.Int64 // messages received fully from the peer
-	DupSegments atomic.Int64
+	MsgsSent      atomic.Int64 // messages handed to the transport
+	Retransmits   atomic.Int64 // segments resent
+	AcksSent      atomic.Int64
+	ProbesSent    atomic.Int64
+	Suspects      atomic.Int64 // times the peer was declared down
+	Delivered     atomic.Int64 // messages received fully from the peer
+	DupSegments   atomic.Int64
+	DeliveryDrops atomic.Int64 // reassembled messages the full incoming queue refused
 }
 
 // NewMetrics returns an empty aggregator.
@@ -82,6 +83,8 @@ func (m *Metrics) Emit(e Event) {
 		m.peer(e.Peer).Delivered.Add(1)
 	case KindDupSegment:
 		m.peer(e.Peer).DupSegments.Add(1)
+	case KindDeliveryDrop:
+		m.peer(e.Peer).DeliveryDrops.Add(1)
 	case KindCollateDone:
 		m.calls.Add(1)
 		if e.Err != "" {
@@ -135,13 +138,14 @@ type Snapshot struct {
 
 // PeerSnapshot is the plain-value form of PeerCounters.
 type PeerSnapshot struct {
-	MsgsSent    int64
-	Retransmits int64
-	AcksSent    int64
-	ProbesSent  int64
-	Suspects    int64
-	Delivered   int64
-	DupSegments int64
+	MsgsSent      int64
+	Retransmits   int64
+	AcksSent      int64
+	ProbesSent    int64
+	Suspects      int64
+	Delivered     int64
+	DupSegments   int64
+	DeliveryDrops int64
 }
 
 // Snapshot copies the current aggregates.
@@ -164,13 +168,14 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	for a, p := range m.peers {
 		s.Peers[a] = PeerSnapshot{
-			MsgsSent:    p.MsgsSent.Load(),
-			Retransmits: p.Retransmits.Load(),
-			AcksSent:    p.AcksSent.Load(),
-			ProbesSent:  p.ProbesSent.Load(),
-			Suspects:    p.Suspects.Load(),
-			Delivered:   p.Delivered.Load(),
-			DupSegments: p.DupSegments.Load(),
+			MsgsSent:      p.MsgsSent.Load(),
+			Retransmits:   p.Retransmits.Load(),
+			AcksSent:      p.AcksSent.Load(),
+			ProbesSent:    p.ProbesSent.Load(),
+			Suspects:      p.Suspects.Load(),
+			Delivered:     p.Delivered.Load(),
+			DupSegments:   p.DupSegments.Load(),
+			DeliveryDrops: p.DeliveryDrops.Load(),
 		}
 	}
 	for id, c := range m.troupes {

@@ -70,6 +70,10 @@ const (
 	KindTxnAbort    // transaction aborted
 	KindAcceptOrder // broadcast message released for delivery in accept order
 
+	// Appended after the txn block to keep earlier kinds' wire names
+	// stable (JSONL stores the dotted string, not the ordinal).
+	KindDeliveryDrop // reassembled message not handed up: incoming queue full
+
 	kindCount // sentinel: number of kinds
 )
 
@@ -101,6 +105,7 @@ var kindNames = [...]string{
 	KindTxnCommit:     "txn.commit",
 	KindTxnAbort:      "txn.abort",
 	KindAcceptOrder:   "txn.accept-order",
+	KindDeliveryDrop:  "msg.delivery-drop",
 }
 
 // String returns the stable dotted name of the kind, used in JSONL
@@ -342,7 +347,13 @@ func (l *Local) Emit(e Event) {
 	if l == nil || l.sink == nil || !l.mask.Has(e.Kind) {
 		return
 	}
-	e.T = time.Now()
+	// A pre-set T is kept: emitters whose events encode timing
+	// decisions (e.g. retransmit schedules) stamp the clock reading
+	// the decision was made against, so checkers comparing event
+	// times see the schedule, not sink-contention jitter.
+	if e.T.IsZero() {
+		e.T = time.Now()
+	}
 	e.Node = l.node
 	e.Inc = l.inc
 	l.sink.Emit(e)

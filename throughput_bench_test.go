@@ -1,0 +1,39 @@
+package circus
+
+// BenchmarkThroughput measures concurrent-call scaling: closed-loop
+// caller goroutines drive replicated echo calls through one client
+// runtime against troupes of degree 1 and 3, over a 1 ms netsim wire
+// (the NativeReplicatedCall experiment's link). A single caller is
+// wire-latency-bound, so added callers should multiply calls/sec by
+// overlapping round trips — the scaling curve BENCH_4.json records.
+
+import (
+	"testing"
+	"time"
+
+	"circus/internal/bench"
+)
+
+func BenchmarkThroughput(b *testing.B) {
+	for _, degree := range []int{1, 3} {
+		for _, callers := range []int{1, 4, 16, 64} {
+			b.Run("callers="+itoa(callers)+"/degree="+itoa(degree), func(b *testing.B) {
+				c, err := bench.NewCluster(int64(100*degree+callers), degree, time.Millisecond)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				if err := c.Call(bench.ThroughputPayload); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				if err := c.ConcurrentCalls(callers, b.N); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+			})
+		}
+	}
+}
