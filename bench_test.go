@@ -158,6 +158,7 @@ func BenchmarkNativeReplicatedCall(b *testing.B) {
 			if err := c.Call(payload); err != nil {
 				b.Fatal(err)
 			}
+			c.Net.ResetStats()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -165,6 +166,8 @@ func BenchmarkNativeReplicatedCall(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			b.StopTimer()
+			b.ReportMetric(float64(c.Net.Stats().Datagrams)/float64(b.N), "datagrams/op")
 		})
 	}
 }

@@ -25,7 +25,8 @@ type benchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	// Extra carries benchmark-reported metrics beyond the standard
-	// three — the throughput suite records "calls/s" here.
+	// three — the throughput suite records "calls/s" and
+	// "datagrams/op" here.
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
@@ -112,11 +113,15 @@ func writeBenchJSON(maxDegree int, seed int64) (string, error) {
 			return "", err
 		}
 		r := testing.Benchmark(func(b *testing.B) {
+			c.Net.ResetStats()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := c.Call(payload); err != nil {
 					b.Fatal(err)
 				}
 			}
+			b.StopTimer()
+			b.ReportMetric(float64(c.Net.Stats().Datagrams)/float64(b.N), "datagrams/op")
 		})
 		c.Close()
 		doc.Benchmarks = append(doc.Benchmarks,
@@ -140,11 +145,14 @@ func writeBenchJSON(maxDegree int, seed int64) (string, error) {
 			callers := callers
 			r := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
+				c.Net.ResetStats()
+				b.ResetTimer()
 				if err := c.ConcurrentCalls(callers, b.N); err != nil {
 					b.Fatal(err)
 				}
 				b.StopTimer()
 				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+				b.ReportMetric(float64(c.Net.Stats().Datagrams)/float64(b.N), "datagrams/op")
 			})
 			c.Close()
 			doc.Benchmarks = append(doc.Benchmarks,

@@ -33,6 +33,7 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller iteration counts")
 	traceFile := flag.String("trace", "", "write a JSONL protocol trace of the native experiments to this file")
 	benchJSON := flag.Int("bench-json", 0, "measure hot-path benchmarks up to this replication degree, write BENCH_<n>.json, and exit")
+	packetSmoke := flag.String("packet-smoke", "", "re-measure throughput datagrams/op against this committed BENCH_<n>.json and exit nonzero on a >25% regression")
 	mutexProf := flag.String("mutexprofile", "", "record runtime mutex contention during the run and write the profile to this file")
 	flag.Parse()
 
@@ -50,6 +51,14 @@ func main() {
 			log.Fatalf("bench-json: %v", err)
 		}
 		fmt.Println("wrote", path)
+		return
+	}
+
+	if *packetSmoke != "" {
+		if err := runPacketSmoke(*packetSmoke, *seed); err != nil {
+			log.Fatalf("packet-smoke: %v", err)
+		}
+		fmt.Println("packet-smoke: datagrams/op within bounds of the committed baseline")
 		return
 	}
 

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"circus/internal/bench"
+)
+
+// packetSmokeTolerance is how far datagrams/op may drift above the
+// committed baseline before the smoke check fails: wire economy is a
+// first-class performance property, and a quiet 25% regression in
+// packet count would erase it long before latency noticed.
+const packetSmokeTolerance = 1.25
+
+// runPacketSmoke re-measures datagrams/op for every Throughput entry
+// of a committed BENCH_<n>.json and returns an error naming each
+// benchmark whose packet count regressed beyond the tolerance. It is
+// a smoke test, not a benchmark: iteration counts are small and only
+// the datagram metric — which is deterministic up to retransmission
+// noise — is compared.
+func runPacketSmoke(baselinePath string, seed int64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+
+	var failures []string
+	checked := 0
+	for _, base := range doc.Benchmarks {
+		want, ok := base.Extra["datagrams/op"]
+		if !ok || !strings.HasPrefix(base.Name, "Throughput/") {
+			continue
+		}
+		var callers, degree int
+		if _, err := fmt.Sscanf(base.Name, "Throughput/callers=%d/degree=%d", &callers, &degree); err != nil {
+			continue
+		}
+		got, err := measureDatagramsPerCall(seed, callers, degree)
+		if err != nil {
+			return fmt.Errorf("%s: %w", base.Name, err)
+		}
+		checked++
+		status := "ok"
+		if got > want*packetSmokeTolerance {
+			status = "REGRESSED"
+			failures = append(failures,
+				fmt.Sprintf("%s: %.2f datagrams/op vs baseline %.2f (limit %.2f)",
+					base.Name, got, want, want*packetSmokeTolerance))
+		}
+		fmt.Printf("packet-smoke %-32s baseline %6.2f  measured %6.2f  %s\n",
+			base.Name, want, got, status)
+	}
+	if checked == 0 {
+		return fmt.Errorf("%s holds no Throughput datagrams/op entries to compare", baselinePath)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("datagrams/op regressed beyond %.0f%% of baseline:\n  %s",
+			(packetSmokeTolerance-1)*100, strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// measureDatagramsPerCall runs a short closed-loop throughput burst —
+// the BenchmarkThroughput workload — and reports datagrams per call.
+func measureDatagramsPerCall(seed int64, callers, degree int) (float64, error) {
+	c, err := bench.NewCluster(seed+int64(100*degree+callers), degree, time.Millisecond)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	if err := c.Call(bench.ThroughputPayload); err != nil {
+		return 0, err
+	}
+	calls := 50 * callers
+	if calls < 200 {
+		calls = 200
+	}
+	c.Net.ResetStats()
+	if err := c.ConcurrentCalls(callers, calls); err != nil {
+		return 0, err
+	}
+	return float64(c.Net.Stats().Datagrams) / float64(calls), nil
+}

@@ -193,6 +193,7 @@ type Endpoint struct {
 var (
 	_ transport.Endpoint    = (*Endpoint)(nil)
 	_ transport.Multicaster = (*Endpoint)(nil)
+	_ transport.BatchSender = (*Endpoint)(nil)
 )
 
 // Listen binds a new endpoint on host. Port 0 selects an unused port.
@@ -262,6 +263,30 @@ func (e *Endpoint) Send(to transport.Addr, data []byte) error {
 	}
 	n.stats.SendOps++
 	n.transmitLocked(e, to, data)
+	return nil
+}
+
+// SendBatch hands several datagrams to the network in one send
+// operation, the simulator's analog of sendmmsg(2): one SendOps
+// increment (the "sendmsg" count the paper's Table 4.2 charges per
+// system call), while each datagram still counts toward Datagrams and
+// faces fault injection independently.
+func (e *Endpoint) SendBatch(dgrams []transport.Datagram) error {
+	for _, d := range dgrams {
+		if len(d.Data) > transport.MaxDatagram {
+			return transport.ErrTooLarge
+		}
+	}
+	n := e.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e.closed {
+		return transport.ErrClosed
+	}
+	n.stats.SendOps++
+	for _, d := range dgrams {
+		n.transmitLocked(e, d.To, d.Data)
+	}
 	return nil
 }
 

@@ -364,3 +364,56 @@ func TestBandwidthSerializationDelay(t *testing.T) {
 		t.Errorf("tiny datagram took %v", time.Since(start))
 	}
 }
+
+func TestSendBatchCountsOneSendOp(t *testing.T) {
+	n := New(1)
+	a := mustListen(t, n, n.NewHost(), 0)
+	b := mustListen(t, n, n.NewHost(), 0)
+	c := mustListen(t, n, n.NewHost(), 0)
+	batch := []transport.Datagram{
+		{To: b.Addr(), Data: []byte("one")},
+		{To: c.Addr(), Data: []byte("two")},
+		{To: b.Addr(), Data: []byte("three")},
+	}
+	if err := a.SendBatch(batch); err != nil {
+		t.Fatalf("SendBatch: %v", err)
+	}
+	for _, want := range []string{"one", "three"} {
+		pkt, ok := recvOne(t, b, time.Second)
+		if !ok {
+			t.Fatalf("b missed %q", want)
+		}
+		if string(pkt.Data) != want {
+			t.Errorf("b got %q, want %q", pkt.Data, want)
+		}
+	}
+	if pkt, ok := recvOne(t, c, time.Second); !ok || string(pkt.Data) != "two" {
+		t.Errorf("c got (%q, %v), want (two, true)", pkt.Data, ok)
+	}
+	st := n.Stats()
+	if st.SendOps != 1 {
+		t.Errorf("SendOps = %d, want 1 (batch is one send operation)", st.SendOps)
+	}
+	if st.Datagrams != 3 {
+		t.Errorf("Datagrams = %d, want 3", st.Datagrams)
+	}
+}
+
+func TestSendBatchTooLargeRejectsWholeBatch(t *testing.T) {
+	n := New(1)
+	a := mustListen(t, n, n.NewHost(), 0)
+	b := mustListen(t, n, n.NewHost(), 0)
+	batch := []transport.Datagram{
+		{To: b.Addr(), Data: []byte("ok")},
+		{To: b.Addr(), Data: make([]byte, transport.MaxDatagram+1)},
+	}
+	if err := a.SendBatch(batch); err != transport.ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	if _, ok := recvOne(t, b, 50*time.Millisecond); ok {
+		t.Error("partial batch delivered despite validation error")
+	}
+	if st := n.Stats(); st.Datagrams != 0 {
+		t.Errorf("Datagrams = %d, want 0", st.Datagrams)
+	}
+}

@@ -1,0 +1,91 @@
+package pairedmsg
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"circus/internal/transport"
+)
+
+// Segment coalescing (DESIGN.md "Wire economy"): several small
+// segments bound for the same peer — acknowledgments, probes, short
+// call/return messages, retransmissions due in the same timer tick —
+// are packed into one datagram, so a tick that retransmits k transfers
+// to one peer costs one sendmsg instead of k. The paper's cost
+// breakdown (Table 4.2) charges every datagram a full send operation,
+// which is exactly the cost this amortizes.
+//
+// A bundle is a framing wrapper, not a new segment type:
+//
+//	byte 0      bundleMagic (0xC5)
+//	byte 1      frame count (1..255)
+//	then per frame:
+//	  2 bytes   big-endian frame length
+//	  n bytes   one ordinary Figure 4.2 segment
+//
+// The magic can never collide with a plain segment: byte 0 of a real
+// segment is its message type, always 0 or 1 (§4.2.1). A receiver that
+// sees anything else treats the datagram by the usual rule — garbled
+// means lost (§2.2) — so a bundle is decoded only deliberately.
+
+// bundleMagic marks a coalesced datagram. Plain segments begin with
+// the message type byte (0 or 1), so any other value is free.
+const bundleMagic = 0xC5
+
+// bundleHdrLen is the fixed bundle prefix: magic + frame count.
+const bundleHdrLen = 2
+
+// bundleFrameHdrLen is the per-frame length prefix.
+const bundleFrameHdrLen = 2
+
+// bundleBufs pools full-MTU staging buffers for outgoing bundles.
+var bundleBufs = sync.Pool{New: func() any {
+	b := make([]byte, 0, transport.MaxDatagram)
+	return &b
+}}
+
+// bundleFits reports whether a frame of n payload bytes can ever ride
+// in a bundle (alone or with company). Full-size segments cannot — the
+// four bytes of framing overhead would push them past the MTU — and
+// are always sent raw.
+func bundleFits(n int) bool {
+	return bundleHdrLen+bundleFrameHdrLen+n <= transport.MaxDatagram
+}
+
+// appendBundleFrame appends one length-prefixed frame to a bundle
+// under construction and bumps the count byte. The caller has checked
+// capacity with room >= bundleFrameHdrLen+len(seg).
+func appendBundleFrame(buf []byte, seg []byte) []byte {
+	var lenb [bundleFrameHdrLen]byte
+	binary.BigEndian.PutUint16(lenb[:], uint16(len(seg)))
+	buf = append(buf, lenb[:]...)
+	buf = append(buf, seg...)
+	buf[1]++ // frame count
+	return buf
+}
+
+// decodeBundle walks a coalesced datagram, yielding each contained
+// segment in order. It is deliberately tolerant: a truncated,
+// oversized, or otherwise inconsistent frame ends the walk — the
+// remaining frames are treated as lost, which the retransmission
+// machinery already masks (§2.2: garbled means lost). It never
+// panics on arbitrary input (see FuzzBundleDecode).
+func decodeBundle(data []byte, yield func(frame []byte)) {
+	if len(data) < bundleHdrLen || data[0] != bundleMagic {
+		return
+	}
+	count := int(data[1])
+	off := bundleHdrLen
+	for i := 0; i < count; i++ {
+		if off+bundleFrameHdrLen > len(data) {
+			return // truncated length prefix
+		}
+		flen := int(binary.BigEndian.Uint16(data[off : off+bundleFrameHdrLen]))
+		off += bundleFrameHdrLen
+		if flen < headerLen || off+flen > len(data) {
+			return // frame shorter than a segment header, or overruns
+		}
+		yield(data[off : off+flen])
+		off += flen
+	}
+}

@@ -115,6 +115,24 @@ type Options struct {
 	// drives a later redelivery attempt — backpressure without losing
 	// the at-most-once guarantee (see DESIGN.md "Concurrency model").
 	IncomingBuffer int
+	// AckDelay bounds how long a non-urgent acknowledgment may wait
+	// for a chance to piggyback on an outbound segment to the same
+	// peer before a cumulative standalone ack is sent. Zero derives
+	// the bound from the retransmission timers (min(MinRTO/2, srtt/4)
+	// in adaptive mode, RetransmitInterval/8 capped at 5ms in fixed
+	// mode) so a delayed ack can never be mistaken for a loss.
+	// Negative disables delaying: every ack goes out at once.
+	AckDelay time.Duration
+	// CoalesceWindow bounds how long a data segment may wait in the
+	// per-peer small-send queue for company when the session has
+	// other transfers in flight (segments of a session's only
+	// in-flight transfer are never held back, so serial exchanges
+	// keep their latency). The window is a backstop: the wait ends
+	// early the moment another transfer's segments arrive, so under
+	// concurrent load the cost is one inter-arrival gap. Zero means
+	// 150µs; negative disables pacing entirely, coalescing only what
+	// is already queued.
+	CoalesceWindow time.Duration
 	// Trace, when set, receives a structured event for every
 	// protocol action: sends, retransmissions, acks, probes, crash
 	// suspicions, RTT samples, duplicate suppressions, deliveries.
@@ -150,8 +168,21 @@ func (o Options) withDefaults() Options {
 	if o.IncomingBuffer == 0 {
 		o.IncomingBuffer = 256
 	}
+	if o.CoalesceWindow == 0 {
+		o.CoalesceWindow = 150 * time.Microsecond
+	}
 	return o
 }
+
+// paceInFlightMin is how many transfers a session must have in flight
+// before a new transfer's segments are paced (held briefly for
+// companions to coalesce with). Below it a datagram saved is not worth
+// the wait: with only a handful of concurrent exchanges the companion
+// arrives so rarely that pacing spends the whole CoalesceWindow on the
+// critical path and throughput drops, while delayed acks already
+// capture most of the wire savings. At and above it companions arrive
+// within a fraction of the window, so bundles form almost for free.
+const paceInFlightMin = 6
 
 // ErrPeerDown reports that retransmissions or probes to a peer went
 // unanswered past the configured bound; the peer is presumed crashed
@@ -187,6 +218,14 @@ type Stats struct {
 	// gives up and declares the peer down) — a drop is backpressure,
 	// not message loss.
 	DeliveryDrops int64
+	// Wire-economy counters (DESIGN.md "Wire economy"). An ack is
+	// piggybacked when it shares a coalesced datagram with at least
+	// one data or probe segment; a bundle is any datagram carrying
+	// two or more segments, and BundledFrames counts the segments
+	// those bundles carried.
+	AcksPiggybacked int64
+	BundlesSent     int64
+	BundledFrames   int64
 }
 
 // sessKey identifies one transfer within a peer session. The peer
@@ -212,6 +251,43 @@ type session struct {
 	nextCall  uint32
 	rtt       rttEstimator
 	nextSweep time.Time // next completed-record expiry scan
+
+	// srttMicros mirrors rtt.srtt (microseconds) so the delayed-ack
+	// bound can be derived without taking mu on the receive path.
+	srttMicros atomic.Int64
+
+	// Wire-economy send state (DESIGN.md "Wire economy"), behind its
+	// own lock so enqueueing never contends with protocol bookkeeping:
+	// the per-peer small-send queue, the pending cumulative acks, the
+	// single-flusher flag, and the delayed-ack / coalesce timers. The
+	// two locks never nest — sendMu is only taken with mu released.
+	sendMu    sync.Mutex
+	sendQ     []outFrame
+	sendSpare []outFrame // drained queue, recycled to avoid reallocation
+	pend      map[sessKey]pendAck
+	flushing  bool // a flusher is draining sendQ+pend
+	ackTimer  *time.Timer
+	ackArmed  bool
+	paceTimer *time.Timer
+	paceArmed bool
+}
+
+// outFrame is one queued outbound segment: either a prepared data
+// segment (seg != nil), possibly needing the please-ack bit stamped
+// onto the transmitted copy, or a header-only probe.
+type outFrame struct {
+	seg   []byte    // prepared data segment; nil for a probe frame
+	h     segHeader // probe header when seg == nil
+	pa    bool      // stamp please-ack onto the transmitted copy
+	probe bool      // trace as msg.probe at transmission
+}
+
+// pendAck is one pending cumulative acknowledgment, merged by maximum
+// ack number: ackable() only advances, so the latest state subsumes
+// every earlier one for the same exchange.
+type pendAck struct {
+	ackNum int
+	total  int
 }
 
 type outTransfer struct {
@@ -225,6 +301,7 @@ type outTransfer struct {
 	nextSend time.Time
 	done     chan struct{}
 	err      error
+	pace     bool // session had other transfers in flight at registration
 
 	// Adaptive-mode state (§4.2.4 tradeoff).
 	firstSent time.Time     // when the initial transmission left
@@ -416,31 +493,149 @@ type counters struct {
 	dupSegments       atomic.Int64
 	messagesDelivered atomic.Int64
 	deliveryDrops     atomic.Int64
+	acksPiggybacked   atomic.Int64
+	bundlesSent       atomic.Int64
+	bundledFrames     atomic.Int64
 }
 
-// ctlBufs pools the fixed 8-byte buffers of ack and probe control
-// segments. The transport contract (transport.Endpoint.Send) is that
-// the datagram is not retained after Send returns, so a buffer can go
-// straight back to the pool.
-var ctlBufs = sync.Pool{New: func() any { return new([headerLen]byte) }}
-
-// sendControl transmits one header-only control segment from a pooled
-// buffer.
-func (c *Conn) sendControl(to transport.Addr, h segHeader) {
-	buf := ctlBufs.Get().(*[headerLen]byte)
-	h.put(buf[:])
-	c.ep.Send(to, buf[:])
-	ctlBufs.Put(buf)
+// txScratch is the per-flush staging state: the datagram vector handed
+// to the transport and the pooled bundle buffers to return afterwards.
+// Pooling it keeps the steady-state flush path allocation-free.
+type txScratch struct {
+	dgrams []transport.Datagram
+	bufs   []*[]byte
 }
 
-// segScratch pools retransmission staging buffers. Retransmitted
-// segments need the please-ack bit set, but the stored originals must
-// not be flipped in place: the initial transmission loop may still be
-// reading them outside the session lock.
-var segScratch = sync.Pool{New: func() any {
-	b := make([]byte, 0, transport.MaxDatagram)
-	return &b
-}}
+var txScratchPool = sync.Pool{New: func() any { return new(txScratch) }}
+
+// transmitFrames packs acknowledgments and queued frames bound for one
+// peer into as few datagrams as possible and hands them to the
+// transport — in one batched operation when the endpoint supports it.
+// Acknowledgments go first, so a receiver unpacking a bundle settles
+// completed exchanges before seeing new data (a client's bundled
+// [ack(return n), call n+1] keeps strictly serial workloads at one
+// transfer in flight). Full-size segments can never share a datagram
+// and are sent raw; a bundle that would carry a single frame is
+// unwrapped and sent as a plain segment, byte-identical to the
+// uncoalesced protocol. Retransmitted segments get the please-ack bit
+// stamped onto the transmitted copy, never onto the stored original —
+// other readers may hold it outside any lock.
+func (c *Conn) transmitFrames(peer transport.Addr, acks []segHeader, frames []outFrame) {
+	tx := txScratchPool.Get().(*txScratch)
+	var (
+		cur     *[]byte // bundle under construction
+		curN    int     // frames packed into cur
+		curAcks int     // ack frames among them
+	)
+	closeCur := func() {
+		if cur == nil {
+			return
+		}
+		buf := *cur
+		if curN == 1 {
+			// A lone frame needs no wrapper.
+			tx.dgrams = append(tx.dgrams, transport.Datagram{To: peer,
+				Data: buf[bundleHdrLen+bundleFrameHdrLen:]})
+		} else {
+			tx.dgrams = append(tx.dgrams, transport.Datagram{To: peer, Data: buf})
+			c.stats.bundlesSent.Add(1)
+			c.stats.bundledFrames.Add(int64(curN))
+			if curAcks > 0 && curAcks < curN {
+				c.stats.acksPiggybacked.Add(int64(curAcks))
+			}
+			if c.tr.EnabledFor(trace.KindBundleSend) {
+				c.tr.Emit(trace.Event{Kind: trace.KindBundleSend, Peer: peer, N: curN})
+			}
+		}
+		tx.bufs = append(tx.bufs, cur)
+		cur, curN, curAcks = nil, 0, 0
+	}
+	pack := func(seg []byte, pa bool, isAck bool) {
+		need := bundleFrameHdrLen + len(seg)
+		if cur != nil && len(*cur)+need > transport.MaxDatagram {
+			closeCur()
+		}
+		if cur == nil {
+			bp := bundleBufs.Get().(*[]byte)
+			*bp = append((*bp)[:0], bundleMagic, 0)
+			cur = bp
+		}
+		b := *cur
+		mark := len(b) + bundleFrameHdrLen
+		b = appendBundleFrame(b, seg)
+		if pa {
+			b[mark+1] |= ctlPleaseAck
+		}
+		*cur = b
+		curN++
+		if isAck {
+			curAcks++
+		}
+	}
+
+	var hb [headerLen]byte
+	for _, h := range acks {
+		c.stats.acksSent.Add(1)
+		if c.tr.EnabledFor(trace.KindAckSend) {
+			c.tr.Emit(trace.Event{Kind: trace.KindAckSend, Peer: peer,
+				MsgType: uint8(h.typ), CallNum: h.callNum,
+				N: int(h.segNum), Total: int(h.totalSegs)})
+		}
+		h.put(hb[:])
+		pack(hb[:], false, true)
+	}
+	for _, f := range frames {
+		if f.seg == nil { // probe
+			if c.tr.EnabledFor(trace.KindProbeSend) {
+				c.tr.Emit(trace.Event{Kind: trace.KindProbeSend, Peer: peer,
+					MsgType: uint8(f.h.typ), CallNum: f.h.callNum})
+			}
+			f.h.put(hb[:])
+			pack(hb[:], false, false)
+			continue
+		}
+		if !bundleFits(len(f.seg)) {
+			closeCur() // preserve frame order across the raw send
+			if f.pa {
+				bp := bundleBufs.Get().(*[]byte)
+				b := append((*bp)[:0], f.seg...)
+				b[1] |= ctlPleaseAck
+				*bp = b
+				tx.dgrams = append(tx.dgrams, transport.Datagram{To: peer, Data: b})
+				tx.bufs = append(tx.bufs, bp)
+			} else {
+				tx.dgrams = append(tx.dgrams, transport.Datagram{To: peer, Data: f.seg})
+			}
+			continue
+		}
+		pack(f.seg, f.pa, false)
+	}
+	closeCur()
+
+	switch {
+	case len(tx.dgrams) == 0:
+	case len(tx.dgrams) == 1:
+		c.ep.Send(peer, tx.dgrams[0].Data)
+	default:
+		if bs, ok := c.ep.(transport.BatchSender); ok {
+			bs.SendBatch(tx.dgrams)
+		} else {
+			for _, d := range tx.dgrams {
+				c.ep.Send(d.To, d.Data)
+			}
+		}
+	}
+
+	for _, bp := range tx.bufs {
+		bundleBufs.Put(bp)
+	}
+	for i := range tx.dgrams {
+		tx.dgrams[i] = transport.Datagram{} // drop payload references
+	}
+	tx.dgrams = tx.dgrams[:0]
+	tx.bufs = tx.bufs[:0]
+	txScratchPool.Put(tx)
+}
 
 // connSeq and connSalt seed the default call number base so
 // successive incarnations on one address cannot collide (see
@@ -485,6 +680,7 @@ func (c *Conn) session(peer transport.Addr) *session {
 		out:      make(map[sessKey]*outTransfer),
 		in:       make(map[sessKey]*inTransfer),
 		watches:  make(map[sessKey]*Watch),
+		pend:     make(map[sessKey]pendAck),
 		nextCall: c.callBase,
 	})
 	return v.(*session)
@@ -512,6 +708,9 @@ func (c *Conn) Stats() Stats {
 		DupSegments:       c.stats.dupSegments.Load(),
 		MessagesDelivered: c.stats.messagesDelivered.Load(),
 		DeliveryDrops:     c.stats.deliveryDrops.Load(),
+		AcksPiggybacked:   c.stats.acksPiggybacked.Load(),
+		BundlesSent:       c.stats.bundlesSent.Load(),
+		BundledFrames:     c.stats.bundledFrames.Load(),
 	}
 }
 
@@ -558,6 +757,23 @@ func (c *Conn) Close() error {
 		}
 		s.watches = map[sessKey]*Watch{}
 		s.mu.Unlock()
+		// Stop the delayed-ack and coalesce timers and drop anything
+		// still queued: the peer will learn nothing more from us, and
+		// a timer firing after teardown must find nothing to do. A
+		// callback already past Stop re-checks c.closed and bails.
+		s.sendMu.Lock()
+		if s.ackTimer != nil {
+			s.ackTimer.Stop()
+		}
+		if s.paceTimer != nil {
+			s.paceTimer.Stop()
+		}
+		s.ackArmed, s.paceArmed = false, false
+		s.sendQ, s.sendSpare = nil, nil
+		for k := range s.pend {
+			delete(s.pend, k)
+		}
+		s.sendMu.Unlock()
 		return true
 	})
 	close(c.stop)
@@ -569,31 +785,34 @@ func (c *Conn) Close() error {
 }
 
 // register installs a fully built transfer into its session, starting
-// its retransmission schedule. The post-unlock closed recheck covers
-// the window where Close's teardown sweep ran before this session was
+// its retransmission schedule, and reports how many transfers
+// (including this one) the session then had in flight — the signal the
+// coalescing pacer keys on. The post-unlock closed recheck covers the
+// window where Close's teardown sweep ran before this session was
 // published: either the sweep saw the session (and failed the
 // transfer) or the recheck fires — no transfer outlives Close.
-func (c *Conn) register(s *session, t *outTransfer) error {
+func (c *Conn) register(s *session, t *outTransfer) (int, error) {
 	k := sessKey{typ: t.typ, callNum: t.callNum}
 	s.mu.Lock()
 	if c.closed.Load() {
 		s.mu.Unlock()
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	if _, dup := s.out[k]; dup {
 		s.mu.Unlock()
-		return errDupCallNum
+		return 0, errDupCallNum
 	}
 	s.out[k] = t
+	inFlight := len(s.out)
 	c.initTransferLocked(s, t, time.Now())
 	s.mu.Unlock()
 	if c.closed.Load() {
 		s.mu.Lock()
 		c.completeOutLocked(s, t, ErrClosed)
 		s.mu.Unlock()
-		return ErrClosed
+		return 0, ErrClosed
 	}
-	return nil
+	return inFlight, nil
 }
 
 // Send reliably transmits one message to peer, blocking until every
@@ -682,6 +901,7 @@ func (c *Conn) BeginCall(to transport.Addr, msg []byte) (*outTransfer, error) {
 	}
 	t.stampCallNum(s.nextCall)
 	s.out[sessKey{typ: Call, callNum: t.callNum}] = t
+	t.pace = len(s.out) >= paceInFlightMin
 	c.initTransferLocked(s, t, time.Now())
 	if c.tr.EnabledFor(trace.KindMsgSend) {
 		c.tr.Emit(trace.Event{Kind: trace.KindMsgSend, Peer: to,
@@ -699,11 +919,16 @@ func (c *Conn) BeginCall(to transport.Addr, msg []byte) (*outTransfer, error) {
 }
 
 // Transmit performs the initial transmission of a transfer begun with
-// BeginCall, all segments with no control bits set (§4.2.2).
+// BeginCall, all segments with no control bits set (§4.2.2). The
+// segments go through the session's coalescing queue, carrying any
+// pending acknowledgment to the same peer with them.
 func (c *Conn) Transmit(t *outTransfer) {
-	for _, s := range t.segs {
-		c.ep.Send(t.peer, s)
+	s := c.session(t.peer)
+	s.sendMu.Lock()
+	for _, seg := range t.segs {
+		s.sendQ = append(s.sendQ, outFrame{seg: seg})
 	}
+	c.flushOrSchedule(s, t.pace)
 }
 
 // BeginCallMulticast is the multicast analog of BeginCall: it
@@ -736,7 +961,7 @@ func (c *Conn) BeginCallMulticast(group []transport.Addr, msg []byte) ([]Transfe
 	for i, to := range group {
 		t := &outTransfer{peer: to, typ: Call, callNum: callNum, segs: segs,
 			done: make(chan struct{})}
-		if err := c.register(c.session(to), t); err != nil {
+		if _, err := c.register(c.session(to), t); err != nil {
 			for _, r := range registered {
 				rs := c.session(r.peer)
 				rs.mu.Lock()
@@ -788,7 +1013,7 @@ func (c *Conn) StartSendMulticast(group []transport.Addr, typ MsgType, callNum u
 	for i, to := range group {
 		t := &outTransfer{peer: to, typ: typ, callNum: callNum, segs: segs,
 			done: make(chan struct{})}
-		if err := c.register(c.session(to), t); err != nil {
+		if _, err := c.register(c.session(to), t); err != nil {
 			for _, r := range registered {
 				rs := c.session(r.peer)
 				rs.mu.Lock()
@@ -821,7 +1046,9 @@ func (c *Conn) StartSend(to transport.Addr, typ MsgType, callNum uint32, msg []b
 	if err := t.fill(typ, callNum, msg); err != nil {
 		return nil, err
 	}
-	if err := c.register(c.session(to), t); err != nil {
+	s := c.session(to)
+	inFlight, err := c.register(s, t)
+	if err != nil {
 		return nil, err
 	}
 	c.stats.segmentsSent.Add(int64(len(t.segs)))
@@ -831,10 +1058,13 @@ func (c *Conn) StartSend(to transport.Addr, typ MsgType, callNum uint32, msg []b
 			MsgType: uint8(typ), CallNum: callNum, N: len(t.segs)})
 	}
 	// Initial transmission of all segments with no control bits set
-	// (§4.2.2).
-	for _, s := range t.segs {
-		c.ep.Send(to, s)
+	// (§4.2.2), through the coalescing queue so a pending ack to the
+	// same peer rides along.
+	s.sendMu.Lock()
+	for _, seg := range t.segs {
+		s.sendQ = append(s.sendQ, outFrame{seg: seg})
 	}
+	c.flushOrSchedule(s, inFlight >= paceInFlightMin)
 	return t, nil
 }
 
@@ -870,18 +1100,35 @@ func (c *Conn) WatchPeer(to transport.Addr, callNum uint32) *Watch {
 func (c *Conn) recvLoop() {
 	defer c.wg.Done()
 	for pkt := range c.ep.Recv() {
-		h, payload, err := decodeSegment(pkt.Data)
-		if err != nil {
-			continue // garbled: treated as lost (§2.2)
+		if len(pkt.Data) > 0 && pkt.Data[0] == bundleMagic {
+			// A coalesced datagram: unpack and handle each segment in
+			// order, so an ack packed ahead of a data segment settles
+			// the older exchange before the new one is seen. Frames
+			// alias pkt.Data, which the receiver owns (transport.Packet).
+			from := pkt.From
+			decodeBundle(pkt.Data, func(frame []byte) {
+				c.handleSegment(from, frame)
+			})
+			continue
 		}
-		switch {
-		case h.ack:
-			c.handleAck(pkt.From, h)
-		case h.totalSegs == 0:
-			c.handleProbe(pkt.From, h)
-		default:
-			c.handleData(pkt.From, h, payload)
-		}
+		c.handleSegment(pkt.From, pkt.Data)
+	}
+}
+
+// handleSegment dispatches one decoded segment — plain or unpacked
+// from a bundle — to the ack, probe, or data path.
+func (c *Conn) handleSegment(from transport.Addr, data []byte) {
+	h, payload, err := decodeSegment(data)
+	if err != nil {
+		return // garbled: treated as lost (§2.2)
+	}
+	switch {
+	case h.ack:
+		c.handleAck(from, h)
+	case h.totalSegs == 0:
+		c.handleProbe(from, h)
+	default:
+		c.handleData(from, h, payload)
 	}
 }
 
@@ -929,7 +1176,9 @@ func (c *Conn) handleProbe(from transport.Addr, h segHeader) {
 	if dropped {
 		c.traceDrop(from, h.typ, h.callNum)
 	}
-	c.sendAck(from, h.typ, h.callNum, ackNum, total)
+	// The prober is waiting on this answer: flush it at once (it still
+	// shares its datagram with anything already queued).
+	c.queueAck(s, h.typ, h.callNum, ackNum, total, true)
 }
 
 func (c *Conn) handleData(from transport.Addr, h segHeader, payload []byte) {
@@ -1010,14 +1259,18 @@ func (c *Conn) handleData(from transport.Addr, h segHeader, payload []byte) {
 		c.traceDrop(from, h.typ, h.callNum)
 	}
 
-	// Acknowledgment policy: answer please-ack and gaps immediately;
-	// acknowledge a completed return message at once (its sender is
-	// blocked on it); let a completed call message be acknowledged
-	// implicitly by the forthcoming return (§4.2.4's postponement),
-	// unless the sender asked. A message still parked by backpressure
-	// reports ackable() = total-1, so these acks never finalize it.
-	if h.pleaseAck || gap || (deliveredNow && h.typ == Return) {
-		c.sendAck(from, h.typ, h.callNum, ackNum, total)
+	// Acknowledgment policy: answer please-ack and gaps urgently (the
+	// sender is retransmitting, or about to); acknowledge a completed
+	// return message cumulatively behind the delayed-ack bound, giving
+	// it a chance to piggyback on the next call to the same peer
+	// instead of occupying its own datagram; let a completed call
+	// message be acknowledged implicitly by the forthcoming return
+	// (§4.2.4's postponement), unless the sender asked. A message
+	// still parked by backpressure reports ackable() = total-1, so
+	// these acks never finalize it.
+	urgent := h.pleaseAck || gap
+	if urgent || (deliveredNow && h.typ == Return) {
+		c.queueAck(s, h.typ, h.callNum, ackNum, total, urgent)
 	}
 }
 
@@ -1082,20 +1335,169 @@ func (s *session) aliveLocked(callNum uint32) {
 	}
 }
 
-func (c *Conn) sendAck(to transport.Addr, typ MsgType, callNum uint32, ackNum, total int) {
-	h := segHeader{
-		typ:       typ,
-		ack:       true,
-		totalSegs: uint8(total),
-		segNum:    uint8(ackNum),
-		callNum:   callNum,
+// ackDelay returns how long a non-urgent ack may wait for a segment
+// to piggyback on. The bound must sit well below the peer's
+// retransmission timeout, or delaying would masquerade as loss: in
+// adaptive mode min(MinRTO/2, srtt/4) floored at 100µs, in fixed mode
+// RetransmitInterval/8 capped at 5ms. Options.AckDelay overrides.
+func (c *Conn) ackDelay(s *session) time.Duration {
+	if d := c.opts.AckDelay; d > 0 {
+		return d
 	}
-	c.stats.acksSent.Add(1)
-	if c.tr.EnabledFor(trace.KindAckSend) {
-		c.tr.Emit(trace.Event{Kind: trace.KindAckSend, Peer: to,
-			MsgType: uint8(typ), CallNum: callNum, N: ackNum})
+	if c.opts.Adaptive {
+		d := c.opts.MinRTO / 2
+		if srtt := time.Duration(s.srttMicros.Load()) * time.Microsecond; srtt > 0 && srtt/4 < d {
+			d = srtt / 4
+		}
+		if d < 100*time.Microsecond {
+			d = 100 * time.Microsecond
+		}
+		return d
 	}
-	c.sendControl(to, h)
+	d := c.opts.RetransmitInterval / 8
+	if d > 5*time.Millisecond {
+		d = 5 * time.Millisecond
+	}
+	return d
+}
+
+// queueAck records a pending cumulative acknowledgment for one
+// exchange, merged by maximum — ackable() only advances, so the
+// freshest state subsumes older ones. Urgent acks (probe answers,
+// please-ack responses, gap reports) flush at once; the rest wait up
+// to ackDelay for an outbound segment to piggyback on, or go out
+// together as one cumulative standalone datagram when the timer fires.
+func (c *Conn) queueAck(s *session, typ MsgType, callNum uint32, ackNum, total int, urgent bool) {
+	if c.opts.AckDelay < 0 {
+		urgent = true // delaying disabled: every ack goes out at once
+	}
+	k := sessKey{typ: typ, callNum: callNum}
+	s.sendMu.Lock()
+	if prev, ok := s.pend[k]; !ok || ackNum > prev.ackNum {
+		if ok && prev.total > total {
+			total = prev.total
+		}
+		s.pend[k] = pendAck{ackNum: ackNum, total: total}
+	}
+	if urgent {
+		c.flushOrSchedule(s, false)
+		return
+	}
+	if !s.ackArmed && !s.flushing {
+		s.ackArmed = true
+		d := c.ackDelay(s)
+		if s.ackTimer == nil {
+			s.ackTimer = time.AfterFunc(d, func() { c.kickFlush(s, false) })
+		} else {
+			s.ackTimer.Reset(d)
+		}
+	}
+	s.sendMu.Unlock()
+}
+
+// flushOrSchedule decides how queued frames and pending acks leave the
+// session: drained by the already-active flusher, deferred briefly to
+// gather company (pace — only chosen by callers whose session has
+// other transfers in flight, so a serial exchange is never held back),
+// or drained now with the caller becoming the flusher.
+//
+// Pacing waits for a companion, not for the clock: the first paced
+// enqueue arms the coalesce-window timer as a backstop, and the next
+// paced enqueue — frames from another transfer wanting the same wire —
+// flushes both at once. Under concurrent load the wait is therefore
+// one inter-arrival gap, not the full window, which keeps the latency
+// cost of coalescing near zero while still packing bundles. Caller
+// holds s.sendMu, which is released.
+func (c *Conn) flushOrSchedule(s *session, pace bool) {
+	if s.flushing {
+		s.sendMu.Unlock()
+		return
+	}
+	if pace && c.opts.CoalesceWindow > 0 && !s.paceArmed {
+		s.paceArmed = true
+		if s.paceTimer == nil {
+			s.paceTimer = time.AfterFunc(c.opts.CoalesceWindow, func() { c.kickFlush(s, true) })
+		} else {
+			s.paceTimer.Reset(c.opts.CoalesceWindow)
+		}
+		s.sendMu.Unlock()
+		return
+	}
+	s.flushing = true
+	s.sendMu.Unlock()
+	c.flushLoop(s)
+}
+
+// kickFlush is the delayed-ack / coalesce timer callback: it starts a
+// flush unless one is active, the queue emptied meanwhile, or the Conn
+// closed under it.
+func (c *Conn) kickFlush(s *session, pace bool) {
+	s.sendMu.Lock()
+	if pace {
+		s.paceArmed = false
+	} else {
+		s.ackArmed = false
+	}
+	if c.closed.Load() || s.flushing || (len(s.sendQ) == 0 && len(s.pend) == 0) {
+		s.sendMu.Unlock()
+		return
+	}
+	s.flushing = true
+	s.sendMu.Unlock()
+	c.flushLoop(s)
+}
+
+// flushLoop drains the session's send queue and pending acks until
+// both are empty, transmitting outside the lock. Exactly one flusher
+// runs per session (s.flushing); enqueuers that find it active just
+// leave their frames — the single-flusher discipline is also what
+// keeps the per-exchange ack sequence monotone on the wire. Work
+// enqueued during a transmission is picked up by the next iteration,
+// so a burst arriving while the wire is busy coalesces naturally.
+func (c *Conn) flushLoop(s *session) {
+	var acks []segHeader
+	for {
+		s.sendMu.Lock()
+		if c.closed.Load() {
+			s.sendQ = nil
+			for k := range s.pend {
+				delete(s.pend, k)
+			}
+		}
+		if len(s.sendQ) == 0 && len(s.pend) == 0 {
+			s.flushing = false
+			s.sendMu.Unlock()
+			return
+		}
+		frames := s.sendQ
+		if s.sendSpare != nil {
+			s.sendQ = s.sendSpare[:0]
+		} else {
+			s.sendQ = nil
+		}
+		s.sendSpare = frames // recycled as the active queue next drain
+		acks = acks[:0]
+		for k, pa := range s.pend {
+			acks = append(acks, segHeader{
+				typ:       k.typ,
+				ack:       true,
+				totalSegs: uint8(pa.total),
+				segNum:    uint8(pa.ackNum),
+				callNum:   k.callNum,
+			})
+			delete(s.pend, k)
+		}
+		if s.ackArmed {
+			s.ackTimer.Stop()
+			s.ackArmed = false
+		}
+		if s.paceArmed {
+			s.paceTimer.Stop()
+			s.paceArmed = false
+		}
+		s.sendMu.Unlock()
+		c.transmitFrames(s.peer, acks, frames)
+	}
 }
 
 // completeOutLocked finishes an outbound transfer. Caller holds the
@@ -1111,6 +1513,7 @@ func (c *Conn) completeOutLocked(s *session, t *outTransfer, err error) {
 		// yield an unambiguous round-trip sample.
 		rtt := time.Since(t.firstSent)
 		s.rtt.sample(rtt)
+		s.srttMicros.Store(s.rtt.srtt.Microseconds())
 		if c.tr.EnabledFor(trace.KindRTTSample) {
 			c.tr.Emit(trace.Event{Kind: trace.KindRTTSample, Peer: t.peer,
 				MsgType: uint8(t.typ), CallNum: t.callNum, Dur: rtt})
@@ -1156,12 +1559,15 @@ func (c *Conn) timerPass() {
 
 // timerPassSession runs one retransmission/probe/expiry pass over a
 // single peer session. Segment references are collected under the
-// session lock and transmitted outside it; stored segments are never
-// mutated after creation, so reading them unlocked is safe — the send
-// loop stamps the please-ack bit onto a pooled copy.
+// session lock and enqueued for transmission outside it; stored
+// segments are never mutated after creation, so reading them unlocked
+// is safe — the flusher stamps the please-ack bit onto the transmitted
+// copy. Everything a pass produces for one peer — retransmissions for
+// k transfers, probes, any pending acks — leaves in one coalesced
+// flush, so a tick costs one datagram per peer instead of one per
+// segment.
 func (c *Conn) timerPassSession(s *session) {
-	var resends [][][]byte // per due transfer, its unacked segments
-	var probes []segHeader
+	var frames []outFrame
 
 	s.mu.Lock()
 	// Clock read under the lock, not at the tick: the previous
@@ -1213,12 +1619,13 @@ func (c *Conn) timerPassSession(s *session) {
 		if c.opts.Strategy == RetransmitAll {
 			last = len(t.segs)
 		}
-		var segs [][]byte
+		nsegs := 0
 		for i := t.acked + 1; i <= last && i <= len(t.segs); i++ {
-			segs = append(segs, t.segs[i-1])
+			frames = append(frames, outFrame{seg: t.segs[i-1], pa: true})
+			nsegs++
 		}
-		c.stats.retransmits.Add(int64(len(segs)))
-		c.stats.segmentsSent.Add(int64(len(segs)))
+		c.stats.retransmits.Add(int64(nsegs))
+		c.stats.segmentsSent.Add(int64(nsegs))
 		// Stamped with the pass's own clock reading — the one nextSend
 		// was checked and rescheduled against — so the conformance
 		// checker's gap computation sees the schedule the timer kept,
@@ -1226,9 +1633,8 @@ func (c *Conn) timerPassSession(s *session) {
 		if c.tr.EnabledFor(trace.KindSegRetransmit) {
 			c.tr.Emit(trace.Event{Kind: trace.KindSegRetransmit, T: now,
 				Peer: s.peer, MsgType: uint8(t.typ), CallNum: t.callNum,
-				Attempt: t.attempts, N: len(segs)})
+				Attempt: t.attempts, N: nsegs})
 		}
-		resends = append(resends, segs)
 	}
 	for _, w := range s.watches {
 		if now.Before(w.nextProbe) {
@@ -1247,11 +1653,11 @@ func (c *Conn) timerPassSession(s *session) {
 			continue
 		}
 		c.stats.probesSent.Add(1)
-		probes = append(probes, segHeader{
+		frames = append(frames, outFrame{h: segHeader{
 			typ:       w.k.typ,
 			pleaseAck: true,
 			callNum:   w.k.callNum,
-		})
+		}, probe: true})
 	}
 	// Expire completed-exchange records once delayed duplicates can no
 	// longer arrive (§4.2.4). The scan touches every completed record,
@@ -1268,21 +1674,11 @@ func (c *Conn) timerPassSession(s *session) {
 	}
 	s.mu.Unlock()
 
-	for _, segs := range resends {
-		for _, seg := range segs {
-			bp := segScratch.Get().(*[]byte)
-			b := append((*bp)[:0], seg...)
-			b[1] |= ctlPleaseAck
-			c.ep.Send(s.peer, b)
-			*bp = b
-			segScratch.Put(bp)
-		}
-	}
-	for _, h := range probes {
-		if c.tr.EnabledFor(trace.KindProbeSend) {
-			c.tr.Emit(trace.Event{Kind: trace.KindProbeSend, Peer: s.peer,
-				MsgType: uint8(h.typ), CallNum: h.callNum})
-		}
-		c.sendControl(s.peer, h)
+	if len(frames) > 0 {
+		// Never paced: a retransmission is already late by one RTO, and
+		// the whole pass coalesces per peer in this single flush.
+		s.sendMu.Lock()
+		s.sendQ = append(s.sendQ, frames...)
+		c.flushOrSchedule(s, false)
 	}
 }

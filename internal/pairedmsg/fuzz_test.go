@@ -61,3 +61,83 @@ func FuzzSegmentReassembly(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBundleDecode: the bundle decoder must never panic, never yield a
+// frame that lies outside the input or is shorter than a segment
+// header, and must decode a well-formed bundle back to its frames.
+func FuzzBundleDecode(f *testing.F) {
+	// A valid two-frame bundle.
+	segs, _ := segmentMessage(Call, 7, []byte("hello"))
+	valid := []byte{bundleMagic, 0}
+	valid = appendBundleFrame(valid, segs[0])
+	ackSeg := make([]byte, headerLen)
+	ackSeg[0] = byte(Return)
+	ackSeg[1] = ctlAck
+	valid = appendBundleFrame(valid, ackSeg)
+	f.Add(valid)
+	f.Add([]byte{})                               // empty
+	f.Add([]byte{bundleMagic})                    // magic alone
+	f.Add([]byte{bundleMagic, 1})                 // count but no frames
+	f.Add([]byte{bundleMagic, 1, 0xff, 0xff})     // oversized frame length
+	f.Add([]byte{bundleMagic, 2, 0, 8, 0, 0, 2, 1, 0, 0, 0, 1}) // count overruns frames
+	f.Add([]byte{bundleMagic, 1, 0, 2, 1, 1})     // frame below headerLen
+	f.Add(append([]byte{bundleMagic, 255}, valid[2:]...)) // inflated count
+	f.Add([]byte{0, 0, 2, 1, 0, 0, 0, 1, 'x'})    // plain segment, not a bundle
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var frames [][]byte
+		decodeBundle(data, func(frame []byte) {
+			if len(frame) < headerLen {
+				t.Fatalf("yielded %d-byte frame, below header length", len(frame))
+			}
+			frames = append(frames, frame)
+		})
+		if len(data) < bundleHdrLen || data[0] != bundleMagic {
+			if len(frames) != 0 {
+				t.Fatalf("non-bundle input yielded %d frames", len(frames))
+			}
+			return
+		}
+		if len(frames) > int(data[1]) {
+			t.Fatalf("yielded %d frames from a count of %d", len(frames), data[1])
+		}
+		total := bundleHdrLen
+		for _, fr := range frames {
+			total += bundleFrameHdrLen + len(fr)
+		}
+		if total > len(data) {
+			t.Fatalf("yielded frames span %d bytes of a %d-byte bundle", total, len(data))
+		}
+		// Every yielded frame must survive the segment decoder without
+		// panicking, the way recvLoop consumes them.
+		for _, fr := range frames {
+			decodeSegment(fr)
+		}
+	})
+}
+
+// TestBundleRoundTrip pins the framing format: frames packed by
+// appendBundleFrame come back byte-identical and in order.
+func TestBundleRoundTrip(t *testing.T) {
+	segsA, _ := segmentMessage(Call, 1, []byte("first"))
+	segsB, _ := segmentMessage(Return, 2, []byte("second message"))
+	in := [][]byte{segsA[0], segsB[0]}
+	buf := []byte{bundleMagic, 0}
+	for _, s := range in {
+		buf = appendBundleFrame(buf, s)
+	}
+	if buf[1] != 2 {
+		t.Fatalf("frame count byte = %d, want 2", buf[1])
+	}
+	var out [][]byte
+	decodeBundle(buf, func(frame []byte) {
+		out = append(out, append([]byte(nil), frame...))
+	})
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d frames, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if string(out[i]) != string(in[i]) {
+			t.Errorf("frame %d changed: %x -> %x", i, in[i], out[i])
+		}
+	}
+}

@@ -83,7 +83,79 @@ func Check(events []trace.Event, cfg Config) []Violation {
 	v = append(v, checkReplyAfterRequest(evs)...)
 	v = append(v, checkMonotoneCallNums(evs)...)
 	v = append(v, checkDeliverOnce(evs)...)
+	v = append(v, checkAckConsistency(evs)...)
 	v = append(v, checkRetransmitSchedule(evs, cfg)...)
+	return v
+}
+
+// checkAckConsistency verifies the acknowledgment stream, including
+// acks piggybacked onto data bundles and delayed cumulative acks
+// (DESIGN.md "Wire economy"). An ack — however it travelled — must
+// never claim more than the receiver actually holds:
+//
+//   - ack-monotone: within one conversation, the cumulative segment
+//     number a receiver acknowledges never decreases. The coalescing
+//     layer merges pending acks by maximum and a single flusher
+//     serializes emission, so a regression means a stale or forged
+//     ack escaped.
+//   - ack-beyond-send: the acknowledged segment number never exceeds
+//     the segment count the sender announced for that message. (If
+//     the trace holds no matching send — e.g. a partial capture — the
+//     ack is not judged.)
+//   - full-ack-after-assembly: a full ack (N = total segments) is
+//     only legal once the receiver has assembled the whole message,
+//     witnessed by a prior msg.delivered event for the conversation.
+func checkAckConsistency(evs []trace.Event) []Violation {
+	type sendKey struct {
+		node    transport.Addr
+		peer    transport.Addr
+		msgType uint8
+		callNum uint32
+	}
+	var v []Violation
+	lastAck := make(map[conv]int)
+	sentTotal := make(map[sendKey]int)
+	assembled := make(map[conv]bool)
+	for _, e := range evs {
+		switch e.Kind {
+		case trace.KindMsgSend:
+			k := sendKey{e.Node, e.Peer, e.MsgType, e.CallNum}
+			if e.N > sentTotal[k] {
+				sentTotal[k] = e.N
+			}
+		case trace.KindMsgDelivered:
+			assembled[conv{endpoint{e.Node, e.Inc}, e.Peer, e.MsgType, e.CallNum}] = true
+		case trace.KindAckSend:
+			k := conv{endpoint{e.Node, e.Inc}, e.Peer, e.MsgType, e.CallNum}
+			if prev, ok := lastAck[k]; ok && e.N < prev {
+				v = append(v, Violation{
+					Invariant: "ack-monotone",
+					Seq:       e.Seq,
+					Msg: fmt.Sprintf("%v inc %d acked segment %d after %d (peer %v type %d call %d)",
+						e.Node, e.Inc, e.N, prev, e.Peer, e.MsgType, e.CallNum),
+				})
+			}
+			if e.N > lastAck[k] {
+				lastAck[k] = e.N
+			}
+			if total, ok := sentTotal[sendKey{e.Peer, e.Node, e.MsgType, e.CallNum}]; ok && e.N > total {
+				v = append(v, Violation{
+					Invariant: "ack-beyond-send",
+					Seq:       e.Seq,
+					Msg: fmt.Sprintf("%v inc %d acked segment %d of a %d-segment message (peer %v type %d call %d)",
+						e.Node, e.Inc, e.N, total, e.Peer, e.MsgType, e.CallNum),
+				})
+			}
+			if e.Total > 0 && e.N >= e.Total && !assembled[k] {
+				v = append(v, Violation{
+					Invariant: "full-ack-after-assembly",
+					Seq:       e.Seq,
+					Msg: fmt.Sprintf("%v inc %d sent a full ack (%d/%d) before assembling the message (peer %v type %d call %d)",
+						e.Node, e.Inc, e.N, e.Total, e.Peer, e.MsgType, e.CallNum),
+				})
+			}
+		}
+	}
 	return v
 }
 

@@ -184,6 +184,58 @@ func TestBackoffMonotoneViolation(t *testing.T) {
 	), cfg))
 }
 
+func TestAckMonotoneViolation(t *testing.T) {
+	ack := func(n int) trace.Event {
+		return trace.Event{Kind: trace.KindAckSend, Node: nodeB, Peer: nodeA,
+			MsgType: 0, CallNum: 1, N: n}
+	}
+	// A receding cumulative ack is a violation.
+	wantInvariants(t, Check(seq(ack(3), ack(2)), Config{}), "ack-monotone")
+	// Repeats (retransmission-triggered re-acks) and growth are fine.
+	wantInvariants(t, Check(seq(ack(1), ack(1), ack(3)), Config{}))
+	// Distinct conversations have independent streams.
+	other := ack(1)
+	other.CallNum = 2
+	wantInvariants(t, Check(seq(ack(3), other), Config{}))
+	// So do distinct incarnations of the acking node.
+	reinc := ack(1)
+	reinc.Inc = 1
+	wantInvariants(t, Check(seq(ack(3), reinc), Config{}))
+}
+
+func TestAckBeyondSendViolation(t *testing.T) {
+	send := trace.Event{Kind: trace.KindMsgSend, Node: nodeA, Peer: nodeB,
+		MsgType: 0, CallNum: 1, N: 3}
+	ack := func(n int) trace.Event {
+		return trace.Event{Kind: trace.KindAckSend, Node: nodeB, Peer: nodeA,
+			MsgType: 0, CallNum: 1, N: n}
+	}
+	// Acking past the announced segment count is a violation.
+	wantInvariants(t, Check(seq(send, ack(4)), Config{}), "ack-beyond-send")
+	// Acking up to the count is fine.
+	wantInvariants(t, Check(seq(send, ack(3)), Config{}))
+	// Without a matching send in the trace, the ack is not judged.
+	wantInvariants(t, Check(seq(ack(4)), Config{}))
+}
+
+func TestFullAckAfterAssemblyViolation(t *testing.T) {
+	fullAck := trace.Event{Kind: trace.KindAckSend, Node: nodeB, Peer: nodeA,
+		MsgType: 0, CallNum: 1, N: 2, Total: 2}
+	delivered := trace.Event{Kind: trace.KindMsgDelivered, Node: nodeB, Peer: nodeA,
+		MsgType: 0, CallNum: 1, N: 2}
+	// A full ack with no prior assembly is a violation.
+	wantInvariants(t, Check(seq(fullAck), Config{}), "full-ack-after-assembly")
+	// Assembly first makes it legal.
+	wantInvariants(t, Check(seq(delivered, fullAck), Config{}))
+	// A partial ack (below the total) needs no assembly. Events
+	// without a Total (pre-wire-economy traces) are not judged.
+	partial := fullAck
+	partial.N, partial.Total = 1, 2
+	legacy := fullAck
+	legacy.Total = 0
+	wantInvariants(t, Check(seq(partial, legacy), Config{}))
+}
+
 func TestCheckSortsBySeq(t *testing.T) {
 	// Events arriving out of capture order (e.g. merged JSONL shards)
 	// are re-sorted before checking: delivery at Seq 1 licenses the

@@ -73,6 +73,7 @@ const (
 	// Appended after the txn block to keep earlier kinds' wire names
 	// stable (JSONL stores the dotted string, not the ordinal).
 	KindDeliveryDrop // reassembled message not handed up: incoming queue full
+	KindBundleSend   // coalesced datagram sent (N = frames packed into it)
 
 	kindCount // sentinel: number of kinds
 )
@@ -106,6 +107,7 @@ var kindNames = [...]string{
 	KindTxnAbort:      "txn.abort",
 	KindAcceptOrder:   "txn.accept-order",
 	KindDeliveryDrop:  "msg.delivery-drop",
+	KindBundleSend:    "msg.bundle",
 }
 
 // String returns the stable dotted name of the kind, used in JSONL
@@ -172,6 +174,11 @@ type Event struct {
 	// N is a kind-specific count (segments sent, troupe degree,
 	// replies collated).
 	N int `json:"n,omitempty"`
+	// Total is the kind-specific denominator of N where one exists —
+	// on msg.ack events, the total segment count of the transfer being
+	// acknowledged, so a checker can tell a full (final) ack from a
+	// partial one.
+	Total int `json:"total,omitempty"`
 	// Dur is a kind-specific duration (RTT sample, call latency).
 	Dur time.Duration `json:"dur,omitempty"`
 	// Err is the error text for failure events, empty on success.

@@ -86,3 +86,24 @@ type Multicaster interface {
 	// independent (§2.2).
 	Multicast(group []Addr, data []byte) error
 }
+
+// Datagram is one (destination, payload) pair of a batched send.
+type Datagram struct {
+	To   Addr
+	Data []byte
+}
+
+// BatchSender is implemented by endpoints that can hand several
+// datagrams to the network in one operation — sendmmsg(2) on a real
+// socket, a single locked pass in the simulator. The paper's cost
+// breakdown (Table 4.2, §4.4.1) charges every datagram a full sendmsg;
+// batching amortizes that per-operation cost across a whole
+// retransmission tick or coalesced flush.
+//
+// The Send contract carries over per datagram: delivery stays
+// unreliable and independent, the call never blocks awaiting any
+// receiver, and no Data buffer is retained after SendBatch returns
+// (callers send from pooled buffers).
+type BatchSender interface {
+	SendBatch(dgrams []Datagram) error
+}

@@ -1,0 +1,33 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package udptrans
+
+import (
+	"circus/internal/transport"
+)
+
+// Fallback batch I/O for platforms without sendmmsg/recvmmsg (or whose
+// msghdr ABI we do not model): plain per-datagram system calls. The
+// coalescing in the paired message layer still reduces datagram count;
+// only the syscall amortization is lost.
+
+func (e *Endpoint) sendBatch(dgrams []transport.Datagram) error {
+	for _, d := range dgrams {
+		if _, err := e.conn.WriteToUDP(d.Data, toUDPAddr(d.To)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Endpoint) readLoop() {
+	buf := make([]byte, transport.MaxDatagram)
+	for {
+		n, from, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			close(e.recv)
+			return
+		}
+		e.enqueue(toAddr(from), append([]byte(nil), buf[:n]...))
+	}
+}

@@ -1,0 +1,144 @@
+//go:build linux && (amd64 || arm64)
+
+package udptrans
+
+import (
+	"syscall"
+	"unsafe"
+
+	"circus/internal/transport"
+)
+
+// Batched datagram I/O via sendmmsg(2)/recvmmsg(2). Each coalesced
+// flush from the paired message layer becomes one system call instead
+// of one per datagram, and the read loop drains bursts in one call.
+// Restricted to 64-bit Linux where syscall.Msghdr matches the kernel's
+// struct msghdr layout (32-bit ABIs differ).
+
+// recvBatchSize is how many datagrams one recvmmsg call may drain.
+const recvBatchSize = 16
+
+// mmsghdr mirrors the kernel's struct mmsghdr: a msghdr plus the
+// returned datagram length, padded to an 8-byte boundary.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// putSockaddr fills sa with the AF_INET form of a; port and host are
+// stored big-endian as the kernel expects.
+func putSockaddr(sa *syscall.RawSockaddrInet4, a transport.Addr) {
+	sa.Family = syscall.AF_INET
+	p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+	p[0] = byte(a.Port >> 8)
+	p[1] = byte(a.Port)
+	sa.Addr[0] = byte(a.Host >> 24)
+	sa.Addr[1] = byte(a.Host >> 16)
+	sa.Addr[2] = byte(a.Host >> 8)
+	sa.Addr[3] = byte(a.Host)
+}
+
+// sendBatch transmits the datagrams with as few sendmmsg calls as the
+// socket buffer allows, waiting for writability between partial sends.
+func (e *Endpoint) sendBatch(dgrams []transport.Datagram) error {
+	sas := make([]syscall.RawSockaddrInet4, len(dgrams))
+	iovs := make([]syscall.Iovec, len(dgrams))
+	hdrs := make([]mmsghdr, len(dgrams))
+	for i := range dgrams {
+		d := &dgrams[i]
+		putSockaddr(&sas[i], d.To)
+		if len(d.Data) > 0 {
+			iovs[i].Base = &d.Data[0]
+		}
+		iovs[i].SetLen(len(d.Data))
+		h := &hdrs[i].hdr
+		h.Name = (*byte)(unsafe.Pointer(&sas[i]))
+		h.Namelen = uint32(unsafe.Sizeof(sas[i]))
+		h.Iov = &iovs[i]
+		h.Iovlen = 1
+	}
+	sent := 0
+	var sysErr error
+	err := e.raw.Write(func(fd uintptr) bool {
+		for sent < len(hdrs) {
+			n, _, errno := syscall.Syscall6(sysSENDMMSG, fd,
+				uintptr(unsafe.Pointer(&hdrs[sent])), uintptr(len(hdrs)-sent), 0, 0, 0)
+			if errno == syscall.EAGAIN {
+				return false // wait for writability, then resume
+			}
+			if errno != 0 {
+				sysErr = errno
+				return true
+			}
+			sent += int(n)
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return sysErr
+}
+
+// readLoop drains the socket with recvmmsg, copying each datagram into
+// a fresh exactly-sized buffer before handing it upward (the
+// transport.Packet contract: the receiver owns Data).
+func (e *Endpoint) readLoop() {
+	var (
+		bufs [recvBatchSize][transport.MaxDatagram]byte
+		sas  [recvBatchSize]syscall.RawSockaddrInet4
+		iovs [recvBatchSize]syscall.Iovec
+		hdrs [recvBatchSize]mmsghdr
+	)
+	for i := range hdrs {
+		iovs[i].Base = &bufs[i][0]
+		iovs[i].SetLen(transport.MaxDatagram)
+		h := &hdrs[i].hdr
+		h.Name = (*byte)(unsafe.Pointer(&sas[i]))
+		h.Iov = &iovs[i]
+		h.Iovlen = 1
+	}
+	for {
+		got := 0
+		err := e.raw.Read(func(fd uintptr) bool {
+			// Namelen is value-result; reset before every call.
+			for i := range hdrs {
+				hdrs[i].hdr.Namelen = uint32(unsafe.Sizeof(sas[i]))
+			}
+			n, _, errno := syscall.Syscall6(sysRECVMMSG, fd,
+				uintptr(unsafe.Pointer(&hdrs[0])), recvBatchSize,
+				syscall.MSG_DONTWAIT, 0, 0)
+			if errno == syscall.EAGAIN {
+				return false // block in the poller until readable
+			}
+			if errno == 0 {
+				got = int(n)
+			}
+			// Any other errno: report zero packets; the outer loop
+			// exits via the closed-socket error from raw.Read or
+			// simply retries on a transient fault.
+			return true
+		})
+		if err != nil {
+			close(e.recv)
+			return
+		}
+		for i := 0; i < got; i++ {
+			sa := &sas[i]
+			if sa.Family != syscall.AF_INET {
+				continue
+			}
+			from := transport.Addr{
+				Host: uint32(sa.Addr[0])<<24 | uint32(sa.Addr[1])<<16 |
+					uint32(sa.Addr[2])<<8 | uint32(sa.Addr[3]),
+				Port: uint16(sa.Port>>8) | uint16(sa.Port)<<8,
+			}
+			n := int(hdrs[i].n)
+			if n > transport.MaxDatagram {
+				n = transport.MaxDatagram
+			}
+			e.enqueue(from, append([]byte(nil), bufs[i][:n]...))
+		}
+	}
+}

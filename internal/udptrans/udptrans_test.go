@@ -82,3 +82,61 @@ func TestCloseUnblocksRecv(t *testing.T) {
 		t.Errorf("Send after close = %v, want ErrClosed", err)
 	}
 }
+
+func TestSendBatchRoundTrip(t *testing.T) {
+	a, err := Listen(0)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer a.Close()
+	b, err := Listen(0)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer b.Close()
+	c, err := Listen(0)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer c.Close()
+
+	var batch []transport.Datagram
+	for i := 0; i < 20; i++ {
+		to := b.Addr()
+		if i%2 == 1 {
+			to = c.Addr()
+		}
+		batch = append(batch, transport.Datagram{To: to, Data: []byte{byte(i)}})
+	}
+	if err := a.SendBatch(batch); err != nil {
+		t.Fatalf("SendBatch: %v", err)
+	}
+	got := make(map[byte]bool)
+	deadline := time.After(2 * time.Second)
+	for len(got) < 20 {
+		select {
+		case pkt := <-b.Recv():
+			if pkt.From != a.Addr() {
+				t.Errorf("from = %v, want %v", pkt.From, a.Addr())
+			}
+			got[pkt.Data[0]] = true
+		case pkt := <-c.Recv():
+			got[pkt.Data[0]] = true
+		case <-deadline:
+			t.Fatalf("received %d of 20 datagrams", len(got))
+		}
+	}
+}
+
+func TestSendBatchAfterClose(t *testing.T) {
+	a, err := Listen(0)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	addr := a.Addr()
+	a.Close()
+	err = a.SendBatch([]transport.Datagram{{To: addr, Data: []byte("x")}})
+	if err != transport.ErrClosed {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}

@@ -26,6 +26,7 @@ func BenchmarkThroughput(b *testing.B) {
 				if err := c.Call(bench.ThroughputPayload); err != nil {
 					b.Fatal(err)
 				}
+				c.Net.ResetStats()
 				b.ReportAllocs()
 				b.ResetTimer()
 				if err := c.ConcurrentCalls(callers, b.N); err != nil {
@@ -33,6 +34,7 @@ func BenchmarkThroughput(b *testing.B) {
 				}
 				b.StopTimer()
 				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+				b.ReportMetric(float64(c.Net.Stats().Datagrams)/float64(b.N), "datagrams/op")
 			})
 		}
 	}
