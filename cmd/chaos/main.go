@@ -4,11 +4,18 @@
 // exactly-once execution per replicated call, and no acknowledged
 // update lost. It exits nonzero if any campaign finds a violation.
 //
+// With -durable every member write-ahead logs its acked writes to an
+// injected disk, crashes become power losses (page cache discarded,
+// log tail possibly torn), and the schedule adds disk faults; with
+// -restart-all the campaign additionally power-fails the entire
+// troupe at once — survivable only because of the logs.
+//
 // Usage:
 //
 //	go run ./cmd/chaos -seeds 20
 //	go run ./cmd/chaos -seed 7 -servers 5 -clients 4 -v
 //	go run ./cmd/chaos -seeds 5 -trace /tmp/traces   # seed<N>.jsonl per campaign
+//	go run ./cmd/chaos -seeds 10 -durable -restart-all
 package main
 
 import (
@@ -23,17 +30,24 @@ import (
 
 func main() {
 	var (
-		seeds    = flag.Int("seeds", 1, "run campaigns for seeds 1..N")
-		seed     = flag.Int64("seed", 0, "run a single campaign with this seed (overrides -seeds)")
-		servers  = flag.Int("servers", 3, "KV troupe degree")
-		clients  = flag.Int("clients", 3, "concurrent client processes")
-		ops      = flag.Int("ops", 20, "minimum put operations per client caller")
-		callers  = flag.Int("callers", 1, "concurrent caller goroutines per client process")
-		verbose  = flag.Bool("v", false, "log schedule events and repair actions")
-		traceDir = flag.String("trace", "", "write per-seed JSONL traces (seed<N>.jsonl) into this directory")
+		seeds      = flag.Int("seeds", 1, "run campaigns for seeds 1..N")
+		seed       = flag.Int64("seed", 0, "run a single campaign with this seed (overrides -seeds)")
+		servers    = flag.Int("servers", 3, "KV troupe degree")
+		clients    = flag.Int("clients", 3, "concurrent client processes")
+		ops        = flag.Int("ops", 20, "minimum put operations per client caller")
+		callers    = flag.Int("callers", 1, "concurrent caller goroutines per client process")
+		durable    = flag.Bool("durable", false, "write-ahead log every member; crashes become power losses, disk faults join the schedule")
+		restartAll = flag.Bool("restart-all", false, "power-fail the whole troupe at once mid-campaign (requires -durable)")
+		snapEvery  = flag.Int("snapshot-every", 64, "snapshot cadence in log records (durable mode)")
+		verbose    = flag.Bool("v", false, "log schedule events and repair actions")
+		traceDir   = flag.String("trace", "", "write per-seed JSONL traces (seed<N>.jsonl) into this directory")
 	)
 	flag.Parse()
 
+	if *restartAll && !*durable {
+		fmt.Fprintln(os.Stderr, "chaos: -restart-all requires -durable (a whole-troupe power loss without logs loses everything)")
+		os.Exit(2)
+	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "chaos: creating trace dir: %v\n", err)
@@ -56,9 +70,13 @@ func main() {
 		retries, rebinds         int64
 		suspected                int64
 		removed, rejoined, viols int
+		recoveries               int
+		deltaBytes, fullBytes    int64
+		fsyncs, snapshots        uint64
 	}
 	for _, s := range list {
-		cfg := chaos.Config{Seed: s, Servers: *servers, Clients: *clients, Ops: *ops, Callers: *callers}
+		cfg := chaos.Config{Seed: s, Servers: *servers, Clients: *clients, Ops: *ops, Callers: *callers,
+			Durable: *durable, RestartAll: *restartAll, SnapshotEvery: *snapEvery}
 		if *verbose {
 			cfg.Log = func(format string, args ...any) {
 				fmt.Printf(format+"\n", args...)
@@ -89,9 +107,15 @@ func main() {
 			status = "VIOLATED"
 			violated = true
 		}
-		fmt.Printf("seed %-4d %-8s events=%-2d acked=%-4d failed=%-3d retries=%-3d rebinds=%-3d suspected=%-3d removed=%d rejoined=%d\n",
+		fmt.Printf("seed %-4d %-8s events=%-2d acked=%-4d failed=%-3d retries=%-3d rebinds=%-3d suspected=%-3d removed=%d rejoined=%d",
 			s, status, len(res.Schedule.Events), res.Acked, res.Failed,
 			res.Retries, res.Rebinds, res.Suspected, res.Removed, res.Rejoined)
+		if *durable {
+			fmt.Printf(" recoveries=%d fsyncs=%d snapshots=%d delta=%d/%dB full=%d/%dB",
+				res.Recoveries, res.Fsyncs, res.Snapshots,
+				res.DeltaTransfers, res.DeltaBytes, res.FullTransfers, res.FullBytes)
+		}
+		fmt.Println()
 		for _, v := range res.Violations {
 			fmt.Printf("    violation: %s\n", v)
 		}
@@ -103,10 +127,19 @@ func main() {
 		totals.removed += res.Removed
 		totals.rejoined += res.Rejoined
 		totals.viols += len(res.Violations)
+		totals.recoveries += res.Recoveries
+		totals.deltaBytes += res.DeltaBytes
+		totals.fullBytes += res.FullBytes
+		totals.fsyncs += res.Fsyncs
+		totals.snapshots += res.Snapshots
 	}
 	fmt.Printf("total: %d campaign(s), acked=%d failed=%d retries=%d rebinds=%d suspected=%d removed=%d rejoined=%d violations=%d\n",
 		len(list), totals.acked, totals.failed, totals.retries, totals.rebinds,
 		totals.suspected, totals.removed, totals.rejoined, totals.viols)
+	if *durable {
+		fmt.Printf("durable: recoveries=%d fsyncs=%d snapshots=%d delta-bytes=%d full-bytes=%d\n",
+			totals.recoveries, totals.fsyncs, totals.snapshots, totals.deltaBytes, totals.fullBytes)
+	}
 	if violated {
 		os.Exit(1)
 	}

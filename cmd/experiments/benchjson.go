@@ -160,6 +160,38 @@ func writeBenchJSON(maxDegree int, seed int64) (string, error) {
 		}
 	}
 
+	// Durable-member throughput (BenchmarkThroughputDurable): degree-3
+	// troupes whose members append-fsync every call to a WAL on an
+	// in-memory disk with a 50 µs fsync. The "fsyncs/op" extra metric
+	// shows the group commit: ≈3 (one per member) for a single caller,
+	// falling well below the degree as concurrent callers share rounds.
+	for _, callers := range []int{1, 16, 64} {
+		c, err := bench.NewDurableCluster(seed+int64(200+callers), 3, time.Millisecond, 50*time.Microsecond)
+		if err != nil {
+			return "", err
+		}
+		if err := c.Call(bench.ThroughputPayload); err != nil {
+			c.Close()
+			return "", err
+		}
+		callers := callers
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			c.Net.ResetStats()
+			base := c.Fsyncs()
+			b.ResetTimer()
+			if err := c.ConcurrentCalls(callers, b.N); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+			b.ReportMetric(float64(c.Fsyncs()-base)/float64(b.N), "fsyncs/op")
+		})
+		c.Close()
+		doc.Benchmarks = append(doc.Benchmarks,
+			record(fmt.Sprintf("ThroughputDurable/callers=%d/degree=3", callers), r))
+	}
+
 	path := fmt.Sprintf("BENCH_%d.json", maxDegree)
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

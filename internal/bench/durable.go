@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"time"
+
+	"circus/internal/core"
+	"circus/internal/wal"
+)
+
+// walMod is the durable counterpart of echoMod: every call is appended
+// to the member's write-ahead log and fsynced before the reply, the
+// redo-log-then-ack discipline of a durable troupe member. Concurrent
+// calls share fsyncs through the log's group commit, which is exactly
+// what the fsyncs/op metric of the durable throughput benchmark
+// measures.
+type walMod struct {
+	log *wal.Log
+}
+
+func (m walMod) Dispatch(call *core.ServerCall, proc uint16, args []byte) ([]byte, error) {
+	if _, err := m.log.AppendSync(args); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// DurableCluster is a Cluster whose members append-fsync every call to
+// a write-ahead log on an injected in-memory disk.
+type DurableCluster struct {
+	*Cluster
+	Logs []*wal.Log
+}
+
+// NewDurableCluster builds an n-member durable troupe over a simulated
+// network: each member owns an in-memory disk whose fsyncs take
+// syncDelay — the realistic cost that makes group commit worth
+// measuring.
+func NewDurableCluster(seed int64, n int, wireDelay, syncDelay time.Duration) (*DurableCluster, error) {
+	d := &DurableCluster{}
+	for i := 0; i < n; i++ {
+		fs := wal.NewMemFS(seed + int64(i))
+		fs.SetSyncDelay(syncDelay)
+		log, _, err := wal.Open(wal.Options{FS: fs, SegmentBytes: 1 << 22})
+		if err != nil {
+			return nil, err
+		}
+		d.Logs = append(d.Logs, log)
+	}
+	c, err := newClusterWith(seed, n, wireDelay, false, func(i int) core.Module {
+		return walMod{log: d.Logs[i]}
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.Cluster = c
+	return d, nil
+}
+
+// Fsyncs sums the members' fsync counts.
+func (d *DurableCluster) Fsyncs() uint64 {
+	var n uint64
+	for _, l := range d.Logs {
+		n += l.Stats().Fsyncs
+	}
+	return n
+}
+
+// Close tears down the cluster and the logs.
+func (d *DurableCluster) Close() {
+	d.Cluster.Close()
+	for _, l := range d.Logs {
+		l.Close()
+	}
+}

@@ -63,6 +63,13 @@ func NewCluster(seed int64, n int, wireDelay time.Duration) (*Cluster, error) {
 // NewClusterMode additionally selects the multicast implementation of
 // one-to-many calls (§4.3.3).
 func NewClusterMode(seed int64, n int, wireDelay time.Duration, multicast bool) (*Cluster, error) {
+	return newClusterWith(seed, n, wireDelay, multicast, func(int) core.Module { return echoMod{} })
+}
+
+// newClusterWith builds the troupe with one module per member from mkMod
+// — the echo module for the latency benchmarks, a durable put module
+// for the fsync benchmarks.
+func newClusterWith(seed int64, n int, wireDelay time.Duration, multicast bool, mkMod func(i int) core.Module) (*Cluster, error) {
 	net := netsim.New(seed)
 	if wireDelay > 0 {
 		net.SetLink(netsim.LinkConfig{MinDelay: wireDelay, MaxDelay: wireDelay + wireDelay/4})
@@ -76,7 +83,7 @@ func NewClusterMode(seed int64, n int, wireDelay time.Duration, multicast bool) 
 			return nil, err
 		}
 		rt := core.NewRuntime(ep, opts)
-		addr := rt.Export(echoMod{}, core.ExportOptions{})
+		addr := rt.Export(mkMod(i), core.ExportOptions{})
 		rt.SetTroupeID(addr.Module, c.Troupe.ID)
 		c.Troupe.Members = append(c.Troupe.Members, addr)
 		c.servers = append(c.servers, rt)

@@ -10,16 +10,22 @@
 // resilient stubs (retry, backoff, suspicion, automatic rebind), the
 // binding agent's garbage collection and reconfiguration (§6.1–6.4),
 // and the repair protocol that reinitializes recovered members from
-// their peers' state (§6.4.1).
+// their peers' state (§6.4.1). In durable mode each member
+// additionally write-ahead-logs its acked writes to an injectable
+// disk, so the campaign can also kill the entire troupe — a failure
+// replication alone cannot mask — and verify that no acknowledged
+// write is lost across the full restart.
 package chaos
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"circus"
+	"circus/internal/wal"
 )
 
 // KV procedure numbers.
@@ -36,6 +42,13 @@ const (
 	// locally: the repair half of state transfer (§6.4.1), safe to
 	// apply in any order because keys are unique and values immutable.
 	ProcMerge uint16 = 4
+	// ProcPosition returns the member's state position (the length of
+	// its apply-order log) as 8 bytes big-endian: the rejoin handshake
+	// the repairman uses to choose delta over full state transfer.
+	ProcPosition uint16 = 5
+	// ProcDumpSince returns the apply-order suffix from the argument
+	// position (8 bytes big-endian): the delta half of state transfer.
+	ProcDumpSince uint16 = 6
 )
 
 type kvPair struct {
@@ -48,16 +61,173 @@ type kvPair struct {
 // executing frame (§4.3.2): replicas executing the same replicated
 // call observe equal keys, and a member that executes the same
 // replicated call twice has violated exactly-once semantics.
+//
+// Besides the map the member keeps order, the apply-order log of its
+// pairs. Its length is the member's position: a rejoining member
+// reports its position and receives a peer's suffix instead of the
+// whole map (repair.go). In durable mode every state change is also
+// appended to the WAL and fsynced before the call returns, so an
+// acked write survives even a whole-troupe power loss.
 type KV struct {
+	wal *wal.Log // nil = in-memory member
+
 	mu        sync.Mutex
 	data      map[string]string
+	order     []kvPair          // every applied pair, in apply order
+	keyPos    map[string]uint64 // key -> WAL position of its redo record
 	execs     map[string]int
 	conflicts []string // put/merge collisions with a different value
 }
 
-// NewKV returns an empty instrumented store.
+// NewKV returns an empty instrumented in-memory store.
 func NewKV() *KV {
-	return &KV{data: make(map[string]string), execs: make(map[string]int)}
+	return &KV{data: make(map[string]string), keyPos: make(map[string]uint64), execs: make(map[string]int)}
+}
+
+// NewDurableKV returns a store whose acked writes are redo-logged to
+// log, first replaying what a previous incarnation left on disk.
+func NewDurableKV(log *wal.Log, rec *wal.Recovered) (*KV, error) {
+	s := NewKV()
+	s.wal = log
+	if rec != nil {
+		s.mu.Lock()
+		err := s.replayLocked(rec)
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Restart simulates the member process dying and coming back with
+// only its disk: the in-memory state is discarded and rebuilt from
+// the WAL's snapshot and tail. In-flight appends fail with
+// wal.ErrReopened, so a write racing the crash is never acked.
+// Instrumentation (execs, conflicts) survives — it belongs to the
+// checker, not the member. No-op for in-memory members.
+func (s *KV) Restart() error {
+	if s.wal == nil {
+		return nil
+	}
+	rec, err := s.wal.Reopen()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = make(map[string]string)
+	s.order = nil
+	s.keyPos = make(map[string]uint64)
+	return s.replayLocked(rec)
+}
+
+// replayLocked rebuilds data and order from a recovery image:
+// snapshot pairs (the order log as of the snapshot), then the redo
+// records after it.
+func (s *KV) replayLocked(rec *wal.Recovered) error {
+	if rec.Snapshot != nil {
+		pairs, err := decodePairs(rec.Snapshot)
+		if err != nil {
+			return err
+		}
+		for _, p := range pairs {
+			s.applyLocked(p)
+		}
+	}
+	for _, r := range rec.Records {
+		pairs, err := decodePairs(r)
+		if err != nil {
+			return err
+		}
+		for _, p := range pairs {
+			s.applyLocked(p)
+		}
+	}
+	return nil
+}
+
+// applyLocked applies one pair, reporting whether it changed state
+// and what it displaced. Replay and live puts share it, so replayed
+// state is bit-identical to what memory held.
+func (s *KV) applyLocked(p kvPair) (changed, hadOld bool, old string) {
+	if old, ok := s.data[p.Key]; ok {
+		if old == p.Val {
+			return false, true, old // idempotent duplicate
+		}
+		s.conflicts = append(s.conflicts, fmt.Sprintf("put %q: %q over %q", p.Key, p.Val, old))
+		s.data[p.Key] = p.Val
+		s.order = append(s.order, p)
+		return true, true, old
+	}
+	s.data[p.Key] = p.Val
+	s.order = append(s.order, p)
+	return true, false, ""
+}
+
+// undoLocked reverses the applyLocked of p that just happened: its
+// redo record could not be appended, so the change must not stay
+// visible (it would be acked-by-retry yet unrecoverable).
+func (s *KV) undoLocked(p kvPair, hadOld bool, old string) {
+	if n := len(s.order); n > 0 && s.order[n-1] == p {
+		s.order = s.order[:n-1]
+	}
+	if hadOld {
+		s.data[p.Key] = old
+	} else {
+		delete(s.data, p.Key)
+	}
+}
+
+// logLocked appends one redo record covering pairs and records their
+// log position, so a future retry knows what durability to wait for.
+// Called with s.mu held so the WAL order equals the apply order; the
+// fsync is awaited by the caller outside the lock.
+func (s *KV) logLocked(pairs []kvPair) (uint64, error) {
+	b, err := circus.Marshal(pairs)
+	if err != nil {
+		return 0, err
+	}
+	pos, err := s.wal.Append(b)
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range pairs {
+		s.keyPos[p.Key] = pos
+	}
+	return pos, nil
+}
+
+// ackDurable awaits durability through log position target (group
+// commit batches concurrent callers under one fsync) and snapshots
+// when enough log has accumulated. Must be called before acking a
+// state change; nil error means the change is on disk. target 0 means
+// the state in question is already durable (snapshot or replay).
+func (s *KV) ackDurable(target uint64) error {
+	if s.wal == nil || target == 0 {
+		return nil
+	}
+	if err := s.wal.SyncTo(target); err != nil {
+		return err
+	}
+	if s.wal.NeedSnapshot() {
+		s.snapshot()
+	}
+	return nil
+}
+
+// snapshot writes the order log as a snapshot, truncating the WAL.
+// Position and state are captured under s.mu — appends also happen
+// under s.mu, so the position exactly covers the captured state.
+func (s *KV) snapshot() {
+	s.mu.Lock()
+	pos := s.wal.Pos()
+	state, err := circus.Marshal(s.order)
+	s.mu.Unlock()
+	if err != nil {
+		return
+	}
+	_ = s.wal.SnapshotAt(state, pos) // failure just delays truncation
 }
 
 // Dispatch implements circus.Module.
@@ -68,13 +238,9 @@ func (s *KV) Dispatch(call *circus.ServerCall, proc uint16, args []byte) ([]byte
 		if err := circus.Unmarshal(args, &p); err != nil {
 			return nil, err
 		}
-		s.mu.Lock()
-		s.execs[call.Thread().Key()]++
-		if old, ok := s.data[p.Key]; ok && old != p.Val {
-			s.conflicts = append(s.conflicts, fmt.Sprintf("put %q: %q over %q", p.Key, p.Val, old))
+		if err := s.put(p, call.Thread().Key()); err != nil {
+			return nil, err
 		}
-		s.data[p.Key] = p.Val
-		s.mu.Unlock()
 		return []byte(p.Key), nil
 	case ProcGet:
 		s.mu.Lock()
@@ -88,16 +254,64 @@ func (s *KV) Dispatch(call *circus.ServerCall, proc uint16, args []byte) ([]byte
 		if err := circus.Unmarshal(args, &dump); err != nil {
 			return nil, err
 		}
-		s.merge(dump)
+		if err := s.merge(dump); err != nil {
+			return nil, err
+		}
 		return nil, nil
+	case ProcPosition:
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(s.Position()))
+		return b[:], nil
+	case ProcDumpSince:
+		if len(args) != 8 {
+			return nil, errors.New("chaos: dump-since wants an 8-byte position")
+		}
+		return s.DumpSince(int(binary.BigEndian.Uint64(args)))
 	default:
 		return nil, circus.ErrNoSuchProc
 	}
 }
 
-func (s *KV) merge(dump []kvPair) {
+// put applies one pair and, for durable members, awaits durability
+// before acking. execKey identifies the replicated call frame for the
+// exactly-once counter; the crash-consistency test drives put directly
+// with an empty key. When the redo append itself fails the apply is
+// undone — otherwise a retry would find the value present and ack a
+// write the log cannot recover. When only the fsync fails the record
+// stays appended and keyPos remembers it, so the retry waits for that
+// exact record's durability instead of acking for free.
+func (s *KV) put(p kvPair, execKey string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if execKey != "" {
+		s.execs[execKey]++
+	}
+	changed, hadOld, old := s.applyLocked(p)
+	var target uint64
+	if s.wal != nil {
+		if changed {
+			pos, err := s.logLocked([]kvPair{p})
+			if err != nil {
+				s.undoLocked(p, hadOld, old)
+				s.mu.Unlock()
+				return err
+			}
+			target = pos
+		} else {
+			// A retry of a write whose append succeeded but whose
+			// fsync did not: wait for its original record.
+			target = s.keyPos[p.Key]
+		}
+	}
+	s.mu.Unlock()
+	return s.ackDurable(target)
+}
+
+// merge folds a peer's pairs in, skipping those already present, and
+// in durable mode redo-logs what it added (one batch record) before
+// returning.
+func (s *KV) merge(dump []kvPair) error {
+	s.mu.Lock()
+	var added []kvPair
 	for _, p := range dump {
 		if old, ok := s.data[p.Key]; ok {
 			if old != p.Val {
@@ -106,7 +320,47 @@ func (s *KV) merge(dump []kvPair) {
 			continue
 		}
 		s.data[p.Key] = p.Val
+		s.order = append(s.order, p)
+		added = append(added, p)
 	}
+	var target uint64
+	if s.wal != nil && len(added) > 0 {
+		pos, err := s.logLocked(added)
+		if err != nil {
+			for i := len(added) - 1; i >= 0; i-- {
+				s.undoLocked(added[i], false, "")
+			}
+			s.mu.Unlock()
+			return err
+		}
+		target = pos
+	}
+	s.mu.Unlock()
+	return s.ackDurable(target)
+}
+
+// Position returns the length of the apply-order log: how much state
+// this member has, in its own ordering.
+func (s *KV) Position() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// DumpSince externalizes the apply-order suffix from position from —
+// the delta a briefly-absent member needs. A position beyond the log
+// yields an empty dump.
+func (s *KV) DumpSince(from int) ([]byte, error) {
+	s.mu.Lock()
+	if from < 0 {
+		from = 0
+	}
+	if from > len(s.order) {
+		from = len(s.order)
+	}
+	dump := append([]kvPair(nil), s.order[from:]...)
+	s.mu.Unlock()
+	return circus.Marshal(dump)
 }
 
 // GetState externalizes the map (§6.4.1), sorted for determinism.
@@ -125,12 +379,11 @@ func (s *KV) GetState() ([]byte, error) {
 // rather than replace: a rejoining member may already have accepted
 // writes under the new binding while the transfer was in flight.
 func (s *KV) SetState(data []byte) error {
-	var dump []kvPair
-	if err := circus.Unmarshal(data, &dump); err != nil {
+	dump, err := decodePairs(data)
+	if err != nil {
 		return err
 	}
-	s.merge(dump)
-	return nil
+	return s.merge(dump)
 }
 
 // Snapshot copies the current map.
@@ -158,6 +411,10 @@ func (s *KV) Violations() []string {
 	out = append(out, s.conflicts...)
 	return out
 }
+
+// WAL exposes the member's log (nil for in-memory members), for the
+// runner's stats.
+func (s *KV) WAL() *wal.Log { return s.wal }
 
 // decodePairs is shared by the repairman.
 func decodePairs(data []byte) ([]kvPair, error) {

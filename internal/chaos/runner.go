@@ -11,6 +11,7 @@ import (
 	"circus"
 	"circus/internal/trace"
 	"circus/internal/trace/check"
+	"circus/internal/wal"
 )
 
 // Config parameterizes one campaign.
@@ -30,6 +31,18 @@ type Config struct {
 	// the sharded message layer and parallel dispatch under faults.
 	// Default 1 (the historical serial client).
 	Callers int
+	// Durable gives every server an injectable in-memory disk and a
+	// write-ahead log: acked writes are fsynced before the reply, a
+	// crash becomes a power loss (page cache discarded, log tail
+	// possibly torn), and the schedule may add disk faults.
+	Durable bool
+	// RestartAll additionally schedules a whole-troupe power loss —
+	// the failure mode replication cannot mask, survivable only
+	// because of the logs. Requires Durable.
+	RestartAll bool
+	// SnapshotEvery is the per-member snapshot cadence in log records
+	// (durable mode). Default 64.
+	SnapshotEvery int
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
 	// Trace, when set, additionally receives every node's trace events
@@ -50,6 +63,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Callers == 0 {
 		c.Callers = 1
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 64
 	}
 	if c.Log == nil {
 		c.Log = func(string, ...any) {}
@@ -76,6 +92,18 @@ type Result struct {
 	// performed by the repairman.
 	Removed  int
 	Rejoined int
+	// DeltaTransfers/DeltaBytes and FullTransfers/FullBytes break down
+	// how rejoining members were re-initialized: log-suffix transfers
+	// vs full-state fallbacks.
+	DeltaTransfers int
+	DeltaBytes     int64
+	FullTransfers  int
+	FullBytes      int64
+	// Recoveries, Fsyncs, and Snapshots aggregate the members' WAL
+	// activity (durable mode).
+	Recoveries int
+	Fsyncs     uint64
+	Snapshots  uint64
 	// Violations lists every invariant breach; empty means the troupe
 	// survived the campaign.
 	Violations []string
@@ -87,7 +115,11 @@ type Result struct {
 // repair, and check the invariants.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	res := &Result{Seed: cfg.Seed, Schedule: Generate(cfg.Seed, cfg.Servers)}
+	if cfg.RestartAll && !cfg.Durable {
+		return nil, fmt.Errorf("chaos: RestartAll requires Durable (a whole-troupe power loss without logs loses everything)")
+	}
+	res := &Result{Seed: cfg.Seed,
+		Schedule: GenerateWith(cfg.Seed, cfg.Servers, Faults{Durable: cfg.Durable, RestartAll: cfg.RestartAll})}
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 
@@ -118,10 +150,13 @@ func Run(cfg Config) (*Result, error) {
 	nodeOpts := []circus.Option{circus.WithBinder(boot),
 		circus.WithAdaptiveRetransmit(), circus.WithTrace(sink)}
 
-	// The KV troupe.
+	// The KV troupe. In durable mode every member gets its own
+	// in-memory disk (seeded, so torn tails are reproducible) and
+	// write-ahead log.
 	const name = "kv"
 	serverNodes := make([]*circus.Node, cfg.Servers)
 	kvs := make([]*KV, cfg.Servers)
+	disks := make([]*wal.MemFS, cfg.Servers)
 	serverAddrs := make([]circus.ModuleAddr, cfg.Servers)
 	for i := range serverNodes {
 		n, err := sim.NewNode(nodeOpts...)
@@ -130,12 +165,52 @@ func Run(cfg Config) (*Result, error) {
 		}
 		defer n.Close()
 		serverNodes[i] = n
-		kvs[i] = NewKV()
+		if cfg.Durable {
+			disks[i] = wal.NewMemFS(cfg.Seed ^ int64(0xd15c<<8|i))
+			log, recv, err := wal.Open(wal.Options{
+				FS:            disks[i],
+				SegmentBytes:  1 << 16,
+				SnapshotEvery: cfg.SnapshotEvery,
+				Trace:         sink,
+				Name:          fmt.Sprintf("kv%d", i),
+			})
+			if err != nil {
+				return nil, err
+			}
+			kvs[i], err = NewDurableKV(log, recv)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			kvs[i] = NewKV()
+		}
 		addr, err := n.Export(name, kvs[i])
 		if err != nil {
 			return nil, err
 		}
 		serverAddrs[i] = addr
+	}
+	// powerLoss / powerOn simulate a machine losing (and later
+	// recovering) its memory and page cache, on top of the network
+	// crash/restart the simulator provides. The in-flight fsyncs fail,
+	// the unsynced log tail is (mostly) torn away, and on power-on the
+	// member rebuilds itself from what its disk kept.
+	powerLoss := func(i int) {
+		sim.Crash(serverNodes[i])
+		if cfg.Durable {
+			disks[i].Crash()
+		}
+	}
+	powerOn := func(i int) {
+		if cfg.Durable && disks[i].Crashed() {
+			disks[i].Restart()
+			if err := kvs[i].Restart(); err != nil {
+				cfg.Log("seed %d: s%d recovery failed: %v", cfg.Seed, i, err)
+			} else {
+				res.Recoveries++
+			}
+		}
+		sim.Restart(serverNodes[i])
 	}
 
 	// The repairman, on its own machine.
@@ -227,7 +302,7 @@ func Run(cfg Config) (*Result, error) {
 	go func() {
 		defer repairWG.Done()
 		for repairCtx.Err() == nil {
-			repair.sweep(repairCtx)
+			repair.sweep(repairCtx, false)
 			select {
 			case <-repairCtx.Done():
 			case <-time.After(150 * time.Millisecond):
@@ -244,9 +319,25 @@ func Run(cfg Config) (*Result, error) {
 		cfg.Log("seed %d: %v", cfg.Seed, ev)
 		switch ev.Kind {
 		case KindCrash:
-			sim.Crash(serverNodes[ev.Server])
+			powerLoss(ev.Server)
 		case KindRestart:
-			sim.Restart(serverNodes[ev.Server])
+			powerOn(ev.Server)
+		case KindKillAll:
+			for i := range serverNodes {
+				powerLoss(i)
+			}
+		case KindRestartAll:
+			for i := range serverNodes {
+				powerOn(i)
+			}
+		case KindDiskFull:
+			disks[ev.Server].FillDisk()
+		case KindDiskSlow:
+			disks[ev.Server].SetSyncDelay(2 * time.Millisecond)
+		case KindDiskHeal:
+			disks[ev.Server].SetQuota(0)
+			disks[ev.Server].SetSyncDelay(0)
+			disks[ev.Server].FailSyncs(false)
 		case KindPartition:
 			minority := make([]*circus.Node, 0, len(ev.Minority))
 			isolated := make(map[int]bool)
@@ -281,14 +372,23 @@ func Run(cfg Config) (*Result, error) {
 	wg.Wait()
 	sim.Heal()
 	sim.SetLink(baseline)
-	for _, n := range serverNodes {
-		sim.Restart(n)
+	if cfg.Durable {
+		for _, d := range disks {
+			d.SetQuota(0)
+			d.SetSyncDelay(0)
+			d.FailSyncs(false)
+		}
+	}
+	for i := range serverNodes {
+		powerOn(i)
 	}
 	time.Sleep(300 * time.Millisecond) // drain in-flight retransmissions
 	stopRepair()
 	repairWG.Wait()
+	// Final sweeps force the full union reconciliation: the position
+	// gossip fast path is for the steady state, not for the verdict.
 	for i := 0; i < 4; i++ {
-		if repair.sweep(ctx) {
+		if repair.sweep(ctx, true) {
 			break
 		}
 		time.Sleep(150 * time.Millisecond)
@@ -306,6 +406,17 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.Removed = repair.removed
 	res.Rejoined = repair.rejoined
+	res.DeltaTransfers = repair.deltaTransfers
+	res.DeltaBytes = repair.deltaBytes
+	res.FullTransfers = repair.fullTransfers
+	res.FullBytes = repair.fullBytes
+	if cfg.Durable {
+		for _, kv := range kvs {
+			st := kv.WAL().Stats()
+			res.Fsyncs += st.Fsyncs
+			res.Snapshots += st.Snapshots
+		}
+	}
 
 	// Invariants: application-level first, then the recorded trace is
 	// replayed through the protocol conformance checker.

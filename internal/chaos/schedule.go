@@ -25,6 +25,22 @@ const (
 	KindLossBurst
 	// KindLossEnd restores the baseline link.
 	KindLossEnd
+	// KindKillAll power-fails every server machine at once — memory
+	// and page cache lost, disks keep only synced bytes plus a torn
+	// tail. Only durable campaigns schedule it: without logs the state
+	// would simply be gone.
+	KindKillAll
+	// KindRestartAll powers every server machine back on; each member
+	// recovers from its own log before rejoining.
+	KindRestartAll
+	// KindDiskFull makes one server's disk reject writes (ENOSPC); its
+	// member keeps serving reads but fails to ack writes.
+	KindDiskFull
+	// KindDiskSlow makes one server's fsyncs crawl — the straggler
+	// whose group commit must absorb the latency.
+	KindDiskSlow
+	// KindDiskHeal lifts the victim's disk faults.
+	KindDiskHeal
 )
 
 func (k Kind) String() string {
@@ -41,6 +57,16 @@ func (k Kind) String() string {
 		return "loss-burst"
 	case KindLossEnd:
 		return "loss-end"
+	case KindKillAll:
+		return "kill-all"
+	case KindRestartAll:
+		return "restart-all"
+	case KindDiskFull:
+		return "disk-full"
+	case KindDiskSlow:
+		return "disk-slow"
+	case KindDiskHeal:
+		return "disk-heal"
 	default:
 		return "?"
 	}
@@ -57,7 +83,7 @@ type Event struct {
 
 func (e Event) String() string {
 	switch e.Kind {
-	case KindCrash, KindRestart:
+	case KindCrash, KindRestart, KindDiskFull, KindDiskSlow, KindDiskHeal:
 		return fmt.Sprintf("%v %v s%d", e.At.Round(time.Millisecond), e.Kind, e.Server)
 	case KindPartition:
 		return fmt.Sprintf("%v %v %v", e.At.Round(time.Millisecond), e.Kind, e.Minority)
@@ -83,15 +109,35 @@ func (s Schedule) Span() time.Duration {
 	return s.Events[len(s.Events)-1].At
 }
 
-// Generate derives a fault schedule from seed for a troupe of the
+// Faults selects which fault families a schedule may draw from.
+type Faults struct {
+	// Durable adds the disk-fault episodes (disk-full, slow-fsync),
+	// and makes crash episodes power losses: the victim's page cache
+	// is discarded, leaving a possibly torn log tail.
+	Durable bool
+	// RestartAll adds a mandatory whole-troupe power loss — every
+	// server machine killed at once, then restarted to recover from
+	// its own log. Requires Durable.
+	RestartAll bool
+}
+
+// Generate derives the classic fault schedule from seed: the
+// pre-durability campaign of crashes, partitions, and loss bursts.
+func Generate(seed int64, servers int) Schedule {
+	return GenerateWith(seed, servers, Faults{})
+}
+
+// GenerateWith derives a fault schedule from seed for a troupe of the
 // given degree. Every schedule contains at least one crash (with its
 // restart), one partition (with its heal), and one loss burst (with
-// its end). Episodes are sequential — each fault is repaired before
-// the next begins — and never touch more than a minority of the
-// troupe at once, so the troupe as a whole stays available and the
-// majority-side binding agent can always reconfigure around the
+// its end); durable schedules may add disk faults, and RestartAll
+// schedules always include one whole-troupe kill/restart. Episodes
+// are sequential — each fault is repaired before the next begins —
+// and, except for the kill-all, never touch more than a minority of
+// the troupe at once, so the troupe as a whole stays available and
+// the majority-side binding agent can always reconfigure around the
 // fault (§6.4).
-func Generate(seed int64, servers int) Schedule {
+func GenerateWith(seed int64, servers int, f Faults) Schedule {
 	rng := rand.New(rand.NewSource(seed))
 	jitter := func(base, spread time.Duration) time.Duration {
 		return base + time.Duration(rng.Int63n(int64(spread)))
@@ -100,8 +146,15 @@ func Generate(seed int64, servers int) Schedule {
 	// The mandatory episode kinds, plus a seed-dependent tail of
 	// extras, in seed-dependent order.
 	kinds := []Kind{KindCrash, KindPartition, KindLossBurst}
+	pool := []Kind{KindCrash, KindPartition, KindLossBurst}
+	if f.Durable {
+		pool = append(pool, KindDiskFull, KindDiskSlow, KindCrash)
+	}
+	if f.RestartAll {
+		kinds = append(kinds, KindKillAll)
+	}
 	for i := 0; i < rng.Intn(3); i++ {
-		kinds = append(kinds, []Kind{KindCrash, KindPartition, KindLossBurst}[rng.Intn(3)])
+		kinds = append(kinds, pool[rng.Intn(len(pool))])
 	}
 	rng.Shuffle(len(kinds), func(i, j int) { kinds[i], kinds[j] = kinds[j], kinds[i] })
 
@@ -131,6 +184,23 @@ func Generate(seed int64, servers int) Schedule {
 			s.Events = append(s.Events,
 				Event{At: at, Kind: KindLossBurst, Loss: loss},
 				Event{At: at + hold, Kind: KindLossEnd})
+		case KindKillAll:
+			// Held a little longer: every member must recover and
+			// rejoin, not just one.
+			hold += jitter(200*time.Millisecond, 200*time.Millisecond)
+			s.Events = append(s.Events,
+				Event{At: at, Kind: KindKillAll},
+				Event{At: at + hold, Kind: KindRestartAll})
+		case KindDiskFull:
+			victim := rng.Intn(servers)
+			s.Events = append(s.Events,
+				Event{At: at, Kind: KindDiskFull, Server: victim},
+				Event{At: at + hold, Kind: KindDiskHeal, Server: victim})
+		case KindDiskSlow:
+			victim := rng.Intn(servers)
+			s.Events = append(s.Events,
+				Event{At: at, Kind: KindDiskSlow, Server: victim},
+				Event{At: at + hold, Kind: KindDiskHeal, Server: victim})
 		}
 		at += hold + jitter(200*time.Millisecond, 200*time.Millisecond)
 	}

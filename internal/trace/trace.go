@@ -75,6 +75,14 @@ const (
 	KindDeliveryDrop // reassembled message not handed up: incoming queue full
 	KindBundleSend   // coalesced datagram sent (N = frames packed into it)
 
+	// Durability (internal/wal). Troupe carries the log position —
+	// these events have no transport identity and join traces by
+	// Detail (the log name).
+	KindWALAppend   // record appended (N = payload bytes)
+	KindWALSnapshot // snapshot written, log pruned (N = state bytes)
+	KindRecover     // recovery replayed the log (N = tail records)
+	KindDeltaRejoin // rejoining member initialized via log-suffix transfer (N = bytes)
+
 	kindCount // sentinel: number of kinds
 )
 
@@ -108,6 +116,10 @@ var kindNames = [...]string{
 	KindAcceptOrder:   "txn.accept-order",
 	KindDeliveryDrop:  "msg.delivery-drop",
 	KindBundleSend:    "msg.bundle",
+	KindWALAppend:     "wal.append",
+	KindWALSnapshot:   "wal.snapshot",
+	KindRecover:       "recover",
+	KindDeltaRejoin:   "repair.delta-rejoin",
 }
 
 // String returns the stable dotted name of the kind, used in JSONL

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"circus/internal/trace"
+	"circus/internal/wal"
 )
 
 // ErrTxDone reports use of a committed or aborted transaction.
@@ -36,6 +37,11 @@ var ErrNotFound = errors.New("txn: key not found")
 type Store struct {
 	lm *LockManager
 	tr trace.Sink // nil disables transaction tracing
+
+	// wal, when set, redo-logs every top-level commit before it is
+	// acknowledged (see durable.go); nil keeps the store lightweight.
+	wal    *wal.Log
+	snapMu sync.Mutex // serializes background snapshots
 
 	mu     sync.Mutex
 	data   map[string][]byte
@@ -248,13 +254,22 @@ func (t *Tx) Commit() error {
 			t.store.data[k] = *vp
 		}
 	}
+	// The redo record is appended while s.mu is held so the log order
+	// equals the apply order; the fsync waits outside the lock (see
+	// durable.go). Without this, two commits could apply in one order
+	// and log in the other, and replay would diverge from memory.
+	appendErr := t.store.logCommitLocked(writes)
 	t.store.mu.Unlock()
 	if t.store.tr != nil {
 		trace.Stamp(t.store.tr, trace.Event{Kind: trace.KindTxnCommit,
 			Troupe: t.id, N: len(writes)})
 	}
+	walErr := appendErr
+	if walErr == nil {
+		walErr = t.store.syncCommit(len(writes))
+	}
 	t.store.lm.ReleaseAll(t.id)
-	return nil
+	return walErr
 }
 
 // Abort undoes the transaction: tentative updates vanish without a

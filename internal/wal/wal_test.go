@@ -1,0 +1,391 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openMem(t *testing.T, mfs *MemFS, o Options) (*Log, *Recovered) {
+	t.Helper()
+	o.FS = mfs
+	l, rec, err := Open(o)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, rec
+}
+
+func powerCycle(t *testing.T, mfs *MemFS, l *Log) *Recovered {
+	t.Helper()
+	mfs.Crash()
+	mfs.Restart()
+	rec, err := l.Reopen()
+	if err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	return rec
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	mfs := NewMemFS(1)
+	l, rec := openMem(t, mfs, Options{})
+	if rec.Pos != 0 || len(rec.Records) != 0 || rec.Snapshot != nil {
+		t.Fatalf("fresh log recovered %+v", rec)
+	}
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		p := []byte(fmt.Sprintf("record-%02d", i))
+		pos, err := l.AppendSync(p)
+		if err != nil {
+			t.Fatalf("AppendSync: %v", err)
+		}
+		if pos != uint64(i+1) {
+			t.Fatalf("pos = %d, want %d", pos, i+1)
+		}
+		want = append(want, p)
+	}
+	rec = powerCycle(t, mfs, l)
+	if rec.Pos != 20 {
+		t.Fatalf("recovered Pos = %d, want 20", rec.Pos)
+	}
+	if len(rec.Records) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), len(want))
+	}
+	for i, r := range rec.Records {
+		if string(r) != string(want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, r, want[i])
+		}
+	}
+}
+
+func TestTornTailLosesOnlyUnacked(t *testing.T) {
+	mfs := NewMemFS(7)
+	l, _ := openMem(t, mfs, Options{})
+	for i := 0; i < 10; i++ {
+		if _, err := l.AppendSync([]byte(fmt.Sprintf("acked-%d", i))); err != nil {
+			t.Fatalf("AppendSync: %v", err)
+		}
+	}
+	// Unsynced appends: buffered only, mostly lost by the crash.
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("unacked-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	rec := powerCycle(t, mfs, l)
+	if rec.Pos < 10 {
+		t.Fatalf("recovered Pos = %d, lost acked records", rec.Pos)
+	}
+	for i := 0; i < 10; i++ {
+		if string(rec.Records[i]) != fmt.Sprintf("acked-%d", i) {
+			t.Fatalf("acked record %d = %q", i, rec.Records[i])
+		}
+	}
+	// Whatever survived past the acked prefix must be an in-order prefix
+	// of the unacked appends.
+	for i, r := range rec.Records[10:] {
+		if string(r) != fmt.Sprintf("unacked-%d", i) {
+			t.Fatalf("tail record %d = %q", i, r)
+		}
+	}
+}
+
+func TestRecoverStopsAtCorruptRecordAndSeals(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{FS: DirFS(dir)})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.AppendSync([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatalf("AppendSync: %v", err)
+		}
+	}
+	l.Close()
+
+	// Flip a bit inside record 3's payload (records are 8+9 bytes each).
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[2*17+frameHeader+1] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec, err := Open(Options{FS: DirFS(dir)})
+	if err != nil {
+		t.Fatalf("reopen after corruption: %v", err)
+	}
+	if !rec.Torn {
+		t.Fatal("corruption not reported as torn")
+	}
+	if len(rec.Records) != 2 || rec.Pos != 2 {
+		t.Fatalf("recovered %d records to pos %d, want 2 records to pos 2", len(rec.Records), rec.Pos)
+	}
+	// The torn segment was sealed: appending and recovering again must
+	// chain cleanly past it with no torn flag.
+	if _, err := l2.AppendSync([]byte("after-corruption")); err != nil {
+		t.Fatalf("AppendSync after seal: %v", err)
+	}
+	l2.Close()
+	l3, rec, err := Open(Options{FS: DirFS(dir)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if rec.Torn {
+		t.Fatal("sealed segment still reported torn")
+	}
+	if len(rec.Records) != 3 || string(rec.Records[2]) != "after-corruption" {
+		t.Fatalf("post-seal recovery = %d records (%q)", len(rec.Records), rec.Records)
+	}
+}
+
+func TestSegmentRotationChains(t *testing.T) {
+	mfs := NewMemFS(3)
+	l, _ := openMem(t, mfs, Options{SegmentBytes: 64})
+	for i := 0; i < 50; i++ {
+		if _, err := l.AppendSync([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatalf("AppendSync: %v", err)
+		}
+	}
+	if s := l.Stats(); s.Segments < 5 {
+		t.Fatalf("only %d rotations across 50 records with 64-byte segments", s.Segments)
+	}
+	rec := powerCycle(t, mfs, l)
+	if rec.Pos != 50 || len(rec.Records) != 50 {
+		t.Fatalf("recovered %d records to pos %d, want 50", len(rec.Records), rec.Pos)
+	}
+	for i, r := range rec.Records {
+		if string(r) != fmt.Sprintf("record-%02d", i) {
+			t.Fatalf("record %d = %q", i, r)
+		}
+	}
+}
+
+func TestSnapshotPrunesAndRecovers(t *testing.T) {
+	mfs := NewMemFS(5)
+	l, _ := openMem(t, mfs, Options{SegmentBytes: 64})
+	for i := 0; i < 10; i++ {
+		if _, err := l.AppendSync([]byte(fmt.Sprintf("old-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.SnapshotAt([]byte("state@10"), 10); err != nil {
+		t.Fatalf("SnapshotAt: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.AppendSync([]byte(fmt.Sprintf("new-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := powerCycle(t, mfs, l)
+	if string(rec.Snapshot) != "state@10" || rec.SnapshotPos != 10 {
+		t.Fatalf("snapshot = %q @ %d", rec.Snapshot, rec.SnapshotPos)
+	}
+	if rec.Pos != 15 || len(rec.Records) != 5 {
+		t.Fatalf("tail = %d records to pos %d, want 5 to 15", len(rec.Records), rec.Pos)
+	}
+	for i, r := range rec.Records {
+		if string(r) != fmt.Sprintf("new-%d", i) {
+			t.Fatalf("tail record %d = %q", i, r)
+		}
+	}
+	// Pruning dropped the fully covered segments.
+	names, _ := mfs.List()
+	for _, n := range names {
+		p, kind, ok := parseName(n)
+		if ok && kind == segSuffix && p+4 <= 10 { // 64-byte segments hold ~4 records
+			t.Fatalf("segment %s not pruned by snapshot", n)
+		}
+	}
+}
+
+func TestDiskFull(t *testing.T) {
+	mfs := NewMemFS(9)
+	l, _ := openMem(t, mfs, Options{})
+	if _, err := l.AppendSync([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	mfs.FillDisk()
+	if _, err := l.AppendSync([]byte("rejected")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("append on full disk: %v, want ErrNoSpace", err)
+	}
+	mfs.SetQuota(0)
+	if _, err := l.AppendSync([]byte("after")); err != nil {
+		t.Fatalf("append after heal: %v", err)
+	}
+	rec := powerCycle(t, mfs, l)
+	if len(rec.Records) != 2 || string(rec.Records[0]) != "before" || string(rec.Records[1]) != "after" {
+		t.Fatalf("recovered %q", rec.Records)
+	}
+}
+
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	mfs := NewMemFS(11)
+	mfs.SetSyncDelay(time.Millisecond)
+	l, _ := openMem(t, mfs, Options{})
+	const callers, each = 16, 8
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := l.AppendSync([]byte(fmt.Sprintf("c%d-%d", c, i))); err != nil {
+					t.Errorf("AppendSync: %v", err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	s := l.Stats()
+	if s.Appends != callers*each {
+		t.Fatalf("appends = %d, want %d", s.Appends, callers*each)
+	}
+	if s.Fsyncs >= s.Appends {
+		t.Fatalf("group commit did not batch: %d fsyncs for %d appends", s.Fsyncs, s.Appends)
+	}
+	rec := powerCycle(t, mfs, l)
+	if uint64(len(rec.Records)) != s.Appends {
+		t.Fatalf("recovered %d of %d acked records", len(rec.Records), s.Appends)
+	}
+}
+
+func TestCrashMidFsyncNeverAcksLostRecord(t *testing.T) {
+	mfs := NewMemFS(13)
+	mfs.SetSyncDelay(2 * time.Millisecond)
+	l, _ := openMem(t, mfs, Options{})
+	if _, err := l.AppendSync([]byte("acked")); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := l.AppendSync([]byte("in-flight"))
+		errc <- err
+	}()
+	time.Sleep(time.Millisecond) // let the append land, crash mid-fsync
+	mfs.Crash()
+	if err := <-errc; err == nil {
+		t.Fatal("AppendSync acked a record whose fsync was interrupted by the crash")
+	}
+	mfs.Restart()
+	rec, err := l.Reopen()
+	if err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	if len(rec.Records) < 1 || string(rec.Records[0]) != "acked" {
+		t.Fatalf("acked record lost: recovered %q", rec.Records)
+	}
+}
+
+func TestFailedFsyncReportsError(t *testing.T) {
+	mfs := NewMemFS(17)
+	l, _ := openMem(t, mfs, Options{})
+	mfs.FailSyncs(true)
+	if _, err := l.AppendSync([]byte("doomed")); err == nil {
+		t.Fatal("AppendSync succeeded under injected fsync failure")
+	}
+	mfs.FailSyncs(false)
+	if _, err := l.AppendSync([]byte("healed")); err != nil {
+		t.Fatalf("AppendSync after heal: %v", err)
+	}
+}
+
+// TestDurabilityContractSeeded hammers the log with appends and seeded
+// power cycles, checking the one contract everything else builds on:
+// every record whose AppendSync returned nil is recovered by every
+// subsequent recovery.
+func TestDurabilityContractSeeded(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			mfs := NewMemFS(seed)
+			l, _ := openMem(t, mfs, Options{SegmentBytes: 128})
+			acked := map[string]bool{}
+			next := 0
+			for round := 0; round < 6; round++ {
+				for i := 0; i < 10; i++ {
+					p := fmt.Sprintf("seed%d-op%d", seed, next)
+					next++
+					if _, err := l.AppendSync([]byte(p)); err == nil {
+						acked[p] = true
+					}
+				}
+				if round%2 == 1 {
+					rec := powerCycle(t, mfs, l)
+					got := map[string]bool{}
+					for _, r := range rec.Records {
+						got[string(r)] = true
+					}
+					for p := range acked {
+						if !got[p] {
+							t.Fatalf("round %d: acked record %q lost", round, p)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestNeedSnapshot(t *testing.T) {
+	mfs := NewMemFS(19)
+	l, _ := openMem(t, mfs, Options{SnapshotEvery: 5})
+	for i := 0; i < 4; i++ {
+		if _, err := l.AppendSync([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.NeedSnapshot() {
+		t.Fatal("NeedSnapshot before threshold")
+	}
+	if _, err := l.AppendSync([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if !l.NeedSnapshot() {
+		t.Fatal("NeedSnapshot not signalled at threshold")
+	}
+	if err := l.SnapshotAt([]byte("s"), l.Pos()); err != nil {
+		t.Fatal(err)
+	}
+	if l.NeedSnapshot() {
+		t.Fatal("NeedSnapshot still set after snapshot")
+	}
+}
+
+func TestCloseIsCleanAndIdempotent(t *testing.T) {
+	mfs := NewMemFS(23)
+	l, _ := openMem(t, mfs, Options{})
+	if _, err := l.Append([]byte("buffered")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.AppendSync([]byte("late")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	// Close synced the buffered record.
+	l2, rec, err := Open(Options{FS: mfs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(rec.Records) != 1 || string(rec.Records[0]) != "buffered" {
+		t.Fatalf("Close did not sync: recovered %q", rec.Records)
+	}
+}

@@ -29,6 +29,7 @@ type nodeConfig struct {
 	multicast bool
 	trace     []trace.Sink
 	metrics   bool
+	durable   *Durability
 }
 
 // WithMulticast enables the multicast implementation of one-to-many
@@ -108,6 +109,7 @@ type Node struct {
 	rt      *core.Runtime
 	binder  *ringmaster.Client
 	metrics *trace.Metrics // nil unless WithMetrics
+	durable *Durability    // nil unless WithDurability
 
 	// suspicion is shared by every resilient stub of this node, so one
 	// stub's crash evidence spares the others a timeout.
@@ -165,7 +167,7 @@ func newNode(ep transport.Endpoint, msg pairedmsg.Options, opts ...Option) (*Nod
 		Multicast:        cfg.multicast,
 		Trace:            trace.Multi(cfg.trace...),
 	})
-	n := &Node{rt: rt, metrics: metrics, suspicion: core.NewSuspicion(), exports: make(map[string]uint16)}
+	n := &Node{rt: rt, metrics: metrics, durable: cfg.durable, suspicion: core.NewSuspicion(), exports: make(map[string]uint16)}
 	if len(cfg.binder) > 0 {
 		n.binder = ringmaster.NewClient(rt, Troupe{Members: cfg.binder})
 		rt.SetResolver(n.binder)

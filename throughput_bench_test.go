@@ -39,3 +39,35 @@ func BenchmarkThroughput(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkThroughputDurable measures the durable member's hot path: a
+// degree-3 troupe whose members append-fsync every call to a WAL on an
+// in-memory disk with a 50 µs fsync. The fsyncs/op metric is the group
+// commit at work — one closed-loop caller pays one fsync per member
+// per call (≈3), while concurrent callers share fsync rounds and the
+// ratio falls well below the troupe degree.
+func BenchmarkThroughputDurable(b *testing.B) {
+	const degree = 3
+	for _, callers := range []int{1, 16, 64} {
+		b.Run("callers="+itoa(callers)+"/degree="+itoa(degree), func(b *testing.B) {
+			c, err := bench.NewDurableCluster(int64(200+callers), degree, time.Millisecond, 50*time.Microsecond)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			if err := c.Call(bench.ThroughputPayload); err != nil {
+				b.Fatal(err)
+			}
+			c.Net.ResetStats()
+			base := c.Fsyncs()
+			b.ReportAllocs()
+			b.ResetTimer()
+			if err := c.ConcurrentCalls(callers, b.N); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+			b.ReportMetric(float64(c.Fsyncs()-base)/float64(b.N), "fsyncs/op")
+		})
+	}
+}

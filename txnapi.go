@@ -35,6 +35,27 @@ func NewTransactionalStore(ttl time.Duration) Module {
 	return txn.NewStoreModule(txn.NewStore(txn.DetectDeadlock), ttl)
 }
 
+// NewDurableTransactionalStore is the durable variant: committed
+// transactions are redo-logged to the node's disk (WithDurability)
+// under the given log name and fsynced before the commit is
+// acknowledged, so they survive even a whole-troupe power failure.
+// Opening the store recovers whatever a previous incarnation committed
+// — the newest snapshot plus the log tail, tolerant of a torn final
+// record. Each troupe member needs its own disk, exactly as each has
+// its own memory.
+func (n *Node) NewDurableTransactionalStore(name string, ttl time.Duration) (Module, error) {
+	log, rec, err := n.OpenWAL(name)
+	if err != nil {
+		return nil, err
+	}
+	store, err := txn.OpenDurableStore(txn.DetectDeadlock, log, rec)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	return txn.NewStoreModule(store, ttl), nil
+}
+
 // ReplicatedStoreFor prepares a transactional client of the store
 // troupe behind stub. The node's binding agent (or, without one, the
 // stub's current membership) tells the commit coordinator how many

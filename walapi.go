@@ -1,0 +1,85 @@
+package circus
+
+import (
+	"errors"
+
+	"circus/internal/trace"
+	"circus/internal/wal"
+)
+
+// Write-ahead durability, re-exported. A durable troupe member logs
+// its acked state changes to disk before replying, snapshots
+// periodically, and on restart recovers snapshot-plus-tail locally —
+// so even a whole-troupe power failure, which replication alone
+// cannot mask, loses no acknowledged update.
+type (
+	// WAL is a member's segmented write-ahead log.
+	WAL = wal.Log
+	// WALRecovered is what opening a log salvaged from the disk.
+	WALRecovered = wal.Recovered
+	// WALStats counts a log's appends, fsyncs, and snapshots.
+	WALStats = wal.Stats
+	// DurableFS is the injectable filesystem logs live on.
+	DurableFS = wal.FS
+)
+
+// Durability configures the disk backing a node's durable modules.
+// Each log opened on the node lives in its own namespace of the disk.
+type Durability struct {
+	// Dir roots the logs in a real directory. Ignored when FS is set.
+	Dir string
+	// FS overrides the disk — an in-memory filesystem with fault
+	// injection for tests and the chaos harness, or any custom FS.
+	FS DurableFS
+	// SegmentBytes rotates a log's active segment once it exceeds
+	// this size; 0 means 1 MiB.
+	SegmentBytes int
+	// SnapshotEvery snapshots a durable module once this many records
+	// have accumulated past the last snapshot; 0 means 1024.
+	SnapshotEvery int
+}
+
+// WithDurability gives the node a disk: modules created through the
+// durable constructors (e.g. NewDurableTransactionalStore) write-ahead
+// log their state there and recover it on restart. Nodes without this
+// option keep every module in memory, as before.
+func WithDurability(d Durability) Option {
+	return func(c *nodeConfig) { c.durable = &d }
+}
+
+// OpenWAL opens (or recovers) the named write-ahead log on the node's
+// configured disk. Each name is an independent namespace, so one node
+// can host several durable modules. The returned recovery image holds
+// whatever a previous incarnation made durable; a fresh log recovers
+// empty. Fails unless the node was created with WithDurability.
+func (n *Node) OpenWAL(name string) (*WAL, *WALRecovered, error) {
+	if n.durable == nil {
+		return nil, nil, errors.New("circus: node has no disk (create it with WithDurability)")
+	}
+	fs := n.durable.FS
+	if fs == nil {
+		if n.durable.Dir == "" {
+			return nil, nil, errors.New("circus: Durability needs Dir or FS")
+		}
+		fs = wal.DirFS(n.durable.Dir)
+	}
+	snapEvery := n.durable.SnapshotEvery
+	if snapEvery == 0 {
+		snapEvery = 1024
+	}
+	var sink trace.Sink
+	if tr := n.rt.Tracer(); tr.Enabled() {
+		sink = tr
+	}
+	return wal.Open(wal.Options{
+		FS:            fs.Sub(name),
+		SegmentBytes:  n.durable.SegmentBytes,
+		SnapshotEvery: snapEvery,
+		Trace:         sink,
+		Name:          name,
+	})
+}
+
+// DiskDir returns a directory-backed disk for Durability.FS, should a
+// caller want to share one disk across nodes or inspect it directly.
+func DiskDir(dir string) DurableFS { return wal.DirFS(dir) }
