@@ -10,12 +10,19 @@
 // -restart-all the campaign additionally power-fails the entire
 // troupe at once — survivable only because of the logs.
 //
+// With -explore the command runs deterministic schedule exploration
+// instead of fault campaigns: a seeded search over message delivery
+// interleavings of the commit-protocol and repair-window scenarios.
+// A violating schedule prints its seed and decision list; re-running
+// with -seed <n> -schedules 1 replays it exactly.
+//
 // Usage:
 //
 //	go run ./cmd/chaos -seeds 20
 //	go run ./cmd/chaos -seed 7 -servers 5 -clients 4 -v
 //	go run ./cmd/chaos -seeds 5 -trace /tmp/traces   # seed<N>.jsonl per campaign
 //	go run ./cmd/chaos -seeds 10 -durable -restart-all
+//	go run ./cmd/chaos -explore -schedules 10
 package main
 
 import (
@@ -25,8 +32,47 @@ import (
 	"path/filepath"
 
 	"circus/internal/chaos"
+	"circus/internal/netsim/explore"
 	"circus/internal/trace"
 )
+
+// runExplore searches delivery schedules of every exploration scenario
+// and reports the first violating interleaving, if any. Returns true
+// if a violation was found.
+func runExplore(seed int64, schedules int, verbose bool) bool {
+	scenarios := []explore.Scenario{explore.RebindScenario{}, explore.BroadcastScenario{}}
+	violated := false
+	for _, sc := range scenarios {
+		opts := explore.Options{Seed: seed, Schedules: schedules}
+		if verbose {
+			opts.Log = func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			}
+		}
+		rep, err := explore.Run(sc, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "explore %s: %v\n", sc.Name(), err)
+			os.Exit(1)
+		}
+		status := "ok"
+		if rep.Violating != nil {
+			status = "VIOLATED"
+			violated = true
+		}
+		fmt.Printf("explore %-10s %-8s schedules=%-3d steps=%d\n",
+			sc.Name(), status, rep.Explored, rep.TotalSteps)
+		if s := rep.Violating; s != nil {
+			fmt.Printf("    violating schedule: seed %d (replay with -explore -seed %d -schedules 1)\n", s.Seed, s.Seed)
+			for _, d := range s.Decisions {
+				fmt.Printf("    %s\n", d)
+			}
+			for _, v := range s.Violations {
+				fmt.Printf("    violation: %s\n", v)
+			}
+		}
+	}
+	return violated
+}
 
 func main() {
 	var (
@@ -36,13 +82,29 @@ func main() {
 		clients    = flag.Int("clients", 3, "concurrent client processes")
 		ops        = flag.Int("ops", 20, "minimum put operations per client caller")
 		callers    = flag.Int("callers", 1, "concurrent caller goroutines per client process")
+		monitored  = flag.Bool("monitor", false, "run the online runtime monitor live against each campaign's trace stream")
+		monSample  = flag.Int("monitor-sample", 0, "monitor 1-in-N identity sampling rate (0 = observe everything)")
+		linearize  = flag.Bool("linearize", false, "interleave reads and check the operation history for per-key linearizability")
 		durable    = flag.Bool("durable", false, "write-ahead log every member; crashes become power losses, disk faults join the schedule")
 		restartAll = flag.Bool("restart-all", false, "power-fail the whole troupe at once mid-campaign (requires -durable)")
 		snapEvery  = flag.Int("snapshot-every", 64, "snapshot cadence in log records (durable mode)")
 		verbose    = flag.Bool("v", false, "log schedule events and repair actions")
 		traceDir   = flag.String("trace", "", "write per-seed JSONL traces (seed<N>.jsonl) into this directory")
+		exploreRun = flag.Bool("explore", false, "run deterministic schedule exploration instead of fault campaigns")
+		schedules  = flag.Int("schedules", 10, "delivery schedules to search per exploration scenario (with -explore)")
 	)
 	flag.Parse()
+
+	if *exploreRun {
+		first := int64(1)
+		if *seed != 0 {
+			first = *seed
+		}
+		if runExplore(first, *schedules, *verbose) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *restartAll && !*durable {
 		fmt.Fprintln(os.Stderr, "chaos: -restart-all requires -durable (a whole-troupe power loss without logs loses everything)")
@@ -76,7 +138,8 @@ func main() {
 	}
 	for _, s := range list {
 		cfg := chaos.Config{Seed: s, Servers: *servers, Clients: *clients, Ops: *ops, Callers: *callers,
-			Durable: *durable, RestartAll: *restartAll, SnapshotEvery: *snapEvery}
+			Durable: *durable, RestartAll: *restartAll, SnapshotEvery: *snapEvery,
+			Monitor: *monitored, MonitorSample: *monSample, Linearize: *linearize}
 		if *verbose {
 			cfg.Log = func(format string, args ...any) {
 				fmt.Printf(format+"\n", args...)
@@ -114,6 +177,12 @@ func main() {
 			fmt.Printf(" recoveries=%d fsyncs=%d snapshots=%d delta=%d/%dB full=%d/%dB",
 				res.Recoveries, res.Fsyncs, res.Snapshots,
 				res.DeltaTransfers, res.DeltaBytes, res.FullTransfers, res.FullBytes)
+		}
+		if *monitored {
+			fmt.Printf(" monitored=%d/%d", res.MonitorSampled, res.MonitorEvents)
+		}
+		if *linearize {
+			fmt.Printf(" reads=%d linear=%dops/%dkeys", res.Reads, res.LinearOps, res.LinearKeys)
 		}
 		fmt.Println()
 		for _, v := range res.Violations {

@@ -46,7 +46,7 @@ func NewDurableCluster(seed int64, n int, wireDelay, syncDelay time.Duration) (*
 		}
 		d.Logs = append(d.Logs, log)
 	}
-	c, err := newClusterWith(seed, n, wireDelay, false, func(i int) core.Module {
+	c, err := newClusterWith(seed, n, wireDelay, false, Trace, func(i int) core.Module {
 		return walMod{log: d.Logs[i]}
 	})
 	if err != nil {

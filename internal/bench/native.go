@@ -63,19 +63,28 @@ func NewCluster(seed int64, n int, wireDelay time.Duration) (*Cluster, error) {
 // NewClusterMode additionally selects the multicast implementation of
 // one-to-many calls (§4.3.3).
 func NewClusterMode(seed int64, n int, wireDelay time.Duration, multicast bool) (*Cluster, error) {
-	return newClusterWith(seed, n, wireDelay, multicast, func(int) core.Module { return echoMod{} })
+	return newClusterWith(seed, n, wireDelay, multicast, Trace, func(int) core.Module { return echoMod{} })
+}
+
+// NewClusterSink builds the echo cluster with the given trace sink on
+// every runtime instead of the package-level Trace — the monitored
+// benchmarks attach an online monitor here without disturbing global
+// state. A nil sink is the disabled fast path.
+func NewClusterSink(seed int64, n int, wireDelay time.Duration, sink trace.Sink) (*Cluster, error) {
+	return newClusterWith(seed, n, wireDelay, false, sink, func(int) core.Module { return echoMod{} })
 }
 
 // newClusterWith builds the troupe with one module per member from mkMod
 // — the echo module for the latency benchmarks, a durable put module
 // for the fsync benchmarks.
-func newClusterWith(seed int64, n int, wireDelay time.Duration, multicast bool, mkMod func(i int) core.Module) (*Cluster, error) {
+func newClusterWith(seed int64, n int, wireDelay time.Duration, multicast bool, sink trace.Sink, mkMod func(i int) core.Module) (*Cluster, error) {
 	net := netsim.New(seed)
 	if wireDelay > 0 {
 		net.SetLink(netsim.LinkConfig{MinDelay: wireDelay, MaxDelay: wireDelay + wireDelay/4})
 	}
 	opts := benchOpts()
 	opts.Multicast = multicast
+	opts.Trace = sink
 	c := &Cluster{Net: net, Troupe: core.Troupe{ID: 0xbec}}
 	for i := 0; i < n; i++ {
 		ep, err := net.Listen(net.NewHost(), 0)

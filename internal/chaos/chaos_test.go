@@ -77,6 +77,49 @@ func TestCampaignConcurrentCallers(t *testing.T) {
 		res.Seed, res.Acked, res.Failed, res.Retries, res.Rebinds, res.Suspected, res.Removed, res.Rejoined)
 }
 
+// TestCampaignMonitoredLinearized runs a campaign with always-on
+// verification: the online monitor watches the trace stream live at
+// full sampling, and clients interleave cross-client reads under
+// quorum discipline (majority-acked writes, strict majority-view
+// reads) whose history must linearize. Both layers must stay silent.
+func TestCampaignMonitoredLinearized(t *testing.T) {
+	res, err := Run(Config{Seed: 7, Ops: 12, Monitor: true, Linearize: true, Log: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("invariant violations: %v", res.Violations)
+	}
+	if res.MonitorEvents == 0 {
+		t.Fatal("monitor saw no events")
+	}
+	if res.MonitorSampled != res.MonitorEvents {
+		t.Fatalf("full sampling retained %d of %d events", res.MonitorSampled, res.MonitorEvents)
+	}
+	if res.Reads == 0 || res.LinearOps == 0 || res.LinearKeys == 0 {
+		t.Fatalf("linearizability layer idle: reads=%d ops=%d keys=%d",
+			res.Reads, res.LinearOps, res.LinearKeys)
+	}
+	t.Logf("seed %d: acked=%d reads=%d monitor-events=%d linear ops=%d keys=%d",
+		res.Seed, res.Acked, res.Reads, res.MonitorEvents, res.LinearOps, res.LinearKeys)
+}
+
+// TestCampaignMonitorSampled drives the same campaign with 1/8
+// identity sampling: the monitor must retain a strict subset without
+// inventing violations.
+func TestCampaignMonitorSampled(t *testing.T) {
+	res, err := Run(Config{Seed: 11, Ops: 12, Monitor: true, MonitorSample: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("invariant violations: %v", res.Violations)
+	}
+	if res.MonitorSampled == 0 || res.MonitorSampled >= res.MonitorEvents {
+		t.Fatalf("1/8 sampling retained %d of %d events", res.MonitorSampled, res.MonitorEvents)
+	}
+}
+
 // TestRebindDuringReconfiguration pins the acceptance scenario
 // deterministically: the binding agent reconfigures the troupe while
 // a client holds the old binding; the client's next call must succeed

@@ -91,7 +91,8 @@ func TestDurableCampaignSmoke(t *testing.T) {
 // alone cannot mask — and every member must recover from its own log
 // such that no acknowledged write is lost.
 func TestDurableCampaignFullRestart(t *testing.T) {
-	res, err := Run(Config{Seed: 5, Ops: 10, Durable: true, RestartAll: true, Log: t.Logf})
+	res, err := Run(Config{Seed: 5, Ops: 10, Durable: true, RestartAll: true,
+		Monitor: true, Linearize: true, Log: t.Logf})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,196 @@
+package linear
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// op builds a determinate operation on key "k".
+func op(client int, kind Kind, val string, call, ret int64) Op {
+	return Op{Client: client, Kind: kind, Key: "k", Value: val, Call: call, Return: ret, Ok: true}
+}
+
+// pending builds an indeterminate write on key "k".
+func pendingWrite(client int, val string, call int64) Op {
+	return Op{Client: client, Kind: Write, Key: "k", Value: val, Call: call, Return: math.MaxInt64}
+}
+
+func want(t *testing.T, ops []Op, linearizable bool) {
+	t.Helper()
+	res := Check(ops, 0)
+	if len(res.Exhausted) > 0 {
+		t.Fatalf("search exhausted on %v", res.Exhausted)
+	}
+	if res.Linearizable != linearizable {
+		t.Fatalf("Linearizable = %v, want %v\n%s", res.Linearizable, linearizable, res.Explanation)
+	}
+}
+
+// --- Known-linearizable histories ---
+
+func TestLinearizableSequential(t *testing.T) {
+	want(t, []Op{
+		op(1, Write, "a", 0, 10),
+		op(2, Read, "a", 20, 30),
+		op(1, Write, "b", 40, 50),
+		op(2, Read, "b", 60, 70),
+	}, true)
+}
+
+func TestLinearizableConcurrentReadDuringWrite(t *testing.T) {
+	// A read overlapping the write may see either the old or the new
+	// value.
+	for _, seen := range []string{"", "a"} {
+		want(t, []Op{
+			op(1, Write, "a", 0, 100),
+			op(2, Read, seen, 10, 20),
+		}, true)
+	}
+}
+
+func TestLinearizableIndeterminateWrite(t *testing.T) {
+	// A write that never returned may have happened...
+	want(t, []Op{
+		pendingWrite(1, "a", 0),
+		op(2, Read, "a", 50, 60),
+	}, true)
+	// ...or not.
+	want(t, []Op{
+		pendingWrite(1, "a", 0),
+		op(2, Read, "", 50, 60),
+	}, true)
+	// It can even take effect late, between two reads.
+	want(t, []Op{
+		pendingWrite(1, "a", 0),
+		op(2, Read, "", 50, 60),
+		op(2, Read, "a", 70, 80),
+	}, true)
+}
+
+func TestLinearizableConcurrentWritersEitherOrder(t *testing.T) {
+	want(t, []Op{
+		op(1, Write, "a", 0, 100),
+		op(2, Write, "b", 0, 100),
+		op(3, Read, "a", 200, 210), // "b" then "a": both writes concurrent
+	}, true)
+}
+
+// --- Known-non-linearizable histories ---
+
+func TestStaleReadRejected(t *testing.T) {
+	// The write completed before the read began; reading the old
+	// value is a stale read.
+	want(t, []Op{
+		op(1, Write, "a", 0, 10),
+		op(2, Read, "", 20, 30),
+	}, false)
+}
+
+func TestLostUpdateRejected(t *testing.T) {
+	// Two sequential writes, then a read of the first value: the
+	// second write was lost.
+	want(t, []Op{
+		op(1, Write, "a", 0, 10),
+		op(1, Write, "b", 20, 30),
+		op(2, Read, "a", 40, 50),
+	}, false)
+}
+
+func TestSplitBrainWriteRejected(t *testing.T) {
+	// Concurrent writes may order either way, but both orders leave
+	// ONE final value; sequential readers seeing different values
+	// after both writes finished witnessed a split brain.
+	want(t, []Op{
+		op(1, Write, "a", 0, 10),
+		op(2, Write, "b", 0, 10),
+		op(3, Read, "a", 20, 30),
+		op(3, Read, "b", 40, 50),
+		op(3, Read, "a", 60, 70),
+	}, false)
+}
+
+func TestIndeterminateWriteCannotFlipFlop(t *testing.T) {
+	// Even an indeterminate write takes effect at most once: seen,
+	// then unseen, is a violation.
+	want(t, []Op{
+		pendingWrite(1, "a", 0),
+		op(2, Read, "a", 50, 60),
+		op(2, Read, "", 70, 80),
+	}, false)
+}
+
+// --- Compositionality and bookkeeping ---
+
+func TestPerKeyPartitioning(t *testing.T) {
+	// A violation on one key is found regardless of clean traffic on
+	// others.
+	ops := []Op{
+		op(1, Write, "a", 0, 10),
+		op(2, Read, "", 20, 30), // stale read on "k"
+	}
+	for i := 0; i < 30; i++ {
+		base := int64(i * 100)
+		ops = append(ops,
+			Op{Client: 1, Kind: Write, Key: "other", Value: "x", Call: base, Return: base + 10, Ok: true},
+			Op{Client: 2, Kind: Read, Key: "other", Value: "x", Call: base + 20, Return: base + 30, Ok: true},
+		)
+	}
+	res := Check(ops, 0)
+	if res.Linearizable || res.Key != "k" {
+		t.Fatalf("want violation on key %q, got %+v", "k", res)
+	}
+	if res.Keys != 2 {
+		t.Fatalf("Keys = %d, want 2", res.Keys)
+	}
+	if !strings.Contains(res.Explanation, "read") {
+		t.Fatalf("explanation missing ops: %s", res.Explanation)
+	}
+}
+
+func TestBudgetExhaustionIsInconclusiveNotFailure(t *testing.T) {
+	// Many concurrent indeterminate writes explode the search; with a
+	// tiny budget the key must land in Exhausted, not report a
+	// violation.
+	var ops []Op
+	for i := 0; i < 20; i++ {
+		ops = append(ops, pendingWrite(i, string(rune('a'+i)), 0))
+	}
+	ops = append(ops, op(99, Read, "zzz", 1000, 1010)) // unsatisfiable
+	res := Check(ops, 5)
+	if !res.Linearizable || len(res.Exhausted) != 1 {
+		t.Fatalf("want inconclusive pass, got %+v", res)
+	}
+}
+
+func TestHistoryRecorder(t *testing.T) {
+	h := NewHistory()
+	w := h.Invoke(1, Write, "k", "v")
+	time.Sleep(time.Millisecond)
+	w.Done("")
+	r := h.Invoke(2, Read, "k", "")
+	r.Done("v")
+	f := h.Invoke(3, Write, "k", "w")
+	f.Fail()
+	dropped := h.Invoke(4, Read, "k", "")
+	f2 := dropped // failed reads are dropped by not calling Done
+	_ = f2
+
+	ops := h.Ops()
+	if len(ops) != 3 {
+		t.Fatalf("recorded %d ops, want 3", len(ops))
+	}
+	if ops[0].Kind != Write || !ops[0].Ok || ops[0].Return <= ops[0].Call {
+		t.Fatalf("write recorded wrong: %+v", ops[0])
+	}
+	if ops[1].Kind != Read || ops[1].Value != "v" {
+		t.Fatalf("read recorded wrong: %+v", ops[1])
+	}
+	if ops[2].Ok || ops[2].Return != math.MaxInt64 {
+		t.Fatalf("failed write not indeterminate: %+v", ops[2])
+	}
+	if res := Check(ops, 0); !res.Linearizable {
+		t.Fatalf("recorded history should linearize: %+v", res)
+	}
+}

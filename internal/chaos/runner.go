@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math/rand"
@@ -9,8 +10,11 @@ import (
 	"time"
 
 	"circus"
+	"circus/internal/chaos/linear"
 	"circus/internal/trace"
 	"circus/internal/trace/check"
+	"circus/internal/trace/monitor"
+	"circus/internal/trace/rules"
 	"circus/internal/wal"
 )
 
@@ -43,6 +47,26 @@ type Config struct {
 	// SnapshotEvery is the per-member snapshot cadence in log records
 	// (durable mode). Default 64.
 	SnapshotEvery int
+	// Monitor runs the online runtime monitor live against the trace
+	// stream for the whole campaign: protocol violations are reported
+	// the moment the offending event is emitted, not at post-mortem.
+	Monitor bool
+	// MonitorSample is the monitor's 1-in-N identity sampling rate
+	// (0 or 1 = observe everything). Sampling is per call path and per
+	// conversation, so a sampled identity is always seen whole.
+	MonitorSample int
+	// Linearize interleaves reads into the put workload, records every
+	// operation's invocation/response window, and checks the history
+	// for per-key linearizability at the end of the campaign. The
+	// linearized clients opt into quorum discipline — writes ack only
+	// on a majority of the original degree, reads demand identical
+	// answers from every member of a majority-sized view — because
+	// that is the collation choice under which this system IS
+	// linearizable: the default ack-from-whoever-answered collation
+	// can ack a write on a member the repairman is concurrently
+	// removing from the binding, and such a write is legitimately
+	// invisible until the member rejoins and merges.
+	Linearize bool
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
 	// Trace, when set, additionally receives every node's trace events
@@ -104,9 +128,72 @@ type Result struct {
 	Recoveries int
 	Fsyncs     uint64
 	Snapshots  uint64
+	// MonitorEvents/MonitorSampled count what the online monitor saw
+	// and retained (Monitor mode); monitor violations land in
+	// Violations like any other breach.
+	MonitorEvents  uint64
+	MonitorSampled uint64
+	// Reads counts successful read operations; LinearOps and LinearKeys
+	// count the checked history (Linearize mode).
+	Reads      int
+	LinearOps  int
+	LinearKeys int
 	// Violations lists every invariant breach; empty means the troupe
 	// survived the campaign.
 	Violations []string
+}
+
+// writeQuorum collates a linearized put's replies: success requires
+// `need` (a majority of the troupe's original degree) identical
+// successful answers, regardless of how small the attempt's view is.
+// With it, an acked write provably resides on a majority of the
+// original members — the other half of the quorum-intersection
+// argument that makes the recorded history linearizable. An attempt
+// against a too-small or partly unreachable view simply fails and is
+// recorded as indeterminate.
+func writeQuorum(need int) func(n int) circus.Collator {
+	return func(n int) circus.Collator {
+		return circus.NewCollator(n, func(items []circus.Reply) ([]byte, error) {
+			counts := make(map[string]int)
+			for _, it := range items {
+				if it.Err != nil {
+					continue
+				}
+				counts[string(it.Data)]++
+			}
+			for v, c := range counts {
+				if c >= need {
+					return []byte(v), nil
+				}
+			}
+			return nil, fmt.Errorf("chaos: no write quorum (%d identical answers needed, view of %d)", need, n)
+		})
+	}
+}
+
+// strictRead collates the linearizability probes' replies: every
+// member of the view must answer, successfully and bit-identically.
+// Unlike the default unanimous collator it does NOT exclude failed
+// members — a reply assembled from a surviving subset could come from
+// a single state-lagging member mid-repair, which is exactly the
+// stale read the probe must treat as unanswered, not as an answer.
+func strictRead(n int) circus.Collator {
+	return circus.NewCollator(n, func(items []circus.Reply) ([]byte, error) {
+		if len(items) < n {
+			return nil, fmt.Errorf("chaos: %d of %d members answered", len(items), n)
+		}
+		for _, it := range items {
+			if it.Err != nil {
+				return nil, fmt.Errorf("chaos: member %d failed: %w", it.Member, it.Err)
+			}
+		}
+		for _, it := range items[1:] {
+			if !bytes.Equal(it.Data, items[0].Data) {
+				return nil, circus.ErrDisagreement
+			}
+		}
+		return items[0].Data, nil
+	})
 }
 
 // Run executes one fault campaign: build a replicated KV troupe with
@@ -133,9 +220,22 @@ func Run(cfg Config) (*Result, error) {
 	sim.SetLink(baseline)
 
 	// Every node traces into the recorder so the protocol conformance
-	// checker can replay the whole campaign.
+	// checker can replay the whole campaign. In Monitor mode the online
+	// monitor joins the fan-out, narrowed to the kinds its rules read,
+	// and watches the same stream live.
 	rec := trace.NewRecorder()
-	sink := trace.Multi(rec, cfg.Trace)
+	var mon *monitor.Monitor
+	var monSink trace.Sink
+	if cfg.Monitor {
+		mon = monitor.New(monitor.Options{
+			SampleRate: cfg.MonitorSample,
+			OnViolation: func(v rules.Violation) {
+				cfg.Log("seed %d: monitor: %s", cfg.Seed, v)
+			},
+		})
+		monSink = trace.FilterKinds(mon, mon.TraceKinds())
+	}
+	sink := trace.Multi(rec, cfg.Trace, monSink)
 
 	// The binding agent, on its own machine.
 	binderNode, err := sim.NewNode(circus.WithTrace(sink))
@@ -259,7 +359,12 @@ func Run(cfg Config) (*Result, error) {
 		mu    sync.Mutex
 		acked = make(map[string]string)
 	)
-	var failed int
+	var failed, reads int
+	var hist *linear.History
+	majority := cfg.Servers/2 + 1
+	if cfg.Linearize {
+		hist = linear.NewHistory()
+	}
 	scheduleDone := make(chan struct{})
 	var wg sync.WaitGroup
 	for ci := range clients {
@@ -280,8 +385,27 @@ func Run(cfg Config) (*Result, error) {
 					key := fmt.Sprintf("c%d.g%d.k%d", ci, gi, op)
 					val := fmt.Sprintf("v%d.%s", cfg.Seed, key)
 					args, _ := circus.Marshal(kvPair{Key: key, Val: val})
-					_, err := clients[ci].stub.Call(ctx, ProcPut, args,
-						circus.WithTimeout(600*time.Millisecond))
+					putOpts := []circus.CallOption{circus.WithTimeout(600 * time.Millisecond)}
+					var pend *linear.Pending
+					if hist != nil {
+						pend = hist.Invoke(ci*cfg.Callers+gi, linear.Write, key, val)
+						// Quorum discipline: the write only acks if a
+						// majority of the original degree answered
+						// identically, so an acked write provably sits on
+						// a majority — the default collation can ack from
+						// a single reachable member that repair is busy
+						// removing from the binding, leaving the write
+						// legitimately invisible until it rejoins.
+						putOpts = append(putOpts, circus.WithCollator(writeQuorum(majority)))
+					}
+					_, err := clients[ci].stub.Call(ctx, ProcPut, args, putOpts...)
+					if pend != nil {
+						if err == nil {
+							pend.Done("")
+						} else {
+							pend.Fail() // indeterminate: may or may not have taken effect
+						}
+					}
 					mu.Lock()
 					if err == nil {
 						acked[key] = val
@@ -289,6 +413,38 @@ func Run(cfg Config) (*Result, error) {
 						failed++
 					}
 					mu.Unlock()
+					if hist != nil && rng.Intn(2) == 0 {
+						// Read a key some caller may have written by now —
+						// often another client's, so the read crosses
+						// replicas the writer never talked to. The read
+						// goes through a plain stub over the full bound
+						// troupe with a strict collator: every member of a
+						// majority-sized view must answer, successfully
+						// and identically, or the call fails and the read
+						// is dropped as unanswered. Strictness matters —
+						// the default unanimous collator excludes failed
+						// members and proceeds with the rest, so mid-repair
+						// a single state-lagging member could answer alone.
+						// A majority-sized strict view intersects every
+						// write quorum, so a recorded read cannot miss a
+						// recorded write. The resilient stub is wrong here
+						// for the same reason: its suspicion skipping is
+						// built to leave lagging members out.
+						rkey := fmt.Sprintf("c%d.g%d.k%d",
+							rng.Intn(cfg.Clients), rng.Intn(cfg.Callers), rng.Intn(op+1))
+						if tr := clients[ci].stub.Troupe(); tr.Degree() >= majority {
+							rp := hist.Invoke(ci*cfg.Callers+gi, linear.Read, rkey, "")
+							out, rerr := clients[ci].node.StubFor(tr).
+								Call(ctx, ProcGet, []byte(rkey), circus.WithTimeout(300*time.Millisecond),
+									circus.WithCollator(strictRead))
+							if rerr == nil {
+								rp.Done(string(out))
+								mu.Lock()
+								reads++
+								mu.Unlock()
+							} // an unanswered read constrains nothing: dropped
+						}
+					}
 					time.Sleep(time.Duration(10+rng.Intn(20)) * time.Millisecond)
 				}
 			}()
@@ -398,6 +554,7 @@ func Run(cfg Config) (*Result, error) {
 	// Harvest counters.
 	res.Acked = len(acked)
 	res.Failed = failed
+	res.Reads = reads
 	for _, c := range clients {
 		st := c.stub.Stats()
 		res.Rebinds += st.Rebinds
@@ -426,6 +583,31 @@ func Run(cfg Config) (*Result, error) {
 		MinRTO:   2 * time.Millisecond,
 	})
 	res.Violations = append(res.Violations, check.Strings(conf)...)
+	// The online monitor saw the same stream live; anything it caught
+	// is a breach too (at full sampling it subsumes the offline rules,
+	// reported here with its own prefix so drift is visible).
+	if mon != nil {
+		st := mon.Stats()
+		res.MonitorEvents = st.Events
+		res.MonitorSampled = st.Sampled
+		for _, v := range mon.Violations() {
+			res.Violations = append(res.Violations, "monitor: "+v.String())
+		}
+	}
+	// Linearizability: every read must be explainable by some
+	// interleaving of the recorded operation windows, key by key.
+	if hist != nil {
+		lin := linear.Check(hist.Ops(), 0)
+		res.LinearOps = lin.Ops
+		res.LinearKeys = lin.Keys
+		if !lin.Linearizable {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("linearizability: key %q: %s", lin.Key, lin.Explanation))
+		}
+		for _, k := range lin.Exhausted {
+			cfg.Log("seed %d: linearizability search exhausted on key %q (inconclusive)", cfg.Seed, k)
+		}
+	}
 	return res, nil
 }
 

@@ -276,12 +276,27 @@ func (rt *Runtime) Unexport(num uint16) {
 	delete(rt.troupeIDs, num)
 }
 
+// PlantedRebindBug, when true, makes SetTroupeID additionally discard
+// the runtime's many-to-one collation records — a deliberately wrong
+// "a rebind invalidates in-flight call state" change, kept behind this
+// flag as the known defect the schedule-exploration regression test
+// must rediscover. With a record gone, a replicated client member's
+// call message arriving after a rebind no longer collates with its
+// sibling's: the server executes the call a second time, breaking the
+// at-most-once guarantee of §4.3.2. Never set outside tests.
+var PlantedRebindBug = false
+
 // SetTroupeID records the current troupe ID of an exported module; the
 // member rejects calls bearing any other destination troupe ID (§6.2).
 func (rt *Runtime) SetTroupeID(module uint16, id TroupeID) {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	rt.troupeIDs[module] = id
+	rt.mu.Unlock()
+	if PlantedRebindBug {
+		rt.callMu.Lock()
+		rt.calls = make(map[string]*serverCall)
+		rt.callMu.Unlock()
+	}
 }
 
 // TroupeIDOf returns the module's current troupe ID, zero if none was

@@ -1,0 +1,117 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+
+	"circus/internal/core"
+	"circus/internal/netsim"
+	"circus/internal/txn"
+)
+
+// BroadcastScenario targets the §5.4 ordered-broadcast commit
+// protocol: two broadcasters each send two messages to a two-member
+// queue troupe while the explorer interleaves the propose/accept
+// traffic. Whatever order the proposals and commits cross in, every
+// member must deliver all four messages in the identical order.
+type BroadcastScenario struct{}
+
+func (BroadcastScenario) Name() string { return "broadcast" }
+
+// Build implements Scenario.
+func (BroadcastScenario) Build(net *netsim.Network, seed int64) (func() error, func() []string, func(), error) {
+	resolver := core.StaticResolver{}
+	opts := exploreOpts(nil, resolver)
+
+	var rts []*core.Runtime
+	stop := func() {
+		for _, rt := range rts {
+			rt.Close()
+		}
+	}
+	newRT := func() (*core.Runtime, error) {
+		ep, err := net.Listen(net.NewHost(), 0)
+		if err != nil {
+			return nil, err
+		}
+		rt := core.NewRuntime(ep, opts)
+		rts = append(rts, rt)
+		return rt, nil
+	}
+
+	const degree = 2
+	var mus [degree]sync.Mutex
+	orders := make([][]string, degree)
+	dest := core.Troupe{ID: 0xbc}
+	for i := 0; i < degree; i++ {
+		i := i
+		rt, err := newRT()
+		if err != nil {
+			return nil, nil, stop, err
+		}
+		q := txn.NewQueue(func(id string, msg []byte) {
+			mus[i].Lock()
+			orders[i] = append(orders[i], id)
+			mus[i].Unlock()
+		})
+		addr := rt.Export(&txn.Module{Queue: q}, core.ExportOptions{})
+		rt.SetTroupeID(addr.Module, dest.ID)
+		dest.Members = append(dest.Members, addr)
+	}
+	resolver[dest.ID] = dest.Members
+
+	const senders, perSender = 2, 2
+	var broadcasters []*core.Runtime
+	for c := 0; c < senders; c++ {
+		rt, err := newRT()
+		if err != nil {
+			return nil, nil, stop, err
+		}
+		broadcasters = append(broadcasters, rt)
+	}
+
+	drive := func() error {
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		errs := make(chan error, senders)
+		for c, rt := range broadcasters {
+			c, rt := c, rt
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < perSender; k++ {
+					id := fmt.Sprintf("c%d-m%d", c, k)
+					if err := txn.Broadcast(ctx, rt, dest, id, []byte(id)); err != nil {
+						errs <- fmt.Errorf("broadcast %s: %w", id, err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		return <-errs
+	}
+
+	checkFn := func() []string {
+		var vs []string
+		mus[0].Lock()
+		ref := append([]string(nil), orders[0]...)
+		mus[0].Unlock()
+		if len(ref) != senders*perSender {
+			vs = append(vs, fmt.Sprintf("member 0 delivered %d of %d messages", len(ref), senders*perSender))
+		}
+		for i := 1; i < degree; i++ {
+			mus[i].Lock()
+			got := append([]string(nil), orders[i]...)
+			mus[i].Unlock()
+			if !reflect.DeepEqual(got, ref) {
+				vs = append(vs, fmt.Sprintf("delivery order diverged: member 0 %v, member %d %v", ref, i, got))
+			}
+		}
+		return vs
+	}
+	return drive, checkFn, stop, nil
+}

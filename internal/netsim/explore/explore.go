@@ -1,0 +1,300 @@
+// Package explore searches over message delivery schedules.
+//
+// The simulated internet's fault injection (loss, delay, duplication)
+// samples one schedule per seed; most protocol bugs, though, live in
+// narrow interleavings that random timing rarely produces — a repair
+// action landing between two sibling call messages, a commit crossing
+// a proposal. This package drives netsim's capture hook instead:
+// every datagram is intercepted at transmission, and a seeded search
+// decides, step by step, which held datagram is delivered (or
+// dropped) next. Protocol timers are configured far beyond the
+// schedule's horizon, so the system under test is purely
+// message-driven and the explorer owns the entire interleaving.
+//
+// Every choice comes from a schedule-seeded rand.Rand over a
+// deterministically ordered pending set, so a violating schedule is
+// replayed exactly by re-running its seed — the counterexample is a
+// single integer.
+package explore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"circus/internal/netsim"
+	"circus/internal/transport"
+)
+
+// Options tunes a search.
+type Options struct {
+	// Seed numbers the first schedule; schedule i runs with Seed+i.
+	Seed int64
+	// Schedules is how many seeds to try before giving up. Default 20.
+	Schedules int
+	// Steps bounds the delivery decisions per schedule; past the
+	// budget the network is released and the workload runs out
+	// normally. Default 400.
+	Steps int
+	// DropRate is the probability that a chosen datagram is dropped
+	// instead of delivered. Scenarios whose timers are pushed beyond
+	// the horizon should keep this zero: a dropped datagram is not
+	// retransmitted within the schedule.
+	DropRate float64
+	// Settle is how long the explorer waits after each decision for
+	// the consequences — handler goroutines running, their sends being
+	// captured — to land before the next decision. It must exceed any
+	// short timer left enabled in the system under test. Default 8ms.
+	Settle time.Duration
+	// MaxWait bounds how long the explorer tolerates an empty pending
+	// set with the workload still running before it releases the
+	// network (capture off, everything held delivered). Default 2s.
+	MaxWait time.Duration
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Schedules == 0 {
+		o.Schedules = 20
+	}
+	if o.Steps == 0 {
+		o.Steps = 400
+	}
+	if o.Settle == 0 {
+		o.Settle = 8 * time.Millisecond
+	}
+	if o.MaxWait == 0 {
+		o.MaxWait = 2 * time.Second
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...any) {}
+	}
+	return o
+}
+
+// Decision is one explored choice: which held datagram went next, and
+// whether it was delivered or dropped.
+type Decision struct {
+	Step     int
+	From, To transport.Addr
+	Bytes    int
+	Drop     bool
+}
+
+func (d Decision) String() string {
+	verb := "deliver"
+	if d.Drop {
+		verb = "drop"
+	}
+	return fmt.Sprintf("step %d: %s %v -> %v (%dB)", d.Step, verb, d.From, d.To, d.Bytes)
+}
+
+// Schedule is the outcome of one explored interleaving.
+type Schedule struct {
+	// Seed replays this schedule: RunSchedule with the same scenario
+	// and seed makes the same decisions.
+	Seed      int64
+	Decisions []Decision
+	// Released is true when the step budget or MaxWait ran out and the
+	// remaining traffic was delivered without exploration.
+	Released bool
+	// Violations lists every invariant breach the scenario's check
+	// found after the workload finished.
+	Violations []string
+}
+
+// Report summarizes a search.
+type Report struct {
+	Scenario string
+	// Explored counts schedules run; TotalSteps the decisions made.
+	Explored   int
+	TotalSteps int
+	// Violating is the first schedule that broke an invariant, nil
+	// when every explored schedule was clean.
+	Violating *Schedule
+}
+
+// Scenario is a system under exploration. Build constructs it on the
+// given network and returns the workload driver (run once, to
+// completion), the invariant check (run after the workload finishes),
+// and the teardown.
+type Scenario interface {
+	Name() string
+	Build(net *netsim.Network, seed int64) (drive func() error, check func() []string, stop func(), err error)
+}
+
+// Run explores schedules until one violates an invariant or the
+// schedule budget is spent.
+func Run(sc Scenario, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	rep := &Report{Scenario: sc.Name()}
+	for i := 0; i < opts.Schedules; i++ {
+		seed := opts.Seed + int64(i)
+		s, err := RunSchedule(sc, opts, seed)
+		if err != nil {
+			return rep, err
+		}
+		rep.Explored++
+		rep.TotalSteps += len(s.Decisions)
+		opts.Log("explore %s: seed %d: %d decisions, %d violations",
+			sc.Name(), seed, len(s.Decisions), len(s.Violations))
+		if len(s.Violations) > 0 {
+			rep.Violating = s
+			return rep, nil
+		}
+	}
+	return rep, nil
+}
+
+// held is a captured datagram awaiting a delivery decision. seq is
+// its capture order, used only to break ties among identical
+// datagrams — which are interchangeable, keeping schedules
+// reproducible even though capture order itself races.
+type held struct {
+	pkt transport.Packet
+	seq int
+}
+
+// RunSchedule runs one scenario under one seeded interleaving. Calling
+// it again with the same scenario and seed replays the schedule.
+func RunSchedule(sc Scenario, opts Options, seed int64) (*Schedule, error) {
+	opts = opts.withDefaults()
+	net := netsim.New(seed)
+
+	var (
+		mu        sync.Mutex
+		pending   []held
+		nextSeq   int
+		capturing = true
+	)
+	net.SetCapture(func(p transport.Packet) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if !capturing {
+			return false
+		}
+		pending = append(pending, held{pkt: p, seq: nextSeq})
+		nextSeq++
+		return true
+	})
+
+	drive, check, stop, err := sc.Build(net, seed)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() { done <- drive() }()
+
+	s := &Schedule{Seed: seed}
+	// release turns exploration off: capture stops claiming datagrams
+	// and everything held is delivered, letting the workload run out
+	// under normal network rules.
+	release := func() {
+		mu.Lock()
+		capturing = false
+		rest := pending
+		pending = nil
+		mu.Unlock()
+		if len(rest) > 0 {
+			s.Released = true
+		}
+		for _, h := range rest {
+			net.Inject(h.pkt)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	var quiet time.Duration
+	released := false
+	for {
+		select {
+		case werr := <-done:
+			release()
+			if werr != nil {
+				s.Violations = append(s.Violations, fmt.Sprintf("workload failed: %v", werr))
+			}
+			s.Violations = append(s.Violations, check()...)
+			return s, nil
+		case <-time.After(opts.Settle):
+		}
+		if released || len(s.Decisions) >= opts.Steps {
+			release()
+			released = true
+			quiet += opts.Settle
+			if quiet >= opts.MaxWait+10*time.Second {
+				return nil, fmt.Errorf("explore %s: seed %d: workload did not terminate after release", sc.Name(), seed)
+			}
+			continue
+		}
+		mu.Lock()
+		snapshot := append([]held(nil), pending...)
+		mu.Unlock()
+		if len(snapshot) == 0 {
+			quiet += opts.Settle
+			if quiet >= opts.MaxWait {
+				released = true
+				release()
+			}
+			continue
+		}
+		quiet = 0
+		// The pending order must not depend on capture timing: sort by
+		// endpoints, size and content, with capture order only breaking
+		// ties between identical (hence interchangeable) datagrams.
+		sort.Slice(snapshot, func(i, j int) bool { return heldLess(snapshot[i], snapshot[j]) })
+		choice := snapshot[rng.Intn(len(snapshot))]
+		drop := opts.DropRate > 0 && rng.Float64() < opts.DropRate
+		mu.Lock()
+		for i := range pending {
+			if pending[i].seq == choice.seq {
+				pending = append(pending[:i], pending[i+1:]...)
+				break
+			}
+		}
+		mu.Unlock()
+		s.Decisions = append(s.Decisions, Decision{
+			Step: len(s.Decisions),
+			From: choice.pkt.From, To: choice.pkt.To,
+			Bytes: len(choice.pkt.Data), Drop: drop,
+		})
+		if !drop {
+			net.Inject(choice.pkt)
+		}
+	}
+}
+
+func heldLess(a, b held) bool {
+	ka, kb := a.pkt, b.pkt
+	switch {
+	case ka.From != kb.From:
+		return addrLess(ka.From, kb.From)
+	case ka.To != kb.To:
+		return addrLess(ka.To, kb.To)
+	case len(ka.Data) != len(kb.Data):
+		return len(ka.Data) < len(kb.Data)
+	}
+	ha, hb := dataHash(ka.Data), dataHash(kb.Data)
+	if ha != hb {
+		return ha < hb
+	}
+	return a.seq < b.seq
+}
+
+func addrLess(a, b transport.Addr) bool {
+	if a.Host != b.Host {
+		return a.Host < b.Host
+	}
+	return a.Port < b.Port
+}
+
+func dataHash(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}

@@ -61,6 +61,7 @@ type Network struct {
 	txBusy    map[uint32]time.Time // per-host transmitter busy-until (bandwidth model)
 	partition map[uint32]int       // host -> group; absent means group 0
 	split     bool
+	capture   func(transport.Packet) bool
 	stats     Stats
 	closed    bool
 }
@@ -176,6 +177,27 @@ func (n *Network) ResetStats() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.stats = Stats{}
+}
+
+// SetCapture installs a capture hook for deterministic schedule
+// exploration: fn sees every datagram at the moment of transmission,
+// before fault injection, and returning true claims it — the datagram
+// goes nowhere until (unless) the holder re-injects it with Inject.
+// fn runs with the network lock held, so it must not call back into
+// the network. A nil fn uninstalls the hook.
+func (n *Network) SetCapture(fn func(transport.Packet) bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.capture = fn
+}
+
+// Inject delivers a previously captured datagram now, bypassing fault
+// injection and the capture hook. The usual destination rules still
+// apply: a crashed or partitioned destination drops it.
+func (n *Network) Inject(pkt transport.Packet) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.deliverLocked(pkt)
 }
 
 // recvBuffer is the per-endpoint incoming queue length; datagrams
@@ -318,6 +340,12 @@ func (n *Network) transmitLocked(e *Endpoint, to transport.Addr, data []byte) {
 	if n.crashed[e.addr.Host] {
 		n.stats.Dropped++
 		return
+	}
+	if n.capture != nil {
+		pkt := transport.Packet{From: e.addr, To: to, Data: append([]byte(nil), data...)}
+		if n.capture(pkt) {
+			return
+		}
 	}
 	cfg := n.link
 	if c, ok := n.perPair[pairKey(e.addr.Host, to.Host)]; ok {

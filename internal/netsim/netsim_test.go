@@ -417,3 +417,66 @@ func TestSendBatchTooLargeRejectsWholeBatch(t *testing.T) {
 		t.Errorf("Datagrams = %d, want 0", st.Datagrams)
 	}
 }
+
+func TestCaptureHoldsAndInjectDelivers(t *testing.T) {
+	n := New(1)
+	a := mustListen(t, n, n.NewHost(), 0)
+	b := mustListen(t, n, n.NewHost(), 0)
+	var held []transport.Packet
+	n.SetCapture(func(p transport.Packet) bool {
+		held = append(held, p)
+		return true
+	})
+	if err := a.Send(b.Addr(), []byte("held")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, ok := recvOne(t, b, 50*time.Millisecond); ok {
+		t.Fatal("captured packet was delivered anyway")
+	}
+	if len(held) != 1 {
+		t.Fatalf("captured %d packets, want 1", len(held))
+	}
+	n.Inject(held[0])
+	pkt, ok := recvOne(t, b, time.Second)
+	if !ok {
+		t.Fatal("injected packet not delivered")
+	}
+	if string(pkt.Data) != "held" || pkt.From != a.Addr() {
+		t.Errorf("got (%q from %v), want (held from %v)", pkt.Data, pkt.From, a.Addr())
+	}
+}
+
+func TestCaptureDeclineLetsPacketPass(t *testing.T) {
+	n := New(1)
+	a := mustListen(t, n, n.NewHost(), 0)
+	b := mustListen(t, n, n.NewHost(), 0)
+	n.SetCapture(func(transport.Packet) bool { return false })
+	if err := a.Send(b.Addr(), []byte("through")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if pkt, ok := recvOne(t, b, time.Second); !ok || string(pkt.Data) != "through" {
+		t.Errorf("got (%q, %v), want (through, true)", pkt.Data, ok)
+	}
+}
+
+func TestInjectBypassesFaultInjection(t *testing.T) {
+	n := New(1)
+	n.SetLink(LinkConfig{LossRate: 1})
+	a := mustListen(t, n, n.NewHost(), 0)
+	b := mustListen(t, n, n.NewHost(), 0)
+	n.Inject(transport.Packet{From: a.Addr(), To: b.Addr(), Data: []byte("sure")})
+	if pkt, ok := recvOne(t, b, time.Second); !ok || string(pkt.Data) != "sure" {
+		t.Errorf("got (%q, %v), want (sure, true): Inject must skip fault injection", pkt.Data, ok)
+	}
+}
+
+func TestInjectRespectsCrashedDestination(t *testing.T) {
+	n := New(1)
+	a := mustListen(t, n, n.NewHost(), 0)
+	b := mustListen(t, n, n.NewHost(), 0)
+	n.Crash(b.Addr().Host)
+	n.Inject(transport.Packet{From: a.Addr(), To: b.Addr(), Data: []byte("lost")})
+	if _, ok := recvOne(t, b, 50*time.Millisecond); ok {
+		t.Error("injected packet delivered to a crashed host")
+	}
+}

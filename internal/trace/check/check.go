@@ -5,6 +5,12 @@
 // schedules that respect the configured backoff bounds (including
 // Karn's rule under adaptive retransmission). It runs automatically
 // at the end of every chaos campaign and over any JSONL trace.
+//
+// The event-stream rules themselves live in internal/trace/rules and
+// are shared verbatim with the online runtime monitor
+// (internal/trace/monitor); this package adds the timing rules that
+// need a transfer's whole retransmission history and so only make
+// sense offline.
 package check
 
 import (
@@ -13,6 +19,7 @@ import (
 	"time"
 
 	"circus/internal/trace"
+	"circus/internal/trace/rules"
 	"circus/internal/transport"
 )
 
@@ -43,18 +50,7 @@ func (c Config) tol() float64 {
 }
 
 // Violation is one invariant breach found in a trace.
-type Violation struct {
-	// Invariant names the violated invariant.
-	Invariant string
-	// Seq is the capture sequence number of the offending event.
-	Seq uint64
-	// Msg explains the breach.
-	Msg string
-}
-
-func (v Violation) String() string {
-	return fmt.Sprintf("trace[%d] %s: %s", v.Seq, v.Invariant, v.Msg)
-}
+type Violation = rules.Violation
 
 // endpoint identifies one process incarnation.
 type endpoint struct {
@@ -79,205 +75,13 @@ func Check(events []trace.Event, cfg Config) []Violation {
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
 
 	var v []Violation
-	v = append(v, checkAtMostOnce(evs)...)
-	v = append(v, checkReplyAfterRequest(evs)...)
-	v = append(v, checkMonotoneCallNums(evs)...)
-	v = append(v, checkDeliverOnce(evs)...)
-	v = append(v, checkAckConsistency(evs)...)
+	eng := rules.New(rules.Options{}, func(rv rules.Violation) {
+		v = append(v, rv)
+	})
+	for _, e := range evs {
+		eng.Observe(e)
+	}
 	v = append(v, checkRetransmitSchedule(evs, cfg)...)
-	return v
-}
-
-// checkAckConsistency verifies the acknowledgment stream, including
-// acks piggybacked onto data bundles and delayed cumulative acks
-// (DESIGN.md "Wire economy"). An ack — however it travelled — must
-// never claim more than the receiver actually holds:
-//
-//   - ack-monotone: within one conversation, the cumulative segment
-//     number a receiver acknowledges never decreases. The coalescing
-//     layer merges pending acks by maximum and a single flusher
-//     serializes emission, so a regression means a stale or forged
-//     ack escaped.
-//   - ack-beyond-send: the acknowledged segment number never exceeds
-//     the segment count the sender announced for that message. (If
-//     the trace holds no matching send — e.g. a partial capture — the
-//     ack is not judged.)
-//   - full-ack-after-assembly: a full ack (N = total segments) is
-//     only legal once the receiver has assembled the whole message,
-//     witnessed by a prior msg.delivered event for the conversation.
-func checkAckConsistency(evs []trace.Event) []Violation {
-	type sendKey struct {
-		node    transport.Addr
-		peer    transport.Addr
-		msgType uint8
-		callNum uint32
-	}
-	var v []Violation
-	lastAck := make(map[conv]int)
-	sentTotal := make(map[sendKey]int)
-	assembled := make(map[conv]bool)
-	for _, e := range evs {
-		switch e.Kind {
-		case trace.KindMsgSend:
-			k := sendKey{e.Node, e.Peer, e.MsgType, e.CallNum}
-			if e.N > sentTotal[k] {
-				sentTotal[k] = e.N
-			}
-		case trace.KindMsgDelivered:
-			assembled[conv{endpoint{e.Node, e.Inc}, e.Peer, e.MsgType, e.CallNum}] = true
-		case trace.KindAckSend:
-			k := conv{endpoint{e.Node, e.Inc}, e.Peer, e.MsgType, e.CallNum}
-			if prev, ok := lastAck[k]; ok && e.N < prev {
-				v = append(v, Violation{
-					Invariant: "ack-monotone",
-					Seq:       e.Seq,
-					Msg: fmt.Sprintf("%v inc %d acked segment %d after %d (peer %v type %d call %d)",
-						e.Node, e.Inc, e.N, prev, e.Peer, e.MsgType, e.CallNum),
-				})
-			}
-			if e.N > lastAck[k] {
-				lastAck[k] = e.N
-			}
-			if total, ok := sentTotal[sendKey{e.Peer, e.Node, e.MsgType, e.CallNum}]; ok && e.N > total {
-				v = append(v, Violation{
-					Invariant: "ack-beyond-send",
-					Seq:       e.Seq,
-					Msg: fmt.Sprintf("%v inc %d acked segment %d of a %d-segment message (peer %v type %d call %d)",
-						e.Node, e.Inc, e.N, total, e.Peer, e.MsgType, e.CallNum),
-				})
-			}
-			if e.Total > 0 && e.N >= e.Total && !assembled[k] {
-				v = append(v, Violation{
-					Invariant: "full-ack-after-assembly",
-					Seq:       e.Seq,
-					Msg: fmt.Sprintf("%v inc %d sent a full ack (%d/%d) before assembling the message (peer %v type %d call %d)",
-						e.Node, e.Inc, e.N, e.Total, e.Peer, e.MsgType, e.CallNum),
-				})
-			}
-		}
-	}
-	return v
-}
-
-// checkAtMostOnce: no two executions of the same call (thread ID +
-// call path + module) at the same member incarnation (§4.3.4: troupe
-// members execute each replicated call exactly once; the trace can
-// only witness the at-most-once half).
-func checkAtMostOnce(evs []trace.Event) []Violation {
-	type key struct {
-		ep      endpoint
-		pathKey string
-		module  uint16
-	}
-	var v []Violation
-	started := make(map[key]uint64)
-	for _, e := range evs {
-		if e.Kind != trace.KindCallStart {
-			continue
-		}
-		k := key{endpoint{e.Node, e.Inc}, e.PathKey(), e.Module}
-		if prev, ok := started[k]; ok {
-			v = append(v, Violation{
-				Invariant: "at-most-once",
-				Seq:       e.Seq,
-				Msg: fmt.Sprintf("call %s module %d executed again at %v inc %d (first at trace[%d])",
-					e.PathKey(), e.Module, e.Node, e.Inc, prev),
-			})
-			continue
-		}
-		started[k] = e.Seq
-	}
-	return v
-}
-
-// checkReplyAfterRequest: a member may only reply to a call it has
-// fully received — every reply-sent event must be preceded by the
-// delivery of the corresponding call message from that caller.
-func checkReplyAfterRequest(evs []trace.Event) []Violation {
-	const msgTypeCall = 0
-	type key struct {
-		ep      endpoint
-		peer    transport.Addr
-		callNum uint32
-	}
-	var v []Violation
-	delivered := make(map[key]bool)
-	for _, e := range evs {
-		switch e.Kind {
-		case trace.KindMsgDelivered:
-			if e.MsgType == msgTypeCall {
-				delivered[key{endpoint{e.Node, e.Inc}, e.Peer, e.CallNum}] = true
-			}
-		case trace.KindReplySent:
-			if !delivered[key{endpoint{e.Node, e.Inc}, e.Peer, e.CallNum}] {
-				v = append(v, Violation{
-					Invariant: "reply-after-request",
-					Seq:       e.Seq,
-					Msg: fmt.Sprintf("%v inc %d replied to call %d from %v before fully receiving it",
-						e.Node, e.Inc, e.CallNum, e.Peer),
-				})
-			}
-		}
-	}
-	return v
-}
-
-// checkMonotoneCallNums: within one incarnation, the call numbers a
-// process assigns to new calls to a given peer strictly increase
-// (§4.2.3: call numbers order conversations; the replay cache depends
-// on never reusing one). Unicast and multicast calls draw from
-// disjoint number spaces (top bit), so each is checked separately.
-func checkMonotoneCallNums(evs []trace.Event) []Violation {
-	const msgTypeCall = 0
-	type key struct {
-		ep    endpoint
-		peer  transport.Addr
-		multi bool
-	}
-	var v []Violation
-	last := make(map[key]uint32)
-	for _, e := range evs {
-		if e.Kind != trace.KindMsgSend || e.MsgType != msgTypeCall {
-			continue
-		}
-		k := key{endpoint{e.Node, e.Inc}, e.Peer, e.CallNum&0x8000_0000 != 0}
-		if prev, ok := last[k]; ok && e.CallNum <= prev {
-			v = append(v, Violation{
-				Invariant: "monotone-call-numbers",
-				Seq:       e.Seq,
-				Msg: fmt.Sprintf("%v inc %d sent call %d to %v after call %d",
-					e.Node, e.Inc, e.CallNum, e.Peer, prev),
-			})
-		}
-		if e.CallNum > last[k] {
-			last[k] = e.CallNum
-		}
-	}
-	return v
-}
-
-// checkDeliverOnce: the replay cache must suppress duplicate
-// messages — a conversation's message is delivered upward at most
-// once per receiver incarnation.
-func checkDeliverOnce(evs []trace.Event) []Violation {
-	var v []Violation
-	seen := make(map[conv]uint64)
-	for _, e := range evs {
-		if e.Kind != trace.KindMsgDelivered {
-			continue
-		}
-		k := conv{endpoint{e.Node, e.Inc}, e.Peer, e.MsgType, e.CallNum}
-		if prev, ok := seen[k]; ok {
-			v = append(v, Violation{
-				Invariant: "deliver-once",
-				Seq:       e.Seq,
-				Msg: fmt.Sprintf("%v inc %d delivered message (peer %v type %d call %d) again (first at trace[%d])",
-					e.Node, e.Inc, e.Peer, e.MsgType, e.CallNum, prev),
-			})
-			continue
-		}
-		seen[k] = e.Seq
-	}
 	return v
 }
 

@@ -34,6 +34,7 @@ type jsonEvent struct {
 	Member     int      `json:"member,omitempty"`
 	Attempt    int      `json:"attempt,omitempty"`
 	N          int      `json:"n,omitempty"`
+	Total      int      `json:"total,omitempty"`
 	DurNS      int64    `json:"durNs,omitempty"`
 	Err        string   `json:"err,omitempty"`
 	Detail     string   `json:"detail,omitempty"`
@@ -47,7 +48,7 @@ func toJSON(e Event) jsonEvent {
 		MsgType: e.MsgType, CallNum: e.CallNum,
 		ThreadHost: e.ThreadHost, ThreadProc: e.ThreadProc, Path: e.Path,
 		Troupe: e.Troupe, Module: e.Module, Proc: e.Proc,
-		Member: e.Member, Attempt: e.Attempt, N: e.N,
+		Member: e.Member, Attempt: e.Attempt, N: e.N, Total: e.Total,
 		DurNS: int64(e.Dur), Err: e.Err, Detail: e.Detail,
 	}
 }
@@ -56,11 +57,11 @@ func fromJSON(j jsonEvent) Event {
 	return Event{
 		Seq: j.Seq, T: time.Unix(0, j.T), Kind: KindFromString(j.Kind),
 		Node: transport.Addr{Host: j.NodeHost, Port: j.NodePort}, Inc: j.Inc,
-		Peer: transport.Addr{Host: j.PeerHost, Port: j.PeerPort},
+		Peer:    transport.Addr{Host: j.PeerHost, Port: j.PeerPort},
 		MsgType: j.MsgType, CallNum: j.CallNum,
 		ThreadHost: j.ThreadHost, ThreadProc: j.ThreadProc, Path: j.Path,
 		Troupe: j.Troupe, Module: j.Module, Proc: j.Proc,
-		Member: j.Member, Attempt: j.Attempt, N: j.N,
+		Member: j.Member, Attempt: j.Attempt, N: j.N, Total: j.Total,
 		Dur: time.Duration(j.DurNS), Err: j.Err, Detail: j.Detail,
 	}
 }

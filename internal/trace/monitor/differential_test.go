@@ -1,0 +1,99 @@
+package monitor
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"circus/internal/trace"
+	"circus/internal/trace/check"
+	"circus/internal/transport"
+)
+
+// TestDifferentialOfflineVsOnline is the anti-drift gate for the
+// shared rule implementation: a seeded synthetic trace — clean
+// conversations interleaved with one planted breach of every kind —
+// is serialized to JSONL, read back, and fed to both the offline
+// checker and an offline-configured monitor (unsampled, unbounded).
+// The two must report the identical violation sequence.
+func TestDifferentialOfflineVsOnline(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var evs []trace.Event
+		emit := func(e trace.Event) { evs = append(evs, e) }
+
+		nodes := []transport.Addr{{Host: 1, Port: 1}, {Host: 2, Port: 1}, {Host: 3, Port: 1}}
+		// Clean traffic: conversations between random ordered pairs.
+		nextCall := map[[2]int]uint32{}
+		for i := 0; i < 200; i++ {
+			a, b := rng.Intn(len(nodes)), rng.Intn(len(nodes))
+			if a == b {
+				continue
+			}
+			key := [2]int{a, b}
+			nextCall[key]++
+			cn := nextCall[key]
+			emit(trace.Event{Kind: trace.KindMsgSend, Node: nodes[a], Peer: nodes[b], CallNum: cn, N: 1})
+			emit(trace.Event{Kind: trace.KindMsgDelivered, Node: nodes[b], Peer: nodes[a], CallNum: cn, N: 1})
+			emit(trace.Event{Kind: trace.KindAckSend, Node: nodes[b], Peer: nodes[a], CallNum: cn, N: 1, Total: 1})
+			emit(trace.Event{Kind: trace.KindCallStart, Node: nodes[b], ThreadHost: uint32(a + 1), ThreadProc: 9, Path: []uint32{cn}, Module: 2})
+			emit(trace.Event{Kind: trace.KindReplySent, Node: nodes[b], Peer: nodes[a], CallNum: cn})
+		}
+		// Planted breaches, one of each kind, at positions the rng picks.
+		breaches := []trace.Event{
+			// at-most-once: re-execute a call path that already ran.
+			{Kind: trace.KindCallStart, Node: nodes[1], ThreadHost: 1, ThreadProc: 9, Path: []uint32{1}, Module: 2},
+			// deliver-once: re-deliver conversation 1.
+			{Kind: trace.KindMsgDelivered, Node: nodes[1], Peer: nodes[0], CallNum: 1, N: 1},
+			// monotone-call-numbers: reuse call number 1.
+			{Kind: trace.KindMsgSend, Node: nodes[0], Peer: nodes[1], CallNum: 1, N: 1},
+			// reply-after-request: reply to a call never delivered.
+			{Kind: trace.KindReplySent, Node: nodes[2], Peer: nodes[0], CallNum: 999},
+			// ack-monotone + ack-beyond-send do not fire here;
+			// full-ack-after-assembly: full ack with no delivery.
+			{Kind: trace.KindAckSend, Node: nodes[2], Peer: nodes[0], CallNum: 998, N: 2, Total: 2},
+		}
+		for _, b := range breaches {
+			at := rng.Intn(len(evs) + 1)
+			evs = append(evs[:at], append([]trace.Event{b}, evs[at:]...)...)
+		}
+
+		// Serialize through the JSONL sink and read back, exactly the
+		// artifact path CI uses.
+		var buf bytes.Buffer
+		sink := trace.NewJSONL(&buf)
+		for _, e := range evs {
+			sink.Emit(e)
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := trace.ReadJSONL(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		offline := check.Check(decoded, check.Config{})
+
+		m := New(Options{MaxStates: -1}) // offline-exact: unsampled, unbounded
+		for _, e := range decoded {
+			m.Emit(e)
+		}
+		online := m.Violations()
+
+		if len(offline) != len(online) {
+			t.Fatalf("seed %d: offline found %d violations, online %d\noffline: %v\nonline: %v",
+				seed, len(offline), len(online), check.Strings(offline), online)
+		}
+		for i := range offline {
+			if offline[i] != online[i] {
+				t.Fatalf("seed %d: violation %d differs\noffline: %v\nonline:  %v",
+					seed, i, offline[i], online[i])
+			}
+		}
+		if len(offline) < len(breaches) {
+			t.Fatalf("seed %d: only %d of %d planted breaches found: %v",
+				seed, len(offline), len(breaches), check.Strings(offline))
+		}
+	}
+}

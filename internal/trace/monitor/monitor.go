@@ -1,0 +1,212 @@
+// Package monitor is the online half of the protocol checker: a
+// trace.Sink that feeds the shared rule engine (internal/trace/rules)
+// incrementally, as events are emitted, so invariant breaches surface
+// the moment they happen instead of at quiescence.
+//
+// Designed to run in production paths:
+//
+//   - Disabled is free. The monitor is just a sink; when it is not
+//     attached, the emitters' EnabledFor guards never build an event
+//     (0 allocs, two loads and a branch per site). When it is
+//     attached, it implements trace.KindFilter so only the five rule
+//     kinds are ever built.
+//   - Sampling is by identity, not by event: a 1-in-N SampleRate
+//     keeps or drops whole call paths and whole conversations (hashed
+//     before any lock), so every rule still sees a complete story for
+//     the identities it watches. Conversation hashes are symmetric in
+//     the endpoint pair — the sender's msg.send and the receiver's
+//     ack/delivered events of one exchange always sample together.
+//   - Memory is bounded. Rule state lives in two-generation tables
+//     (see rules.Options.MaxStates); completed conversations release
+//     eagerly, idle identities age out. Dropping state can hide a
+//     violation, never invent one.
+//
+// The monitor serializes rule evaluation behind one mutex; at
+// sampling rates like 1/64 the uncontended fast path is a hash and a
+// branch.
+package monitor
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"circus/internal/trace"
+	"circus/internal/trace/rules"
+	"circus/internal/transport"
+)
+
+// DefaultMaxStates bounds rule-engine state when Options.MaxStates is
+// zero: roughly a few MB at full occupancy, far more identities than
+// are ever concurrently in flight.
+const DefaultMaxStates = 1 << 16
+
+// DefaultMaxViolations bounds the retained violation list.
+const DefaultMaxViolations = 256
+
+// Options configures a Monitor.
+type Options struct {
+	// SampleRate keeps 1 in SampleRate call paths / conversations;
+	// values <= 1 keep everything.
+	SampleRate int
+	// MaxStates bounds retained rule state (0 = DefaultMaxStates;
+	// negative = unbounded, the offline checker's exact semantics).
+	MaxStates int
+	// MaxViolations bounds the retained violation list (0 =
+	// DefaultMaxViolations). The total count is always exact.
+	MaxViolations int
+	// OnViolation, if set, is called synchronously for every breach —
+	// from inside Emit, often under emitter locks, so it must be
+	// cheap, must not block, and must not call back into the runtime.
+	OnViolation func(rules.Violation)
+}
+
+// Stats is a point-in-time snapshot of monitor activity.
+type Stats struct {
+	Events     uint64 // events offered to the monitor
+	Sampled    uint64 // events that passed the sampling hash
+	Violations uint64 // total breaches reported (retained list may be shorter)
+	States     int    // retained rule-state entries
+}
+
+// Monitor is an online protocol checker. Attach it wherever a
+// trace.Sink goes: bench clusters, chaos campaigns, or a production
+// node's WithTrace option.
+type Monitor struct {
+	rate    int
+	maxViol int
+	onViol  func(rules.Violation)
+
+	events  atomic.Uint64
+	sampled atomic.Uint64
+	viols   atomic.Uint64
+
+	mu   sync.Mutex
+	eng  *rules.Engine
+	kept []rules.Violation
+}
+
+// New builds a monitor.
+func New(opts Options) *Monitor {
+	maxStates := opts.MaxStates
+	switch {
+	case maxStates == 0:
+		maxStates = DefaultMaxStates
+	case maxStates < 0:
+		maxStates = 0 // unbounded for the rules engine
+	}
+	maxViol := opts.MaxViolations
+	if maxViol <= 0 {
+		maxViol = DefaultMaxViolations
+	}
+	m := &Monitor{rate: opts.SampleRate, maxViol: maxViol, onViol: opts.OnViolation}
+	m.eng = rules.New(rules.Options{MaxStates: maxStates}, m.record)
+	return m
+}
+
+// TraceKinds narrows emission to the kinds the rules consume, so a
+// Local emitter skips building everything else (trace.KindFilter).
+func (m *Monitor) TraceKinds() trace.KindSet { return rules.Kinds() }
+
+// Emit implements trace.Sink. Safe for concurrent use.
+func (m *Monitor) Emit(e trace.Event) {
+	m.events.Add(1)
+	if !m.keep(&e) {
+		return
+	}
+	m.sampled.Add(1)
+	m.mu.Lock()
+	if e.Seq == 0 {
+		// Live emission carries no recorder sequence; stamp arrival
+		// order so violation reports still locate the event.
+		e.Seq = m.events.Load()
+	}
+	m.eng.Observe(e)
+	m.mu.Unlock()
+}
+
+// record is the rules engine's report callback; runs under m.mu.
+func (m *Monitor) record(v rules.Violation) {
+	m.viols.Add(1)
+	if len(m.kept) < m.maxViol {
+		m.kept = append(m.kept, v)
+	}
+	if m.onViol != nil {
+		m.onViol(v)
+	}
+}
+
+// Violations returns the retained breaches (up to MaxViolations), in
+// detection order.
+func (m *Monitor) Violations() []rules.Violation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]rules.Violation, len(m.kept))
+	copy(out, m.kept)
+	return out
+}
+
+// Stats snapshots the counters.
+func (m *Monitor) Stats() Stats {
+	m.mu.Lock()
+	states := m.eng.States()
+	m.mu.Unlock()
+	return Stats{
+		Events:     m.events.Load(),
+		Sampled:    m.sampled.Load(),
+		Violations: m.viols.Load(),
+		States:     states,
+	}
+}
+
+// keep decides sampling before any lock is taken. Identity-based:
+// exec events hash their call path, wire events hash the unordered
+// endpoint pair plus call number (msgType excluded so both directions
+// of an exchange travel together).
+func (m *Monitor) keep(e *trace.Event) bool {
+	rate := m.rate
+	if rate <= 1 {
+		return true
+	}
+	var h uint64
+	if e.Kind == trace.KindCallStart {
+		h = hashU32(fnvOffset, e.ThreadHost)
+		h = hashU32(h, e.ThreadProc)
+		for _, p := range e.Path {
+			h = hashU32(h, p)
+		}
+	} else {
+		a, b := addrKey(e.Node), addrKey(e.Peer)
+		if a > b {
+			a, b = b, a
+		}
+		h = hashU64(fnvOffset, a)
+		h = hashU64(h, b)
+		h = hashU32(h, e.CallNum)
+	}
+	return h%uint64(rate) == 0
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashU32(h uint64, v uint32) uint64 {
+	for i := 0; i < 4; i++ {
+		h ^= uint64(byte(v >> (8 * i)))
+		h *= fnvPrime
+	}
+	return h
+}
+
+func hashU64(h uint64, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(v >> (8 * i)))
+		h *= fnvPrime
+	}
+	return h
+}
+
+func addrKey(a transport.Addr) uint64 {
+	return uint64(a.Host)<<16 | uint64(a.Port)
+}

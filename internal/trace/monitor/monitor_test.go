@@ -1,0 +1,165 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+
+	"circus/internal/trace"
+	"circus/internal/trace/rules"
+	"circus/internal/transport"
+)
+
+var (
+	nodeA = transport.Addr{Host: 1, Port: 1}
+	nodeB = transport.Addr{Host: 2, Port: 1}
+)
+
+// exchange emits one clean request/ack conversation plus its
+// execution, all under call number cn.
+func exchange(m *Monitor, cn uint32) {
+	evs := []trace.Event{
+		{Kind: trace.KindMsgSend, Node: nodeA, Peer: nodeB, CallNum: cn, N: 1},
+		{Kind: trace.KindMsgDelivered, Node: nodeB, Peer: nodeA, CallNum: cn, N: 1},
+		{Kind: trace.KindAckSend, Node: nodeB, Peer: nodeA, CallNum: cn, N: 1, Total: 1},
+		{Kind: trace.KindCallStart, Node: nodeB, ThreadHost: 1, ThreadProc: 1, Path: []uint32{cn}, Module: 3},
+		{Kind: trace.KindReplySent, Node: nodeB, Peer: nodeA, CallNum: cn},
+	}
+	for _, e := range evs {
+		m.Emit(e)
+	}
+}
+
+func TestMonitorDetectsLiveViolation(t *testing.T) {
+	var live []rules.Violation
+	m := New(Options{OnViolation: func(v rules.Violation) { live = append(live, v) }})
+	exchange(m, 1)
+	// A second execution of the same call path is the planted breach.
+	m.Emit(trace.Event{Kind: trace.KindCallStart, Node: nodeB,
+		ThreadHost: 1, ThreadProc: 1, Path: []uint32{1}, Module: 3})
+	if len(live) != 1 || live[0].Invariant != "at-most-once" {
+		t.Fatalf("OnViolation got %v", live)
+	}
+	vs := m.Violations()
+	if len(vs) != 1 || vs[0].Invariant != "at-most-once" {
+		t.Fatalf("Violations() = %v", vs)
+	}
+	if st := m.Stats(); st.Violations != 1 || st.Events == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestMonitorKindFilter(t *testing.T) {
+	m := New(Options{})
+	want := rules.Kinds()
+	if m.TraceKinds() != want {
+		t.Fatalf("TraceKinds() = %b, want %b", m.TraceKinds(), want)
+	}
+	if want.Has(trace.KindSegRetransmit) || !want.Has(trace.KindCallStart) {
+		t.Fatal("rule kind mask wrong")
+	}
+}
+
+// TestSamplingKeepsConversationsWhole drives many conversations
+// through a 1/8 sampler and asserts per-identity all-or-nothing
+// sampling: every conversation the monitor retained state for saw all
+// of its events (no false positives possible), and roughly 1/8 of
+// identities were kept.
+func TestSamplingKeepsConversationsWhole(t *testing.T) {
+	m := New(Options{SampleRate: 8})
+	const convs = 4000
+	for cn := uint32(1); cn <= convs; cn++ {
+		exchange(m, cn)
+	}
+	st := m.Stats()
+	if st.Violations != 0 {
+		t.Fatalf("clean sampled stream produced %d violations: %v", st.Violations, m.Violations())
+	}
+	if st.Events != convs*5 {
+		t.Fatalf("events %d, want %d", st.Events, convs*5)
+	}
+	frac := float64(st.Sampled) / float64(st.Events)
+	if frac < 0.04 || frac > 0.25 {
+		t.Fatalf("sampled fraction %.3f, want near 1/8", frac)
+	}
+	// Sampled conversations must be complete: each kept conversation
+	// contributes exactly its full event set, so Sampled is a
+	// multiple of the per-conversation wire-event count (4 wire + 1
+	// exec whose hash is independent).
+	if st.Sampled == 0 {
+		t.Fatal("nothing sampled at 1/8 over 4000 conversations")
+	}
+}
+
+// TestSamplingSymmetric asserts both directions of one exchange hash
+// identically: if the send is kept, the reverse-direction ack and the
+// delivery are kept too.
+func TestSamplingSymmetric(t *testing.T) {
+	m := New(Options{SampleRate: 64})
+	for cn := uint32(1); cn <= 20000; cn++ {
+		send := trace.Event{Kind: trace.KindMsgSend, Node: nodeA, Peer: nodeB, CallNum: cn}
+		ack := trace.Event{Kind: trace.KindAckSend, Node: nodeB, Peer: nodeA, CallNum: cn}
+		if m.keep(&send) != m.keep(&ack) {
+			t.Fatalf("call %d: directions sampled differently", cn)
+		}
+	}
+}
+
+// TestMonitorViolationDetectionUnderSampling plants a deliver-once
+// breach in every conversation; sampling thins detections, never
+// misses within a kept conversation.
+func TestMonitorViolationDetectionUnderSampling(t *testing.T) {
+	m := New(Options{SampleRate: 8})
+	const convs = 2000
+	for cn := uint32(1); cn <= convs; cn++ {
+		del := trace.Event{Kind: trace.KindMsgDelivered, Node: nodeB, Peer: nodeA, CallNum: cn}
+		m.Emit(del)
+		m.Emit(del) // duplicate delivery: the breach
+	}
+	st := m.Stats()
+	if st.Violations == 0 {
+		t.Fatal("sampler missed every planted breach")
+	}
+	// Every sampled conversation saw both deliveries, so detections
+	// equal sampled conversations exactly: half the sampled events.
+	if st.Violations != st.Sampled/2 {
+		t.Fatalf("violations %d, sampled %d: kept conversations must detect deterministically",
+			st.Violations, st.Sampled)
+	}
+}
+
+// TestMonitorBoundedMemory pushes far more identities than MaxStates
+// and asserts retained state stays near the bound while a clean
+// stream stays clean.
+func TestMonitorBoundedMemory(t *testing.T) {
+	m := New(Options{MaxStates: 512})
+	rng := rand.New(rand.NewSource(7))
+	cn := uint32(0)
+	for i := 0; i < 50000; i++ {
+		cn += uint32(rng.Intn(1000) + 1) // monotone per pair, sparse identities
+		exchange(m, cn)
+	}
+	st := m.Stats()
+	if st.Violations != 0 {
+		t.Fatalf("bounded clean stream produced violations: %v", m.Violations())
+	}
+	if st.States > 4*512 {
+		t.Fatalf("retained states %d, want near the 512 budget", st.States)
+	}
+}
+
+// TestMonitorViolationListBounded: the retained list clips at
+// MaxViolations but the counter stays exact.
+func TestMonitorViolationListBounded(t *testing.T) {
+	m := New(Options{MaxViolations: 4})
+	del := trace.Event{Kind: trace.KindMsgDelivered, Node: nodeB, Peer: nodeA, CallNum: 1}
+	m.Emit(del)
+	for i := 0; i < 10; i++ {
+		m.Emit(del)
+	}
+	if got := len(m.Violations()); got != 4 {
+		t.Fatalf("retained %d violations, want 4", got)
+	}
+	if st := m.Stats(); st.Violations != 10 {
+		t.Fatalf("counted %d violations, want 10", st.Violations)
+	}
+}

@@ -1,0 +1,60 @@
+package rules
+
+// genMap is a two-generation bounded map. put fills the current
+// generation; when it reaches the per-generation cap the current
+// generation is demoted to old and the previous old generation is
+// discarded. get consults both generations and promotes hits into the
+// current one, so entries that are still being touched survive
+// rotation indefinitely — only idle state ages out. max == 0 disables
+// rotation entirely (offline-checker semantics).
+type genMap[K comparable, V any] struct {
+	max     int
+	dropped bool // a rotation has discarded a non-empty generation
+	cur     map[K]V
+	old     map[K]V
+}
+
+func newGenMap[K comparable, V any](max int) genMap[K, V] {
+	return genMap[K, V]{max: max, cur: make(map[K]V)}
+}
+
+func (g *genMap[K, V]) get(k K) (V, bool) {
+	if v, ok := g.cur[k]; ok {
+		return v, true
+	}
+	if g.old != nil {
+		if v, ok := g.old[k]; ok {
+			delete(g.old, k)
+			g.cur[k] = v // promotion counts against the current cap at the next put
+			return v, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+func (g *genMap[K, V]) put(k K, v V) {
+	if g.max > 0 && len(g.cur) >= g.max {
+		if _, exists := g.cur[k]; !exists {
+			if len(g.old) > 0 {
+				g.dropped = true
+			}
+			g.old = g.cur
+			g.cur = make(map[K]V, g.max)
+		}
+	}
+	g.cur[k] = v
+}
+
+func (g *genMap[K, V]) delete(k K) {
+	delete(g.cur, k)
+	if g.old != nil {
+		delete(g.old, k)
+	}
+}
+
+func (g *genMap[K, V]) len() int { return len(g.cur) + len(g.old) }
+
+// strict reports that no entry has ever been discarded, so the
+// absence of a key proves the corresponding event was never observed.
+func (g *genMap[K, V]) strict() bool { return !g.dropped }

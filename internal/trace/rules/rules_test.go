@@ -1,0 +1,183 @@
+package rules
+
+import (
+	"fmt"
+	"testing"
+
+	"circus/internal/trace"
+	"circus/internal/transport"
+)
+
+var (
+	nodeA = transport.Addr{Host: 1, Port: 1}
+	nodeB = transport.Addr{Host: 2, Port: 1}
+)
+
+func collect(opts Options) (*Engine, *[]Violation) {
+	var vs []Violation
+	en := New(opts, func(v Violation) { vs = append(vs, v) })
+	return en, &vs
+}
+
+func feed(en *Engine, evs ...trace.Event) {
+	for i := range evs {
+		evs[i].Seq = uint64(i + 1)
+		en.Observe(evs[i])
+	}
+}
+
+func TestEngineCleanStream(t *testing.T) {
+	en, vs := collect(Options{})
+	feed(en,
+		trace.Event{Kind: trace.KindMsgSend, Node: nodeA, Peer: nodeB, CallNum: 1, N: 1},
+		trace.Event{Kind: trace.KindMsgDelivered, Node: nodeB, Peer: nodeA, CallNum: 1, N: 1},
+		trace.Event{Kind: trace.KindAckSend, Node: nodeB, Peer: nodeA, CallNum: 1, N: 1, Total: 1},
+		trace.Event{Kind: trace.KindCallStart, Node: nodeB, ThreadHost: 1, ThreadProc: 1, Path: []uint32{1}, Module: 3},
+		trace.Event{Kind: trace.KindReplySent, Node: nodeB, Peer: nodeA, CallNum: 1},
+		trace.Event{Kind: trace.KindMsgSend, Node: nodeA, Peer: nodeB, CallNum: 2, N: 1},
+	)
+	if len(*vs) != 0 {
+		t.Fatalf("clean stream produced %v", *vs)
+	}
+}
+
+func TestEngineDetectsEachRule(t *testing.T) {
+	exec := trace.Event{Kind: trace.KindCallStart, Node: nodeB, Inc: 5,
+		ThreadHost: 1, ThreadProc: 2, Path: []uint32{1, 1}, Module: 7}
+	del := trace.Event{Kind: trace.KindMsgDelivered, Node: nodeB, Peer: nodeA, CallNum: 4}
+	cases := []struct {
+		name string
+		evs  []trace.Event
+		want string
+	}{
+		{"at-most-once", []trace.Event{exec, exec}, "at-most-once"},
+		{"deliver-once", []trace.Event{del, del}, "deliver-once"},
+		{"reply-after-request",
+			[]trace.Event{{Kind: trace.KindReplySent, Node: nodeB, Peer: nodeA, CallNum: 9}},
+			"reply-after-request"},
+		{"monotone-call-numbers", []trace.Event{
+			{Kind: trace.KindMsgSend, Node: nodeA, Peer: nodeB, CallNum: 3},
+			{Kind: trace.KindMsgSend, Node: nodeA, Peer: nodeB, CallNum: 3},
+		}, "monotone-call-numbers"},
+		{"ack-monotone", []trace.Event{
+			{Kind: trace.KindAckSend, Node: nodeB, Peer: nodeA, CallNum: 1, N: 3},
+			{Kind: trace.KindAckSend, Node: nodeB, Peer: nodeA, CallNum: 1, N: 2},
+		}, "ack-monotone"},
+		{"ack-beyond-send", []trace.Event{
+			{Kind: trace.KindMsgSend, Node: nodeA, Peer: nodeB, CallNum: 1, N: 3},
+			{Kind: trace.KindAckSend, Node: nodeB, Peer: nodeA, CallNum: 1, N: 4},
+		}, "ack-beyond-send"},
+		{"full-ack-after-assembly", []trace.Event{
+			{Kind: trace.KindAckSend, Node: nodeB, Peer: nodeA, CallNum: 1, N: 2, Total: 2},
+		}, "full-ack-after-assembly"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			en, vs := collect(Options{})
+			feed(en, tc.evs...)
+			if len(*vs) != 1 || (*vs)[0].Invariant != tc.want {
+				t.Fatalf("got %v, want one %q", *vs, tc.want)
+			}
+		})
+	}
+}
+
+func TestEagerEvictionOnCompletion(t *testing.T) {
+	en, vs := collect(Options{})
+	feed(en,
+		trace.Event{Kind: trace.KindMsgSend, Node: nodeA, Peer: nodeB, CallNum: 1, N: 2},
+		trace.Event{Kind: trace.KindMsgDelivered, Node: nodeB, Peer: nodeA, CallNum: 1, N: 2},
+		trace.Event{Kind: trace.KindAckSend, Node: nodeB, Peer: nodeA, CallNum: 1, N: 2, Total: 2},
+	)
+	if len(*vs) != 0 {
+		t.Fatalf("unexpected violations: %v", *vs)
+	}
+	// The sender's segment-count record is gone; the conversation
+	// state (one conv entry, one call-number entry) remains for late
+	// duplicates.
+	if got := en.States(); got != 2 {
+		t.Fatalf("States() = %d after completion, want 2 (conv + call-number)", got)
+	}
+	// A retransmitted full ack after eviction is still legal.
+	en.Observe(trace.Event{Seq: 4, Kind: trace.KindAckSend, Node: nodeB, Peer: nodeA, CallNum: 1, N: 2, Total: 2})
+	if len(*vs) != 0 {
+		t.Fatalf("re-acked completion flagged: %v", *vs)
+	}
+}
+
+func TestBoundedStateNeverFalsePositive(t *testing.T) {
+	// Tiny budget, far more identities than it can hold: the engine
+	// must stay within bounds and report nothing on a clean stream,
+	// even though most state has been discarded along the way.
+	en, vs := collect(Options{MaxStates: 256})
+	const convs = 20000
+	for i := 0; i < convs; i++ {
+		cn := uint32(i + 1)
+		feed2 := []trace.Event{
+			{Kind: trace.KindMsgSend, Node: nodeA, Peer: nodeB, CallNum: cn, N: 1},
+			{Kind: trace.KindMsgDelivered, Node: nodeB, Peer: nodeA, CallNum: cn, N: 1},
+			{Kind: trace.KindAckSend, Node: nodeB, Peer: nodeA, CallNum: cn, N: 1, Total: 1},
+			{Kind: trace.KindCallStart, Node: nodeB, ThreadHost: 1, ThreadProc: 1, Path: []uint32{cn}, Module: 3},
+			{Kind: trace.KindReplySent, Node: nodeB, Peer: nodeA, CallNum: cn},
+		}
+		for j := range feed2 {
+			feed2[j].Seq = uint64(i*5 + j + 1)
+			en.Observe(feed2[j])
+		}
+	}
+	if len(*vs) != 0 {
+		t.Fatalf("clean bounded stream produced %v", *vs)
+	}
+	if got := en.States(); got > 4*256 {
+		t.Fatalf("States() = %d, want bounded near the budget", got)
+	}
+	// Violations among retained (recent) identities still fire.
+	last := trace.Event{Seq: convs*5 + 1, Kind: trace.KindCallStart, Node: nodeB,
+		ThreadHost: 1, ThreadProc: 1, Path: []uint32{convs}, Module: 3}
+	en.Observe(last)
+	if len(*vs) != 1 || (*vs)[0].Invariant != "at-most-once" {
+		t.Fatalf("recent duplicate not flagged: %v", *vs)
+	}
+}
+
+func TestGenMapRotationAndPromotion(t *testing.T) {
+	g := newGenMap[int, int](4)
+	for i := 0; i < 4; i++ {
+		g.put(i, i)
+	}
+	if !g.strict() {
+		t.Fatal("no drop yet, strict should hold")
+	}
+	g.put(4, 4) // rotates: {0..3} -> old, cur = {4}
+	if !g.strict() {
+		t.Fatal("first rotation discards nothing")
+	}
+	// Touch 0 so it promotes; fill cur to force a second rotation.
+	if v, ok := g.get(0); !ok || v != 0 {
+		t.Fatal("old-generation entry lost")
+	}
+	for i := 5; i < 9; i++ {
+		g.put(i, i)
+	}
+	// 1..3 were in the discarded generation.
+	if _, ok := g.get(1); ok {
+		t.Fatal("discarded entry still visible")
+	}
+	if v, ok := g.get(0); !ok || v != 0 {
+		t.Fatal("promoted entry aged out")
+	}
+	if g.strict() {
+		t.Fatal("strict must drop after a discarding rotation")
+	}
+	if g.len() > 8 {
+		t.Fatalf("len %d exceeds two generations", g.len())
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Invariant: "deliver-once", Seq: 12, Msg: "dup"}
+	want := fmt.Sprintf("trace[%d] %s: %s", v.Seq, v.Invariant, v.Msg)
+	if v.String() != want {
+		t.Fatalf("String() = %q", v.String())
+	}
+}
