@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"circus/internal/bench"
+)
+
+// allocSmokeTolerance is how far allocs/op may drift above the
+// committed baseline before the smoke check fails. Allocation counts
+// are exact (no wall-clock noise), so 15% of headroom absorbs only
+// legitimate variation — map growth thresholds, pool warm-up — and a
+// real regression on the replicated-call hot path fails loudly.
+const allocSmokeTolerance = 1.15
+
+// runAllocSmoke re-measures allocs/op for every NativeReplicatedCall
+// entry of a committed BENCH_<n>.json and returns an error naming each
+// degree whose allocation count regressed beyond the tolerance. The
+// zero-alloc receive path and the pooled call structures are the
+// hard-won part of the transport tier; this gate keeps them from
+// eroding one innocent allocation at a time.
+func runAllocSmoke(baselinePath string, seed int64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+
+	var failures []string
+	checked := 0
+	for _, base := range doc.Benchmarks {
+		var degree int
+		if _, err := fmt.Sscanf(base.Name, "NativeReplicatedCall/degree=%d", &degree); err != nil {
+			continue
+		}
+		got, err := measureAllocsPerCall(seed, degree)
+		if err != nil {
+			return fmt.Errorf("%s: %w", base.Name, err)
+		}
+		checked++
+		limit := int64(float64(base.AllocsPerOp) * allocSmokeTolerance)
+		status := "ok"
+		if got > limit {
+			status = "REGRESSED"
+			failures = append(failures,
+				fmt.Sprintf("%s: %d allocs/op vs baseline %d (limit %d)",
+					base.Name, got, base.AllocsPerOp, limit))
+		}
+		fmt.Printf("alloc-smoke %-32s baseline %4d  measured %4d  %s\n",
+			base.Name, base.AllocsPerOp, got, status)
+	}
+	if checked == 0 {
+		return fmt.Errorf("%s holds no NativeReplicatedCall entries to compare", baselinePath)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("allocs/op regressed beyond %.0f%% of baseline:\n  %s",
+			(allocSmokeTolerance-1)*100, strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// measureAllocsPerCall runs the BenchmarkNativeReplicatedCall workload
+// — serial replicated echo calls on a zero-delay netsim cluster — and
+// reports allocations per call.
+func measureAllocsPerCall(seed int64, degree int) (int64, error) {
+	c, err := bench.NewCluster(seed+int64(degree), degree, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	payload := []byte("0123456789abcdef")
+	if err := c.Call(payload); err != nil {
+		return 0, err
+	}
+	var callErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := c.Call(payload); err != nil {
+				callErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if callErr != nil {
+		return 0, callErr
+	}
+	return r.AllocsPerOp(), nil
+}

@@ -192,6 +192,42 @@ func writeBenchJSON(maxDegree int, seed int64) (string, error) {
 			record(fmt.Sprintf("ThroughputDurable/callers=%d/degree=3", callers), r))
 	}
 
+	// Kernel-transport shard scaling: closed-loop calls/s at 16 callers
+	// against a degree-3 echo troupe over real sharded loopback UDP —
+	// no netsim, so datagrams ride recvmmsg drain loops, pooled
+	// buffers, SPSC rings, and (when the kernel grants it) io_uring.
+	// The shard sweep (1/2/4/NumCPU) is the scaling table; "calls/s",
+	// "shards", and "io_uring" land in extra.
+	for _, shards := range bench.TransportShardCounts() {
+		c, uring, err := bench.NewUDPCluster(3, shards)
+		if err != nil {
+			return "", err
+		}
+		if err := c.Call(bench.ThroughputPayload); err != nil {
+			c.Close()
+			return "", err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			if err := c.ConcurrentCalls(16, b.N); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+		})
+		c.Close()
+		res := record(fmt.Sprintf("TransportUDP/shards=%d/callers=16/degree=3", shards), r)
+		if res.Extra == nil {
+			res.Extra = make(map[string]float64, 2)
+		}
+		res.Extra["shards"] = float64(shards)
+		if uring {
+			res.Extra["io_uring"] = 1
+		}
+		doc.Benchmarks = append(doc.Benchmarks, res)
+	}
+
 	path := fmt.Sprintf("BENCH_%d.json", maxDegree)
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -6,7 +6,7 @@
 //	go run ./cmd/experiments -run table4.1
 //
 // Experiment IDs: table4.1 table4.2 table4.3 figure4.8 multicast
-// eq5.1 figure5.1 figure6.3 ablation native throughput
+// eq5.1 figure5.1 figure6.3 ablation native throughput transport
 package main
 
 import (
@@ -34,8 +34,22 @@ func main() {
 	traceFile := flag.String("trace", "", "write a JSONL protocol trace of the native experiments to this file")
 	benchJSON := flag.Int("bench-json", 0, "measure hot-path benchmarks up to this replication degree, write BENCH_<n>.json, and exit")
 	packetSmoke := flag.String("packet-smoke", "", "re-measure throughput datagrams/op against this committed BENCH_<n>.json and exit nonzero on a >25% regression")
+	allocSmoke := flag.String("alloc-smoke", "", "re-measure replicated-call allocs/op against this committed BENCH_<n>.json and exit nonzero on a >15% regression")
 	mutexProf := flag.String("mutexprofile", "", "record runtime mutex contention during the run and write the profile to this file")
+	cpuProf := flag.String("cpuprofile", "", "record a CPU profile during the run and write it to this file")
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *mutexProf != "" {
 		// Sample every blocking mutex event: the experiments are short,
@@ -59,6 +73,14 @@ func main() {
 			log.Fatalf("packet-smoke: %v", err)
 		}
 		fmt.Println("packet-smoke: datagrams/op within bounds of the committed baseline")
+		return
+	}
+
+	if *allocSmoke != "" {
+		if err := runAllocSmoke(*allocSmoke, *seed); err != nil {
+			log.Fatalf("alloc-smoke: %v", err)
+		}
+		fmt.Println("alloc-smoke: allocs/op within bounds of the committed baseline")
 		return
 	}
 
@@ -115,6 +137,9 @@ func main() {
 		}},
 		{"throughput", func() (string, error) {
 			return bench.ThroughputTable(*seed, callIters/2)
+		}},
+		{"transport", func() (string, error) {
+			return bench.TransportScaling(16, 3, callIters*10)
 		}},
 	}
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"circus/internal/collate"
@@ -88,8 +89,14 @@ func (rt *Runtime) CallEach(ctx context.Context, dest Troupe, proc uint16, args 
 	if timeout > 0 {
 		callCtx, cancel = context.WithTimeout(ctx, timeout)
 	}
-	var wg sync.WaitGroup
-	if !rt.multicastEach(callCtx, dest, tc.ID(), path, proc, args, opts, items, &wg) {
+	if len(dest.Members) == 0 {
+		if cancel != nil {
+			cancel()
+		}
+		return items
+	}
+	f := newFanout(cancel, len(dest.Members))
+	if !rt.multicastEach(callCtx, dest, tc.ID(), path, proc, args, opts, items, f) {
 		// Unicast fan-out. The call message is identical for every
 		// member that shares a module number — the common case, since
 		// troupe members are replicas of one module — so marshal the
@@ -104,27 +111,23 @@ func (rt *Runtime) CallEach(ctx context.Context, dest Troupe, proc uint16, args 
 			Args:         args,
 		}
 		var shared []byte
-		if len(dest.Members) > 0 {
-			mod := dest.Members[0].Module
-			same := true
-			for _, m := range dest.Members[1:] {
-				if m.Module != mod {
-					same = false
-					break
-				}
+		mod := dest.Members[0].Module
+		same := true
+		for _, m := range dest.Members[1:] {
+			if m.Module != mod {
+				same = false
+				break
 			}
-			if same {
-				hdr.Module = mod
-				var err error
-				if shared, err = wire.Marshal(hdr); err != nil {
-					for i := range dest.Members {
-						items <- collate.Item{Member: i, Err: err}
-					}
-					if cancel != nil {
-						cancel()
-					}
-					return items
+		}
+		if same {
+			hdr.Module = mod
+			var err error
+			if shared, err = wire.Marshal(hdr); err != nil {
+				for i := range dest.Members {
+					items <- collate.Item{Member: i, Err: err}
+					f.done()
 				}
+				return items
 			}
 		}
 		for i, m := range dest.Members {
@@ -134,21 +137,56 @@ func (rt *Runtime) CallEach(ctx context.Context, dest Troupe, proc uint16, args 
 				var err error
 				if data, err = wire.Marshal(hdr); err != nil {
 					items <- collate.Item{Member: i, Err: err}
+					f.done()
 					continue
 				}
 			}
-			i, m, data := i, m, data
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				rt.callMember(callCtx, i, m, data, items)
-			}()
+			go rt.callMemberF(callCtx, f, i, m, data, items)
 		}
 	}
-	if cancel != nil {
-		go func() { wg.Wait(); cancel() }()
-	}
 	return items
+}
+
+// fanout tracks one replicated call's outstanding member legs: the
+// last leg to finish cancels the call context (releasing its timer)
+// and recycles the struct. It replaces a WaitGroup plus a dedicated
+// wait-then-cancel goroutine on the per-call hot path.
+type fanout struct {
+	remaining atomic.Int32
+	cancel    context.CancelFunc
+}
+
+var fanoutPool = sync.Pool{New: func() any { return new(fanout) }}
+
+func newFanout(cancel context.CancelFunc, n int) *fanout {
+	f := fanoutPool.Get().(*fanout)
+	f.cancel = cancel
+	f.remaining.Store(int32(n))
+	return f
+}
+
+// done marks one member leg finished.
+func (f *fanout) done() {
+	if f.remaining.Add(-1) == 0 {
+		if f.cancel != nil {
+			f.cancel()
+			f.cancel = nil
+		}
+		fanoutPool.Put(f)
+	}
+}
+
+// callMemberF is the goroutine body of one unicast member leg.
+func (rt *Runtime) callMemberF(ctx context.Context, f *fanout, idx int, m ModuleAddr, data []byte, items chan<- collate.Item) {
+	defer f.done()
+	rt.callMember(ctx, idx, m, data, items)
+}
+
+// awaitReplyF is the goroutine body of one multicast member leg.
+func (rt *Runtime) awaitReplyF(ctx context.Context, f *fanout, idx int, m ModuleAddr, callNum uint32,
+	t pairedmsg.Transfer, ch chan returnHeader, items chan<- collate.Item) {
+	defer f.done()
+	rt.awaitReply(ctx, idx, m, callNum, t, ch, items)
 }
 
 // multicastEach attempts the multicast implementation of the
@@ -159,7 +197,7 @@ func (rt *Runtime) CallEach(ctx context.Context, dest Troupe, proc uint16, args 
 // messages instead of m·n. It reports whether it took responsibility
 // for the call.
 func (rt *Runtime) multicastEach(ctx context.Context, dest Troupe, tid thread.ID, path []uint32,
-	proc uint16, args []byte, opts CallOptions, items chan<- collate.Item, wg *sync.WaitGroup) bool {
+	proc uint16, args []byte, opts CallOptions, items chan<- collate.Item, f *fanout) bool {
 
 	if !rt.opts.Multicast || len(dest.Members) < 2 {
 		return false
@@ -201,7 +239,7 @@ func (rt *Runtime) multicastEach(ctx context.Context, dest Troupe, tid thread.ID
 	chans := make([]chan returnHeader, len(dest.Members))
 	rt.pendMu.Lock()
 	for i, m := range dest.Members {
-		ch := make(chan returnHeader, 1)
+		ch := retChanPool.Get().(chan returnHeader)
 		chans[i] = ch
 		rt.pending[retKey{peer: m.Addr, callNum: callNum}] = ch
 	}
@@ -209,14 +247,35 @@ func (rt *Runtime) multicastEach(ctx context.Context, dest Troupe, tid thread.ID
 	rt.conn.TransmitMulticast(group, transfers)
 
 	for i, m := range dest.Members {
-		i, m := i, m
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rt.awaitReply(ctx, i, m, callNum, transfers[i], chans[i], items)
-		}()
+		go rt.awaitReplyF(ctx, f, i, m, callNum, transfers[i], chans[i], items)
 	}
 	return true
+}
+
+// retChanPool recycles the single-slot reply channels that route
+// return messages to their awaiting member leg. A channel may be
+// recycled only when no sender can still hold it: either the awaiter
+// received the reply (handleReturn removes the pending entry before
+// sending, so receipt proves the entry is gone), or releasePending
+// itself removed the entry before any sender saw it.
+var retChanPool = sync.Pool{New: func() any { return make(chan returnHeader, 1) }}
+
+// releasePending retires a reply route that will not be awaited
+// further, recycling its channel once no in-flight sender can touch
+// it. If handleReturn already claimed the entry its send is
+// unconditional and imminent — drain it, then recycle.
+func (rt *Runtime) releasePending(k retKey, ch chan returnHeader) {
+	rt.pendMu.Lock()
+	cur, ok := rt.pending[k]
+	if ok && cur == ch {
+		delete(rt.pending, k)
+		rt.pendMu.Unlock()
+		retChanPool.Put(ch)
+		return
+	}
+	rt.pendMu.Unlock()
+	<-ch
+	retChanPool.Put(ch)
 }
 
 // traceReply records one member's contribution to a replicated call
@@ -238,35 +297,28 @@ func (rt *Runtime) traceReply(m ModuleAddr, it collate.Item) {
 func (rt *Runtime) awaitReply(ctx context.Context, idx int, m ModuleAddr, callNum uint32,
 	t pairedmsg.Transfer, ch chan returnHeader, items chan<- collate.Item) {
 
-	push := func(it collate.Item) {
-		rt.traceReply(m, it)
-		items <- it
-	}
-	unregister := func() {
-		rt.pendMu.Lock()
-		delete(rt.pending, retKey{peer: m.Addr, callNum: callNum})
-		rt.pendMu.Unlock()
-	}
+	k := retKey{peer: m.Addr, callNum: callNum}
 
 	// Phase 1: until the call message is acknowledged (the return may
 	// arrive first — it implicitly acknowledges the call, §4.2.2).
 	select {
 	case ret := <-ch:
-		push(decodeReturn(idx, m, ret))
+		retChanPool.Put(ch) // receipt proves no sender holds ch
+		rt.pushItem(m, items, decodeReturn(idx, m, ret))
 		return
 	case <-t.Done():
 		if err := t.Err(); err != nil {
-			unregister()
-			push(collate.Item{Member: idx, Err: memberErr(err)})
+			rt.releasePending(k, ch)
+			rt.pushItem(m, items, collate.Item{Member: idx, Err: memberErr(err)})
 			return
 		}
 	case <-ctx.Done():
-		unregister()
-		push(collate.Item{Member: idx, Err: ctx.Err()})
+		rt.releasePending(k, ch)
+		rt.pushItem(m, items, collate.Item{Member: idx, Err: ctx.Err()})
 		return
 	case <-rt.done:
-		unregister()
-		push(collate.Item{Member: idx, Err: ErrClosed})
+		rt.releasePending(k, ch)
+		rt.pushItem(m, items, collate.Item{Member: idx, Err: ErrClosed})
 		return
 	}
 
@@ -275,17 +327,25 @@ func (rt *Runtime) awaitReply(ctx context.Context, idx int, m ModuleAddr, callNu
 	defer w.Stop()
 	select {
 	case ret := <-ch:
-		push(decodeReturn(idx, m, ret))
+		retChanPool.Put(ch)
+		rt.pushItem(m, items, decodeReturn(idx, m, ret))
 	case <-w.Down():
-		unregister()
-		push(collate.Item{Member: idx, Err: ErrMemberDown})
+		rt.releasePending(k, ch)
+		rt.pushItem(m, items, collate.Item{Member: idx, Err: ErrMemberDown})
 	case <-ctx.Done():
-		unregister()
-		push(collate.Item{Member: idx, Err: ctx.Err()})
+		rt.releasePending(k, ch)
+		rt.pushItem(m, items, collate.Item{Member: idx, Err: ctx.Err()})
 	case <-rt.done:
-		unregister()
-		push(collate.Item{Member: idx, Err: ErrClosed})
+		rt.releasePending(k, ch)
+		rt.pushItem(m, items, collate.Item{Member: idx, Err: ErrClosed})
 	}
+}
+
+// pushItem records one member's contribution and hands it to the
+// collator's channel — the body of the former per-leg push closures.
+func (rt *Runtime) pushItem(m ModuleAddr, items chan<- collate.Item, it collate.Item) {
+	rt.traceReply(m, it)
+	items <- it
 }
 
 // Call performs a replicated procedure call and collates the results.
@@ -306,7 +366,8 @@ func (rt *Runtime) Call(ctx context.Context, dest Troupe, proc uint16, args []by
 	started := time.Now()
 	items := rt.CallEach(ctx, dest, proc, args, opts)
 
-	var got []collate.Item
+	var gotArr [8]collate.Item // typical troupe degrees, no heap growth
+	got := gotArr[:0]
 	for i := 0; i < n; i++ {
 		it, ok := <-items
 		if !ok {
@@ -383,10 +444,6 @@ func summarizeFailure(items []collate.Item) error {
 // encoded by CallEach — once for the whole fan-out when the members
 // share a module number.
 func (rt *Runtime) callMember(ctx context.Context, idx int, m ModuleAddr, data []byte, items chan<- collate.Item) {
-	push := func(it collate.Item) {
-		rt.traceReply(m, it)
-		items <- it
-	}
 	// Two-phase send: BeginCall allocates the member's call number and
 	// registers the transfer atomically (so concurrent callers' trace
 	// events stay in call-number order), the pending entry is installed
@@ -395,25 +452,20 @@ func (rt *Runtime) callMember(ctx context.Context, idx int, m ModuleAddr, data [
 	// runtime surfaces as ErrClosed from BeginCall.
 	t, err := rt.conn.BeginCall(m.Addr, data)
 	if err != nil {
-		push(collate.Item{Member: idx, Err: memberErr(err)})
+		rt.pushItem(m, items, collate.Item{Member: idx, Err: memberErr(err)})
 		return
 	}
 	callNum := t.CallNum()
-	ch := make(chan returnHeader, 1)
+	k := retKey{peer: m.Addr, callNum: callNum}
+	ch := retChanPool.Get().(chan returnHeader)
 	rt.pendMu.Lock()
-	rt.pending[retKey{peer: m.Addr, callNum: callNum}] = ch
+	rt.pending[k] = ch
 	rt.pendMu.Unlock()
-
-	unregister := func() {
-		rt.pendMu.Lock()
-		delete(rt.pending, retKey{peer: m.Addr, callNum: callNum})
-		rt.pendMu.Unlock()
-	}
 
 	rt.conn.Transmit(t)
 	if err := rt.conn.Await(ctx, t); err != nil {
-		unregister()
-		push(collate.Item{Member: idx, Err: memberErr(err)})
+		rt.releasePending(k, ch)
+		rt.pushItem(m, items, collate.Item{Member: idx, Err: memberErr(err)})
 		return
 	}
 
@@ -424,16 +476,17 @@ func (rt *Runtime) callMember(ctx context.Context, idx int, m ModuleAddr, data [
 
 	select {
 	case ret := <-ch:
-		push(decodeReturn(idx, m, ret))
+		retChanPool.Put(ch) // receipt proves no sender holds ch
+		rt.pushItem(m, items, decodeReturn(idx, m, ret))
 	case <-w.Down():
-		unregister()
-		push(collate.Item{Member: idx, Err: ErrMemberDown})
+		rt.releasePending(k, ch)
+		rt.pushItem(m, items, collate.Item{Member: idx, Err: ErrMemberDown})
 	case <-ctx.Done():
-		unregister()
-		push(collate.Item{Member: idx, Err: ctx.Err()})
+		rt.releasePending(k, ch)
+		rt.pushItem(m, items, collate.Item{Member: idx, Err: ctx.Err()})
 	case <-rt.done:
-		unregister()
-		push(collate.Item{Member: idx, Err: ErrClosed})
+		rt.releasePending(k, ch)
+		rt.pushItem(m, items, collate.Item{Member: idx, Err: ErrClosed})
 	}
 }
 

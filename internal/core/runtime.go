@@ -158,6 +158,12 @@ type Runtime struct {
 	// mode.
 	workers []chan pairedmsg.Message
 
+	// execIdlers is the stack of parked execute workers; popping one
+	// under execMu transfers ownership of its one-slot channel to the
+	// caller (see maybeStart / executeBGWorker).
+	execMu     sync.Mutex
+	execIdlers []*execWorker
+
 	nextThread uint32
 	done       chan struct{}
 	ctx        context.Context
@@ -363,8 +369,9 @@ func (rt *Runtime) recvLoop() {
 	defer rt.bg.Done()
 	if rt.workers == nil {
 		// Serial ablation mode: every message handled inline.
+		var scr msgScratch
 		for msg := range rt.conn.Incoming() {
-			rt.handleMsg(msg)
+			rt.handleMsg(msg, &scr)
 		}
 		return
 	}
@@ -387,24 +394,42 @@ func (rt *Runtime) recvLoop() {
 // the receive loop would, for the subset of senders hashed to it.
 func (rt *Runtime) dispatchLoop(ch <-chan pairedmsg.Message) {
 	defer rt.bg.Done()
+	var scr msgScratch
 	for msg := range ch {
-		rt.handleMsg(msg)
+		rt.handleMsg(msg, &scr)
 	}
 }
 
-func (rt *Runtime) handleMsg(msg pairedmsg.Message) {
+// msgScratch is one dispatch worker's long-lived decode target. The
+// wire codec reuses a target's backing store when capacity allows, so
+// decoding into a per-worker scratch keeps header structs and the call
+// path slice off the heap entirely. Fields that escape the handler
+// (argument and payload bytes, a first caller's stored path) are nilled
+// before decode or copied at the store, never shared with the scratch.
+type msgScratch struct {
+	call callHeader
+	ret  returnHeader
+}
+
+func (rt *Runtime) handleMsg(msg pairedmsg.Message, scr *msgScratch) {
 	switch msg.Type {
 	case pairedmsg.Call:
-		rt.handleCall(msg)
+		rt.handleCall(msg, &scr.call)
 	case pairedmsg.Return:
-		rt.handleReturn(msg)
+		rt.handleReturn(msg, &scr.ret)
 	}
+	// The wire codec copies every decoded field, so nothing above
+	// retains msg.Data: recycle its pooled backing (no-op when the
+	// transport delivered a fresh buffer).
+	msg.Release()
 }
 
 // handleReturn routes a return message to the client call awaiting it.
-func (rt *Runtime) handleReturn(msg pairedmsg.Message) {
-	var hdr returnHeader
-	if err := wire.Unmarshal(msg.Data, &hdr); err != nil {
+func (rt *Runtime) handleReturn(msg pairedmsg.Message, hdr *returnHeader) {
+	// The payload escapes to the awaiting caller: it must be decoded
+	// into fresh storage, never the scratch's previous backing.
+	hdr.Payload = nil
+	if err := wire.Unmarshal(msg.Data, hdr); err != nil {
 		return // garbled application payload: drop
 	}
 	k := retKey{peer: msg.From, callNum: msg.CallNum}
@@ -413,7 +438,7 @@ func (rt *Runtime) handleReturn(msg pairedmsg.Message) {
 	delete(rt.pending, k)
 	rt.pendMu.Unlock()
 	if ch != nil {
-		ch <- hdr
+		ch <- *hdr
 	}
 }
 

@@ -39,6 +39,11 @@ type serverCall struct {
 	finishedAt  time.Time
 	result      []byte // encoded returnHeader, buffered for late callers
 	status      uint16 // status word of result, for tracing late replies
+	// call is the ServerCall handed to the module's Dispatch, embedded
+	// here so execute need not heap-allocate one per call. The record
+	// outlives the dispatch (retained for CallRetention), so a module
+	// that stashes the pointer stays safe.
+	call ServerCall
 }
 
 // markStartedLocked flips started and releases the availability
@@ -51,30 +56,32 @@ func (sc *serverCall) markStartedLocked() {
 	}
 }
 
-// callKey renders the collation key — thread identity (§4.3.2), call
-// path, and module number — in a single allocation. Two troupe members
+// appendCallKey renders the collation key — thread identity (§4.3.2),
+// call path, and module number — onto buf. Two troupe members
 // co-located in one process have distinct module numbers, and a
 // replicated call addressing both must collate separately per member.
-func callKey(tid thread.ID, path []uint32, module uint16) string {
-	var arr [64]byte
-	buf := arr[:0]
-	if n := 10 + 4*len(path); n > len(arr) {
-		buf = make([]byte, 0, n)
-	}
+// Returning bytes (rather than a string) lets handleCall look the key
+// up via the map's string-conversion fast path without materializing a
+// string; only an insert pays the allocation.
+func appendCallKey(buf []byte, tid thread.ID, path []uint32, module uint16) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, tid.Host)
 	buf = binary.BigEndian.AppendUint32(buf, tid.Proc)
 	for _, p := range path {
 		buf = binary.BigEndian.AppendUint32(buf, p)
 	}
-	buf = binary.BigEndian.AppendUint16(buf, module)
-	return string(buf)
+	return binary.BigEndian.AppendUint16(buf, module)
 }
 
 // handleCall processes one incoming call message: the entry point of
-// the many-to-one algorithm (Figure 4.4).
-func (rt *Runtime) handleCall(msg pairedmsg.Message) {
-	var hdr callHeader
-	if err := wire.Unmarshal(msg.Data, &hdr); err != nil {
+// the many-to-one algorithm (Figure 4.4). hdr is the worker's decode
+// scratch (see msgScratch); everything stored past this call is copied
+// out of it.
+func (rt *Runtime) handleCall(msg pairedmsg.Message, hdr *callHeader) {
+	// The arguments escape into the call record, so they must land in
+	// fresh storage; the path is only read (and copied if stored), so
+	// its scratch backing is reused across messages.
+	hdr.Args = nil
+	if err := wire.Unmarshal(msg.Data, hdr); err != nil {
 		rt.sendReturn(msg.From, msg.CallNum, returnHeader{Status: statusBadMessage})
 		return
 	}
@@ -101,15 +108,18 @@ func (rt *Runtime) handleCall(msg pairedmsg.Message) {
 		return
 	}
 
-	key := callKey(tid, hdr.Path, hdr.Module)
+	var keyArr [64]byte
+	key := appendCallKey(keyArr[:0], tid, hdr.Path, hdr.Module)
 	rt.callMu.Lock()
-	sc, ok := rt.calls[key]
+	sc, ok := rt.calls[string(key)] // no-alloc lookup (string-conversion fast path)
 	if !ok {
-		sc = &serverCall{hdr: hdr, tid: tid, exp: exp}
+		sc = &serverCall{hdr: *hdr, tid: tid, exp: exp}
+		// The stored header must not alias the decode scratch.
+		sc.hdr.Path = append([]uint32(nil), hdr.Path...)
 		sc.callers = sc.callersArr[:0]
 		sc.callNums = sc.callNumsArr[:0]
 		sc.args = sc.argsArr[:0]
-		rt.calls[key] = sc
+		rt.calls[string(key)] = sc
 	}
 	rt.callMu.Unlock()
 
@@ -121,10 +131,11 @@ func (rt *Runtime) handleCall(msg pairedmsg.Message) {
 		result, status := sc.result, sc.status
 		sc.mu.Unlock()
 		if rt.tr.EnabledFor(trace.KindDupCall) {
+			// Sinks may retain events: never hand them the scratch path.
 			rt.tr.Emit(trace.Event{Kind: trace.KindDupCall,
 				Peer: msg.From, CallNum: msg.CallNum,
 				ThreadHost: hdr.ThreadHost, ThreadProc: hdr.ThreadProc,
-				Path: hdr.Path, Troupe: hdr.DestTroupe,
+				Path: append([]uint32(nil), hdr.Path...), Troupe: hdr.DestTroupe,
 				Module: hdr.Module, Proc: hdr.Proc})
 		}
 		rt.sendReturnEncoded(msg.From, msg.CallNum, status, result)
@@ -152,15 +163,22 @@ func (rt *Runtime) handleCall(msg pairedmsg.Message) {
 	}
 	sc.mu.Unlock()
 
+	// Try to start before spending a timer on the call: the common case
+	// — an unreplicated client, or the last expected member arriving —
+	// starts right here, and a started call needs no availability
+	// timeout at all.
+	if rt.maybeStart(sc) {
+		return
+	}
 	if first {
 		rt.armTimeout(sc)
 		if hdr.ClientTroupe != 0 {
 			// Resolve the client troupe membership (consulting a local
 			// cache or the binding agent, §4.3.2) off the receive loop.
-			rt.background(func() { rt.resolveExpected(sc, TroupeID(hdr.ClientTroupe)) })
+			ct := TroupeID(hdr.ClientTroupe) // hoisted: the closure must not read the scratch
+			rt.background(func() { rt.resolveExpected(sc, ct) })
 		}
 	}
-	rt.maybeStart(sc)
 }
 
 // resolveExpected learns how many call messages to expect as part of
@@ -246,8 +264,10 @@ func (rt *Runtime) timeoutFire(sc *serverCall) {
 }
 
 // maybeStart begins execution once the waiting discipline of the
-// module's ArgPolicy is satisfied (§4.3.4, §4.3.5).
-func (rt *Runtime) maybeStart(sc *serverCall) {
+// module's ArgPolicy is satisfied (§4.3.4, §4.3.5). It reports whether
+// the call has started (now or earlier), so handleCall can skip arming
+// an availability timeout the call no longer needs.
+func (rt *Runtime) maybeStart(sc *serverCall) bool {
 	sc.mu.Lock()
 	var need int
 	switch sc.exp.opts.Policy {
@@ -256,13 +276,13 @@ func (rt *Runtime) maybeStart(sc *serverCall) {
 	case ArgMajority:
 		if sc.expected == 0 {
 			sc.mu.Unlock()
-			return // not resolved yet
+			return false // not resolved yet
 		}
 		need = sc.expected/2 + 1
 	default: // ArgWaitAll
 		if sc.expected == 0 {
 			sc.mu.Unlock()
-			return // not resolved yet
+			return false // not resolved yet
 		}
 		need = sc.expected
 	}
@@ -270,19 +290,115 @@ func (rt *Runtime) maybeStart(sc *serverCall) {
 	if start {
 		sc.markStartedLocked()
 	}
+	started := sc.started
 	sc.mu.Unlock()
 	if start {
 		rt.bg.Add(1)
-		go rt.executeBG(sc)
+		// Hand the call to a parked execute worker when one is free —
+		// reusing its goroutine — and spawn a fresh one otherwise, so
+		// blocking module code can never starve unrelated calls. A
+		// popped worker is exclusively ours and its channel has one
+		// slot, so the send never blocks.
+		if w := rt.popIdleExecWorker(); w != nil {
+			w.ch <- sc
+			return true
+		}
+		go rt.executeBGWorker(sc)
 	}
+	return started
 }
 
-// executeBG is the tracked-goroutine wrapper of execute, spawned
-// directly rather than through background() to spare the closure
-// allocations on the per-call path.
-func (rt *Runtime) executeBG(sc *serverCall) {
-	defer rt.bg.Done()
-	rt.execute(sc)
+// execIdleTTL is how long a finished execute worker stays parked for
+// another call before retiring.
+const execIdleTTL = 100 * time.Millisecond
+
+// execWorker is one parked execute goroutine. Its one-slot channel
+// makes the hand-off non-blocking for whoever pops it off the idle
+// stack.
+type execWorker struct {
+	ch chan *serverCall
+}
+
+// popIdleExecWorker claims a parked execute worker, or nil. Removal
+// from the stack is the ownership transfer: only the claimant may
+// send on the worker's channel, and a worker absent from the stack
+// knows a hand-off is in flight.
+func (rt *Runtime) popIdleExecWorker() *execWorker {
+	rt.execMu.Lock()
+	defer rt.execMu.Unlock()
+	n := len(rt.execIdlers)
+	if n == 0 {
+		return nil
+	}
+	w := rt.execIdlers[n-1]
+	rt.execIdlers[n-1] = nil
+	rt.execIdlers = rt.execIdlers[:n-1]
+	return w
+}
+
+// removeIdleExecWorker takes w off the idle stack, reporting false if
+// a producer already popped it (a call is about to land on w.ch).
+func (rt *Runtime) removeIdleExecWorker(w *execWorker) bool {
+	rt.execMu.Lock()
+	defer rt.execMu.Unlock()
+	for i, o := range rt.execIdlers {
+		if o == w {
+			n := len(rt.execIdlers)
+			rt.execIdlers[i] = rt.execIdlers[n-1]
+			rt.execIdlers[n-1] = nil
+			rt.execIdlers = rt.execIdlers[:n-1]
+			return true
+		}
+	}
+	return false
+}
+
+// executeBGWorker executes sc, then parks briefly as a reusable
+// execute worker. Each executed call carries its own bg token (added
+// by maybeStart, released here), so a parked worker never delays
+// Close; it exits on rt.done or after execIdleTTL without work. The
+// worker pushes itself onto the idle stack before parking — a mutex
+// op right after the reply send, so on the serial path it is visibly
+// idle long before the next call can arrive.
+func (rt *Runtime) executeBGWorker(sc *serverCall) {
+	w := &execWorker{ch: make(chan *serverCall, 1)}
+	var idle *time.Timer
+	for {
+		rt.execute(sc)
+		rt.execMu.Lock()
+		rt.execIdlers = append(rt.execIdlers, w)
+		rt.execMu.Unlock()
+		rt.bg.Done()
+		if idle == nil {
+			idle = time.NewTimer(execIdleTTL)
+		} else {
+			idle.Reset(execIdleTTL)
+		}
+		select {
+		case sc = <-w.ch:
+			if !idle.Stop() {
+				<-idle.C
+			}
+		case <-idle.C:
+			if rt.removeIdleExecWorker(w) {
+				return
+			}
+			// Popped concurrently: the hand-off is committed, so the
+			// call is (or is about to be) in the one-slot channel.
+			sc = <-w.ch
+		case <-rt.done:
+			if !idle.Stop() {
+				<-idle.C
+			}
+			if rt.removeIdleExecWorker(w) {
+				return
+			}
+			// A hand-off is in flight even though we are shutting
+			// down; execute it so its bg token is released, then the
+			// next pass of the select observes rt.done again.
+			sc = <-w.ch
+		}
+	}
 }
 
 // execute performs the requested procedure exactly once and sends a
@@ -302,7 +418,8 @@ func (rt *Runtime) execute(sc *serverCall) {
 	args := sc.args
 	sc.mu.Unlock()
 
-	call := &ServerCall{
+	call := &sc.call
+	*call = ServerCall{
 		rt:           rt,
 		ctx:          rt.ctx,
 		thread:       thread.Child(tid, hdr.Path),
@@ -376,7 +493,8 @@ func (rt *Runtime) finishAndReply(sc *serverCall, ret returnHeader) {
 	callers := sc.callers // append-only: the header snapshot suffices
 	// callNums entries are rewritten in place when a client member
 	// retransmits with a fresh call number, so these must be copied.
-	callNums := append([]uint32(nil), sc.callNums...)
+	var cnArr [4]uint32
+	callNums := append(cnArr[:0], sc.callNums...)
 	sc.mu.Unlock()
 
 	// One encode serves every client troupe member (and any late

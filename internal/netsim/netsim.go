@@ -333,6 +333,13 @@ func (e *Endpoint) Multicast(group []transport.Addr, data []byte) error {
 	return nil
 }
 
+// pktBufs backs simulated datagrams with pooled storage: a delivery
+// copies the payload into a pooled buffer instead of a fresh
+// allocation, and the receiver's Release returns it for the next
+// datagram (transport.Packet pooled contract). Receivers that never
+// release — closed endpoints, dropped queues — just feed the GC.
+var pktBufs transport.BufPool
+
 // transmitLocked decides the fate of one datagram. Caller holds n.mu.
 func (n *Network) transmitLocked(e *Endpoint, to transport.Addr, data []byte) {
 	n.stats.Datagrams++
@@ -379,7 +386,9 @@ func (n *Network) transmitLocked(e *Endpoint, to transport.Addr, data []byte) {
 			n.txBusy[e.addr.Host] = done
 			delay += done.Sub(now)
 		}
-		pkt := transport.Packet{From: e.addr, To: to, Data: append([]byte(nil), data...)}
+		b := pktBufs.Get()
+		nb := copy(b.Bytes(), data)
+		pkt := transport.Packet{From: e.addr, To: to, Data: b.Bytes()[:nb], Buf: b}
 		if delay <= 0 {
 			n.deliverLocked(pkt)
 		} else {
@@ -393,25 +402,34 @@ func (n *Network) transmitLocked(e *Endpoint, to transport.Addr, data []byte) {
 }
 
 // deliverLocked hands a datagram to its destination endpoint if the
-// destination is up, reachable and has buffer space. Caller holds n.mu.
+// destination is up, reachable and has buffer space; a dropped
+// datagram's pooled buffer is released here, the one place every drop
+// path funnels through. Caller holds n.mu.
 func (n *Network) deliverLocked(pkt transport.Packet) {
 	if n.crashed[pkt.To.Host] || n.crashed[pkt.From.Host] {
-		n.stats.Dropped++
+		n.dropLocked(pkt)
 		return
 	}
 	if n.split && n.partition[pkt.From.Host] != n.partition[pkt.To.Host] {
-		n.stats.Dropped++
+		n.dropLocked(pkt)
 		return
 	}
 	dst, ok := n.endpoints[pkt.To]
 	if !ok || dst.closed {
-		n.stats.Dropped++
+		n.dropLocked(pkt)
 		return
 	}
 	select {
 	case dst.recv <- pkt:
 		n.stats.Delivered++
 	default:
-		n.stats.Dropped++
+		n.dropLocked(pkt)
+	}
+}
+
+func (n *Network) dropLocked(pkt transport.Packet) {
+	n.stats.Dropped++
+	if pkt.Buf != nil {
+		pkt.Buf.Release()
 	}
 }

@@ -195,12 +195,26 @@ var ErrClosed = errors.New("pairedmsg: connection closed")
 
 var errDupCallNum = errors.New("pairedmsg: duplicate call number in flight")
 
-// Message is one fully reassembled incoming message.
+// Message is one fully reassembled incoming message. Data may alias a
+// pooled transport buffer: a consumer that has copied out (or finished
+// with) the bytes should call Release to recycle the backing storage.
+// Skipping Release is always safe — the buffer just falls to the
+// garbage collector — but Data must not be used after Release.
 type Message struct {
 	From    transport.Addr
 	Type    MsgType
 	CallNum uint32
 	Data    []byte
+	buf     *transport.Buf
+}
+
+// Release returns the message's pooled backing (if any) for reuse.
+// Call it at most once, after the last use of Data.
+func (m *Message) Release() {
+	if m.buf != nil {
+		m.buf.Release()
+		m.buf = nil
+	}
 }
 
 // Stats counts protocol activity, used by the ablation benchmarks.
@@ -244,10 +258,16 @@ type sessKey struct {
 type session struct {
 	peer transport.Addr
 
-	mu        sync.Mutex
-	out       map[sessKey]*outTransfer
-	in        map[sessKey]*inTransfer
-	watches   map[sessKey]*Watch
+	mu      sync.Mutex
+	out     map[sessKey]*outTransfer
+	in      map[sessKey]*inTransfer
+	watches map[sessKey]*Watch
+	// completed records delivered inbound exchanges for replay
+	// suppression (§4.2.4) after their inTransfer has been recycled:
+	// the value holds everything a replayed duplicate needs answered —
+	// when the exchange finished (for expiry) and its segment count
+	// (for the cumulative ack).
+	completed map[sessKey]doneRec
 	nextCall  uint32
 	rtt       rttEstimator
 	nextSweep time.Time // next completed-record expiry scan
@@ -276,10 +296,11 @@ type session struct {
 // segment (seg != nil), possibly needing the please-ack bit stamped
 // onto the transmitted copy, or a header-only probe.
 type outFrame struct {
-	seg   []byte    // prepared data segment; nil for a probe frame
-	h     segHeader // probe header when seg == nil
-	pa    bool      // stamp please-ack onto the transmitted copy
-	probe bool      // trace as msg.probe at transmission
+	seg   []byte       // prepared data segment; nil for a probe frame
+	h     segHeader    // probe header when seg == nil
+	t     *outTransfer // seg's owner, for wire-reference accounting; nil for acks/probes
+	pa    bool         // stamp please-ack onto the transmitted copy
+	probe bool         // trace as msg.probe at transmission
 }
 
 // pendAck is one pending cumulative acknowledgment, merged by maximum
@@ -288,6 +309,14 @@ type outFrame struct {
 type pendAck struct {
 	ackNum int
 	total  int
+}
+
+// doneRec is the replay-suppression tombstone of a delivered inbound
+// exchange: everything a late duplicate segment needs answered after
+// the full inTransfer has been recycled.
+type doneRec struct {
+	at    time.Time
+	total uint8
 }
 
 type outTransfer struct {
@@ -303,6 +332,20 @@ type outTransfer struct {
 	err      error
 	pace     bool // session had other transfers in flight at registration
 
+	// Pooled single-segment wire buffer. The buffer can be recycled
+	// only when no retransmission can enqueue it again (ended: the
+	// transfer left its session's out table) AND no already-queued
+	// frame still references it (wireRefs: incremented per enqueued
+	// frame, decremented after the flusher hands it to the transport).
+	// Both conditions flip on different goroutines, so whichever
+	// observer sees the other's condition met claims the recycle via
+	// the recycled flag. A buffer never recycled (e.g. frames dropped
+	// by Close) is garbage-collected — safe, just unpooled.
+	backing  *[]byte
+	wireRefs atomic.Int32
+	ended    atomic.Bool
+	recycled atomic.Bool
+
 	// Adaptive-mode state (§4.2.4 tradeoff).
 	firstSent time.Time     // when the initial transmission left
 	deadline  time.Time     // no-progress crash deadline
@@ -311,13 +354,29 @@ type outTransfer struct {
 	lastRetx  time.Time     // clock reading of the last retransmit pass
 }
 
+// segBufs pools single-segment wire buffers: header plus payload of a
+// message that fits one datagram, the overwhelmingly common case on
+// the call hot path.
+var segBufs = sync.Pool{New: func() any {
+	b := make([]byte, 0, transport.MaxDatagram)
+	return &b
+}}
+
 // fill builds the transfer's segment vector for msg, using the
-// in-place single-segment fast path when it fits one datagram.
+// in-place single-segment fast path (with pooled backing) when it fits
+// one datagram. It leaves one wire reference held — the
+// pre-transmission hold, released by the initial-transmission enqueue
+// (or the error path) via wireDone — so an early completion racing the
+// initial Transmit can never recycle the backing out from under it.
 func (t *outTransfer) fill(typ MsgType, callNum uint32, msg []byte) error {
+	t.wireRefs.Store(1)
 	if len(msg) <= maxSegPayload {
-		backing := make([]byte, headerLen+len(msg))
+		bp := segBufs.Get().(*[]byte)
+		backing := (*bp)[:headerLen+len(msg)]
 		segHeader{typ: typ, totalSegs: 1, segNum: 1, callNum: callNum}.put(backing)
 		copy(backing[headerLen:], msg)
+		*bp = backing
+		t.backing = bp
 		t.segsArr[0] = backing
 		t.segs = t.segsArr[:1]
 		return nil
@@ -328,6 +387,31 @@ func (t *outTransfer) fill(typ MsgType, callNum uint32, msg []byte) error {
 	}
 	t.segs = segs
 	return nil
+}
+
+// endWire marks the transfer as gone from its session's out table —
+// no future retransmission pass can reference its segments — and
+// recycles the pooled backing if no queued frame still does. Safe to
+// call more than once.
+func (t *outTransfer) endWire() {
+	t.ended.Store(true)
+	if t.backing != nil && t.wireRefs.Load() == 0 {
+		t.recycleBacking()
+	}
+}
+
+// wireDone drops one queued-frame reference after the transport has
+// consumed the frame.
+func (t *outTransfer) wireDone() {
+	if t.wireRefs.Add(-1) == 0 && t.ended.Load() && t.backing != nil {
+		t.recycleBacking()
+	}
+}
+
+func (t *outTransfer) recycleBacking() {
+	if t.recycled.CompareAndSwap(false, true) {
+		segBufs.Put(t.backing)
+	}
 }
 
 // stampCallNum rewrites the call number in every prepared segment
@@ -378,7 +462,15 @@ type inTransfer struct {
 	have      int
 	ackNum    int // highest consecutive segment received
 	delivered bool
-	doneAt    time.Time
+
+	// bufs tracks the pooled transport buffer (if any) each stored
+	// segment payload aliases, parallel to segs; the reference is
+	// retained at store and released when the payload dies — at
+	// multi-segment assembly (the copy), or handed on inside the
+	// delivered Message for single-segment messages.
+	bufs    []*transport.Buf
+	bufArr  [4]*transport.Buf
+	justBuf *transport.Buf // single-segment: the buffer riding in assembled
 
 	// Backpressure state: a fully reassembled message that the
 	// incoming queue refused is parked in assembled and re-offered on
@@ -387,6 +479,43 @@ type inTransfer struct {
 	// redelivery attempt never emits a second delivery event.
 	assembled []byte
 	announced bool
+}
+
+// inPool recycles inTransfer structs: an exchange's record lives only
+// until delivery now (a doneRec tombstone takes over replay
+// suppression), so the struct is reusable per message instead of
+// retained for the CompletedTTL window.
+var inPool = sync.Pool{New: func() any { return new(inTransfer) }}
+
+// newInTransfer takes a pooled record and sizes its segment vectors
+// for a message of total segments (indexed 1..total).
+func newInTransfer(total int) *inTransfer {
+	in := inPool.Get().(*inTransfer)
+	in.total = total
+	if n := total + 1; n <= len(in.segArr) {
+		in.segs = in.segArr[:n]
+		in.bufs = in.bufArr[:n]
+	} else {
+		in.segs = make([][]byte, n)
+		in.bufs = make([]*transport.Buf, n)
+	}
+	return in
+}
+
+// recycleInTransfer scrubs and pools a delivered record. Caller has
+// already transferred or released every buffer reference; remaining
+// entries here are defensive (they only arise if a future edit leaks
+// one, in which case the release below keeps the pool honest).
+func recycleInTransfer(in *inTransfer) {
+	for i := range in.segs {
+		in.segs[i] = nil
+		if b := in.bufs[i]; b != nil {
+			b.Release()
+			in.bufs[i] = nil
+		}
+	}
+	*in = inTransfer{}
+	inPool.Put(in)
 }
 
 // ackable returns the acknowledgment number to advertise for this
@@ -412,6 +541,15 @@ type Watch struct {
 	down      chan struct{}
 	stopped   bool
 }
+
+// watchPool recycles Watch structs — every replicated call starts one
+// per member. The down channel is reused too: it is closed only when a
+// crash is detected, and a crash also stops the watch in the same
+// critical section, so a watch that reaches Stop un-stopped is
+// guaranteed to carry an unclosed (hence reusable) channel.
+var watchPool = sync.Pool{New: func() any {
+	return &Watch{down: make(chan struct{})}
+}}
 
 // rtoForLocked returns the retransmission interval for a fresh
 // transfer to the session's peer. Caller holds s.mu.
@@ -444,11 +582,25 @@ func (c *Conn) initTransferLocked(s *session, t *outTransfer, now time.Time) {
 // Down returns a channel closed when the peer is presumed crashed.
 func (w *Watch) Down() <-chan struct{} { return w.down }
 
-// Stop cancels the watch.
+// Stop cancels the watch. The watch must not be used after Stop.
 func (w *Watch) Stop() {
-	w.sess.mu.Lock()
-	defer w.sess.mu.Unlock()
-	w.stopLocked()
+	s := w.sess
+	s.mu.Lock()
+	live := !w.stopped
+	if live {
+		w.stopped = true
+		delete(s.watches, w.k)
+	}
+	s.mu.Unlock()
+	if live {
+		// Only a crash closes down, and it marks the watch stopped in
+		// the same critical section — so an un-stopped watch's channel
+		// was never closed and both struct and channel are reusable.
+		w.conn, w.sess = nil, nil
+		w.missed = 0
+		w.k = sessKey{}
+		watchPool.Put(w)
+	}
 }
 
 func (w *Watch) stopLocked() {
@@ -663,9 +815,18 @@ func New(ep transport.Endpoint, opts Options) *Conn {
 	}
 	c.incoming = make(chan Message, c.opts.IncomingBuffer)
 	c.tr = trace.NewLocal(c.opts.Trace, ep.Addr(), trace.NextIncarnation())
-	c.wg.Add(2)
-	go c.recvLoop()
-	go c.timerLoop()
+	if d, ok := ep.(transport.Dispatcher); ok {
+		// Ring hand-off: the endpoint invokes the protocol directly from
+		// its drain machinery, skipping the Recv channel and its
+		// per-datagram goroutine wake.
+		d.SetHandler(c.handlePacket)
+		c.wg.Add(1)
+		go c.timerLoop()
+	} else {
+		c.wg.Add(2)
+		go c.recvLoop()
+		go c.timerLoop()
+	}
 	return c
 }
 
@@ -676,12 +837,13 @@ func (c *Conn) session(peer transport.Addr) *session {
 		return v.(*session)
 	}
 	v, _ := c.peers.LoadOrStore(peer, &session{
-		peer:     peer,
-		out:      make(map[sessKey]*outTransfer),
-		in:       make(map[sessKey]*inTransfer),
-		watches:  make(map[sessKey]*Watch),
-		pend:     make(map[sessKey]pendAck),
-		nextCall: c.callBase,
+		peer:      peer,
+		out:       make(map[sessKey]*outTransfer),
+		in:        make(map[sessKey]*inTransfer),
+		watches:   make(map[sessKey]*Watch),
+		completed: make(map[sessKey]doneRec),
+		pend:      make(map[sessKey]pendAck),
+		nextCall:  c.callBase,
 	})
 	return v.(*session)
 }
@@ -751,6 +913,7 @@ func (c *Conn) Close() error {
 			t.err = ErrClosed
 			close(t.done)
 			delete(s.out, k)
+			t.endWire()
 		}
 		for _, w := range s.watches {
 			w.stopped = true
@@ -835,7 +998,11 @@ func (c *Conn) Await(ctx context.Context, t *outTransfer) error {
 	case <-ctx.Done():
 		s := c.session(t.peer)
 		s.mu.Lock()
-		delete(s.out, sessKey{typ: t.typ, callNum: t.callNum})
+		k := sessKey{typ: t.typ, callNum: t.callNum}
+		if cur, ok := s.out[k]; ok && cur == t {
+			delete(s.out, k)
+			t.endWire()
+		}
 		s.mu.Unlock()
 		return ctx.Err()
 	}
@@ -890,6 +1057,8 @@ func (c *Conn) BeginCall(to transport.Addr, msg []byte) (*outTransfer, error) {
 	s.mu.Lock()
 	if c.closed.Load() {
 		s.mu.Unlock()
+		t.endWire()
+		t.wireDone()
 		return nil, ErrClosed
 	}
 	s.nextCall++
@@ -912,6 +1081,7 @@ func (c *Conn) BeginCall(to transport.Addr, msg []byte) (*outTransfer, error) {
 		s.mu.Lock()
 		c.completeOutLocked(s, t, ErrClosed)
 		s.mu.Unlock()
+		t.wireDone() // Transmit will never run to release the hold
 		return nil, ErrClosed
 	}
 	c.stats.segmentsSent.Add(int64(len(t.segs)))
@@ -926,9 +1096,11 @@ func (c *Conn) Transmit(t *outTransfer) {
 	s := c.session(t.peer)
 	s.sendMu.Lock()
 	for _, seg := range t.segs {
-		s.sendQ = append(s.sendQ, outFrame{seg: seg})
+		t.wireRefs.Add(1)
+		s.sendQ = append(s.sendQ, outFrame{seg: seg, t: t})
 	}
 	c.flushOrSchedule(s, t.pace)
+	t.wireDone() // release the pre-transmission hold taken by fill
 }
 
 // BeginCallMulticast is the multicast analog of BeginCall: it
@@ -1049,6 +1221,8 @@ func (c *Conn) StartSend(to transport.Addr, typ MsgType, callNum uint32, msg []b
 	s := c.session(to)
 	inFlight, err := c.register(s, t)
 	if err != nil {
+		t.endWire()
+		t.wireDone()
 		return nil, err
 	}
 	c.stats.segmentsSent.Add(int64(len(t.segs)))
@@ -1062,9 +1236,11 @@ func (c *Conn) StartSend(to transport.Addr, typ MsgType, callNum uint32, msg []b
 	// same peer rides along.
 	s.sendMu.Lock()
 	for _, seg := range t.segs {
-		s.sendQ = append(s.sendQ, outFrame{seg: seg})
+		t.wireRefs.Add(1)
+		s.sendQ = append(s.sendQ, outFrame{seg: seg, t: t})
 	}
 	c.flushOrSchedule(s, inFlight >= paceInFlightMin)
+	t.wireDone() // release the pre-transmission hold taken by fill
 	return t, nil
 }
 
@@ -1080,13 +1256,13 @@ func (t *outTransfer) Err() error { return t.err }
 // (§4.2.3).
 func (c *Conn) WatchPeer(to transport.Addr, callNum uint32) *Watch {
 	s := c.session(to)
-	w := &Watch{
-		conn:      c,
-		sess:      s,
-		k:         sessKey{typ: Call, callNum: callNum},
-		down:      make(chan struct{}),
-		nextProbe: time.Now().Add(c.opts.ProbeInterval),
-	}
+	w := watchPool.Get().(*Watch)
+	w.conn = c
+	w.sess = s
+	w.k = sessKey{typ: Call, callNum: callNum}
+	w.missed = 0
+	w.stopped = false
+	w.nextProbe = time.Now().Add(c.opts.ProbeInterval)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if c.closed.Load() {
@@ -1100,24 +1276,37 @@ func (c *Conn) WatchPeer(to transport.Addr, callNum uint32) *Watch {
 func (c *Conn) recvLoop() {
 	defer c.wg.Done()
 	for pkt := range c.ep.Recv() {
-		if len(pkt.Data) > 0 && pkt.Data[0] == bundleMagic {
-			// A coalesced datagram: unpack and handle each segment in
-			// order, so an ack packed ahead of a data segment settles
-			// the older exchange before the new one is seen. Frames
-			// alias pkt.Data, which the receiver owns (transport.Packet).
-			from := pkt.From
-			decodeBundle(pkt.Data, func(frame []byte) {
-				c.handleSegment(from, frame)
-			})
-			continue
-		}
-		c.handleSegment(pkt.From, pkt.Data)
+		c.handlePacket(pkt)
+	}
+}
+
+// handlePacket processes one incoming datagram — the receive entry
+// point for both the Recv-channel loop and a Dispatcher endpoint's
+// drain goroutines — and releases the packet's pooled buffer (if any)
+// when done. Segments stored for reassembly retain their own reference
+// first, so the release here only ends the packet-wide hold.
+func (c *Conn) handlePacket(pkt transport.Packet) {
+	if len(pkt.Data) > 0 && pkt.Data[0] == bundleMagic {
+		// A coalesced datagram: unpack and handle each segment in
+		// order, so an ack packed ahead of a data segment settles
+		// the older exchange before the new one is seen. Frames
+		// alias pkt.Data, which the receiver owns (transport.Packet).
+		from, buf := pkt.From, pkt.Buf
+		decodeBundle(pkt.Data, func(frame []byte) {
+			c.handleSegment(from, frame, buf)
+		})
+	} else {
+		c.handleSegment(pkt.From, pkt.Data, pkt.Buf)
+	}
+	if pkt.Buf != nil {
+		pkt.Buf.Release()
 	}
 }
 
 // handleSegment dispatches one decoded segment — plain or unpacked
-// from a bundle — to the ack, probe, or data path.
-func (c *Conn) handleSegment(from transport.Addr, data []byte) {
+// from a bundle — to the ack, probe, or data path. buf is the pooled
+// transport buffer the segment aliases, nil for fresh-buffer delivery.
+func (c *Conn) handleSegment(from transport.Addr, data []byte, buf *transport.Buf) {
 	h, payload, err := decodeSegment(data)
 	if err != nil {
 		return // garbled: treated as lost (§2.2)
@@ -1128,7 +1317,7 @@ func (c *Conn) handleSegment(from transport.Addr, data []byte) {
 	case h.totalSegs == 0:
 		c.handleProbe(from, h)
 	default:
-		c.handleData(from, h, payload)
+		c.handleData(from, h, payload, buf)
 	}
 }
 
@@ -1162,15 +1351,25 @@ func (c *Conn) handleProbe(from transport.Addr, h segHeader) {
 		return
 	}
 	s := c.session(from)
+	k := sessKey{typ: h.typ, callNum: h.callNum}
 	s.mu.Lock()
-	in := s.in[sessKey{typ: h.typ, callNum: h.callNum}]
+	in := s.in[k]
 	ackNum, total := 0, int(h.totalSegs)
 	var dropped bool
 	if in != nil {
+		var deliveredNow bool
 		if !in.delivered && in.have == in.total {
-			_, dropped = c.deliverLocked(in, from, h.typ, h.callNum)
+			deliveredNow, dropped = c.deliverLocked(in, from, h.typ, h.callNum)
 		}
 		ackNum, total = in.ackable(), in.total
+		if deliveredNow {
+			delete(s.in, k)
+			s.completed[k] = doneRec{at: time.Now(), total: uint8(in.total)}
+			recycleInTransfer(in)
+		}
+	} else if rec, ok := s.completed[k]; ok {
+		// The exchange already finished; answer from the tombstone.
+		ackNum, total = int(rec.total), int(rec.total)
 	}
 	s.mu.Unlock()
 	if dropped {
@@ -1181,7 +1380,7 @@ func (c *Conn) handleProbe(from transport.Addr, h segHeader) {
 	c.queueAck(s, h.typ, h.callNum, ackNum, total, true)
 }
 
-func (c *Conn) handleData(from transport.Addr, h segHeader, payload []byte) {
+func (c *Conn) handleData(from transport.Addr, h segHeader, payload []byte, buf *transport.Buf) {
 	s := c.session(from)
 	k := sessKey{typ: h.typ, callNum: h.callNum}
 
@@ -1198,12 +1397,21 @@ func (c *Conn) handleData(from transport.Addr, h segHeader, payload []byte) {
 
 	in, ok := s.in[k]
 	if !ok {
-		in = &inTransfer{total: int(h.totalSegs)}
-		if n := in.total + 1; n <= len(in.segArr) {
-			in.segs = in.segArr[:n]
-		} else {
-			in.segs = make([][]byte, n)
+		if rec, done := s.completed[k]; done {
+			// Replayed segment of a finished exchange (§4.2.4): answer
+			// from the tombstone without resurrecting transfer state.
+			s.mu.Unlock()
+			c.stats.dupSegments.Add(1)
+			if c.tr.EnabledFor(trace.KindDupSegment) {
+				c.tr.Emit(trace.Event{Kind: trace.KindDupSegment, Peer: from,
+					MsgType: uint8(h.typ), CallNum: h.callNum, N: int(h.segNum)})
+			}
+			if h.pleaseAck {
+				c.queueAck(s, h.typ, h.callNum, int(rec.total), int(rec.total), true)
+			}
+			return
 		}
+		in = newInTransfer(int(h.totalSegs))
 		s.in[k] = in
 	}
 
@@ -1214,8 +1422,6 @@ func (c *Conn) handleData(from transport.Addr, h segHeader, payload []byte) {
 		dup          bool
 	)
 	switch {
-	case in.delivered:
-		dup = true // replayed segment of a finished exchange
 	case int(h.segNum) < 1 || int(h.segNum) > in.total:
 		s.mu.Unlock()
 		return // malformed
@@ -1228,11 +1434,17 @@ func (c *Conn) handleData(from transport.Addr, h segHeader, payload []byte) {
 			deliveredNow, dropped = c.deliverLocked(in, from, h.typ, h.callNum)
 		}
 	default:
-		// Each received packet arrives in a fresh buffer the receiver
-		// owns (see transport.Packet), so the payload is kept without
-		// copying. It is non-nil even when empty — the datagram had a
-		// header prefix — which matters because nil marks "missing".
+		// The payload is kept without copying: either it sits in a
+		// fresh buffer the receiver owns outright, or it aliases a
+		// pooled buffer whose reference is retained here and released
+		// when the stored bytes die. It is non-nil even when empty —
+		// the datagram had a header prefix — which matters because nil
+		// marks "missing".
 		in.segs[h.segNum] = payload
+		if buf != nil {
+			buf.Retain()
+			in.bufs[h.segNum] = buf
+		}
 		in.have++
 		for in.ackNum < in.total && in.segs[in.ackNum+1] != nil {
 			in.ackNum++
@@ -1249,6 +1461,13 @@ func (c *Conn) handleData(from transport.Addr, h segHeader, payload []byte) {
 		c.stats.dupSegments.Add(1)
 	}
 	ackNum, total := in.ackable(), in.total
+	if deliveredNow {
+		// Delivery retires the record: a doneRec tombstone takes over
+		// replay suppression and the struct goes back to the pool.
+		delete(s.in, k)
+		s.completed[k] = doneRec{at: time.Now(), total: uint8(in.total)}
+		recycleInTransfer(in)
+	}
 	s.mu.Unlock()
 
 	if dup && c.tr.EnabledFor(trace.KindDupSegment) {
@@ -1285,7 +1504,11 @@ func (c *Conn) handleData(from transport.Addr, h segHeader, payload []byte) {
 func (c *Conn) deliverLocked(in *inTransfer, from transport.Addr, typ MsgType, callNum uint32) (delivered, dropped bool) {
 	if !in.announced {
 		if in.total == 1 {
-			in.assembled = in.segs[1] // single segment: hand the payload up as-is
+			// Single segment: hand the payload up as-is, moving any
+			// pooled-buffer reference into the message itself.
+			in.assembled = in.segs[1]
+			in.justBuf = in.bufs[1]
+			in.bufs[1] = nil
 		} else {
 			size := 0
 			for i := 1; i <= in.total; i++ {
@@ -1299,6 +1522,10 @@ func (c *Conn) deliverLocked(in *inTransfer, from transport.Addr, typ MsgType, c
 		}
 		for i := 1; i <= in.total; i++ {
 			in.segs[i] = []byte{} // free the payload, keep "seen"
+			if b := in.bufs[i]; b != nil {
+				b.Release() // multi-segment: payload copied out above
+				in.bufs[i] = nil
+			}
 		}
 		in.announced = true
 		if c.tr.EnabledFor(trace.KindMsgDelivered) {
@@ -1306,12 +1533,13 @@ func (c *Conn) deliverLocked(in *inTransfer, from transport.Addr, typ MsgType, c
 				MsgType: uint8(typ), CallNum: callNum, N: in.total})
 		}
 	}
-	msg := Message{From: from, Type: typ, CallNum: callNum, Data: in.assembled}
+	msg := Message{From: from, Type: typ, CallNum: callNum,
+		Data: in.assembled, buf: in.justBuf}
 	select {
 	case c.incoming <- msg:
 		in.delivered = true
-		in.doneAt = time.Now()
 		in.assembled = nil
+		in.justBuf = nil // reference rides in the delivered Message now
 		c.stats.messagesDelivered.Add(1)
 		return true, false
 	default:
@@ -1497,6 +1725,16 @@ func (c *Conn) flushLoop(s *session) {
 		}
 		s.sendMu.Unlock()
 		c.transmitFrames(s.peer, acks, frames)
+		// The transport has consumed every frame: drop the wire
+		// references (freeing pooled backings whose transfers already
+		// ended) and clear the recycled slice's stale payload pointers.
+		for i := range frames {
+			t := frames[i].t
+			frames[i] = outFrame{}
+			if t != nil {
+				t.wireDone()
+			}
+		}
 	}
 }
 
@@ -1508,6 +1746,7 @@ func (c *Conn) completeOutLocked(s *session, t *outTransfer, err error) {
 		return
 	}
 	delete(s.out, k)
+	t.endWire()
 	if err == nil && c.opts.Adaptive && !t.retx && !t.firstSent.IsZero() {
 		// Karn's rule: only exchanges that were never retransmitted
 		// yield an unambiguous round-trip sample.
@@ -1621,7 +1860,8 @@ func (c *Conn) timerPassSession(s *session) {
 		}
 		nsegs := 0
 		for i := t.acked + 1; i <= last && i <= len(t.segs); i++ {
-			frames = append(frames, outFrame{seg: t.segs[i-1], pa: true})
+			t.wireRefs.Add(1)
+			frames = append(frames, outFrame{seg: t.segs[i-1], pa: true, t: t})
 			nsegs++
 		}
 		c.stats.retransmits.Add(int64(nsegs))
@@ -1666,9 +1906,9 @@ func (c *Conn) timerPassSession(s *session) {
 	// lock every retransmit tick would tax the call hot path instead.
 	if !now.Before(s.nextSweep) {
 		s.nextSweep = now.Add(c.opts.CompletedTTL / 8)
-		for k, in := range s.in {
-			if in.delivered && now.Sub(in.doneAt) > c.opts.CompletedTTL {
-				delete(s.in, k)
+		for k, rec := range s.completed {
+			if now.Sub(rec.at) > c.opts.CompletedTTL {
+				delete(s.completed, k)
 			}
 		}
 	}

@@ -25,9 +25,12 @@ type Metrics struct {
 	calls   atomic.Int64 // collated calls, = sum of latency buckets
 	callErr atomic.Int64 // collations that returned an error
 
-	mu      sync.Mutex
-	peers   map[transport.Addr]*PeerCounters
-	troupes map[uint64]*atomic.Int64
+	violations atomic.Int64 // monitor-detected invariant breaches
+
+	mu        sync.Mutex
+	peers     map[transport.Addr]*PeerCounters
+	troupes   map[uint64]*atomic.Int64
+	violRules map[string]*atomic.Int64
 }
 
 // PeerCounters aggregates wire-level traffic with one peer.
@@ -45,10 +48,30 @@ type PeerCounters struct {
 // NewMetrics returns an empty aggregator.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		peers:   make(map[transport.Addr]*PeerCounters),
-		troupes: make(map[uint64]*atomic.Int64),
+		peers:     make(map[transport.Addr]*PeerCounters),
+		troupes:   make(map[uint64]*atomic.Int64),
+		violRules: make(map[string]*atomic.Int64),
 	}
 }
+
+// ObserveViolation counts one runtime-monitor invariant breach against
+// the named invariant. The monitor calls this from its violation
+// callback (see monitor.Options.Metrics), so a metrics dashboard shows
+// protocol-correctness breaches beside the traffic they occurred in.
+func (m *Metrics) ObserveViolation(invariant string) {
+	m.violations.Add(1)
+	m.mu.Lock()
+	c := m.violRules[invariant]
+	if c == nil {
+		c = &atomic.Int64{}
+		m.violRules[invariant] = c
+	}
+	m.mu.Unlock()
+	c.Add(1)
+}
+
+// Violations returns the total monitor-breach count.
+func (m *Metrics) Violations() int64 { return m.violations.Load() }
 
 func (m *Metrics) peer(a transport.Addr) *PeerCounters {
 	m.mu.Lock()
@@ -131,6 +154,10 @@ type Snapshot struct {
 	// Calls and CallErrors count collation decisions and failures.
 	Calls      int64
 	CallErrors int64
+	// Violations counts runtime-monitor invariant breaches, total and
+	// per invariant (zero entries omitted).
+	Violations     int64
+	ViolationRules map[string]int64
 	// Latency is the call-latency histogram: Latency[i] counts calls
 	// in [LatencyBucketLow(i), LatencyBucketLow(i+1)).
 	Latency [latencyBuckets]int64
@@ -151,11 +178,13 @@ type PeerSnapshot struct {
 // Snapshot copies the current aggregates.
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
-		Kinds:      make(map[Kind]int64),
-		Peers:      make(map[transport.Addr]PeerSnapshot),
-		Troupes:    make(map[uint64]int64),
-		Calls:      m.calls.Load(),
-		CallErrors: m.callErr.Load(),
+		Kinds:          make(map[Kind]int64),
+		Peers:          make(map[transport.Addr]PeerSnapshot),
+		Troupes:        make(map[uint64]int64),
+		ViolationRules: make(map[string]int64),
+		Calls:          m.calls.Load(),
+		CallErrors:     m.callErr.Load(),
+		Violations:     m.violations.Load(),
 	}
 	for k := range m.kinds {
 		if v := m.kinds[k].Load(); v != 0 {
@@ -180,6 +209,11 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	for id, c := range m.troupes {
 		s.Troupes[id] = c.Load()
+	}
+	for inv, c := range m.violRules {
+		if v := c.Load(); v != 0 {
+			s.ViolationRules[inv] = v
+		}
 	}
 	m.mu.Unlock()
 	return s

@@ -58,6 +58,11 @@ type Options struct {
 	// from inside Emit, often under emitter locks, so it must be
 	// cheap, must not block, and must not call back into the runtime.
 	OnViolation func(rules.Violation)
+	// Metrics, if set, receives every breach as a per-invariant
+	// counter (trace.Metrics.ObserveViolation), so a node's metrics
+	// snapshot reports protocol-correctness violations alongside its
+	// traffic aggregates. Composes with OnViolation.
+	Metrics *trace.Metrics
 }
 
 // Stats is a point-in-time snapshot of monitor activity.
@@ -75,6 +80,7 @@ type Monitor struct {
 	rate    int
 	maxViol int
 	onViol  func(rules.Violation)
+	metrics *trace.Metrics
 
 	events  atomic.Uint64
 	sampled atomic.Uint64
@@ -98,7 +104,8 @@ func New(opts Options) *Monitor {
 	if maxViol <= 0 {
 		maxViol = DefaultMaxViolations
 	}
-	m := &Monitor{rate: opts.SampleRate, maxViol: maxViol, onViol: opts.OnViolation}
+	m := &Monitor{rate: opts.SampleRate, maxViol: maxViol,
+		onViol: opts.OnViolation, metrics: opts.Metrics}
 	m.eng = rules.New(rules.Options{MaxStates: maxStates}, m.record)
 	return m
 }
@@ -129,6 +136,9 @@ func (m *Monitor) record(v rules.Violation) {
 	m.viols.Add(1)
 	if len(m.kept) < m.maxViol {
 		m.kept = append(m.kept, v)
+	}
+	if m.metrics != nil {
+		m.metrics.ObserveViolation(v.Invariant)
 	}
 	if m.onViol != nil {
 		m.onViol(v)

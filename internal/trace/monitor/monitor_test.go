@@ -48,6 +48,28 @@ func TestMonitorDetectsLiveViolation(t *testing.T) {
 	}
 }
 
+func TestMonitorCountsIntoMetrics(t *testing.T) {
+	metrics := trace.NewMetrics()
+	m := New(Options{Metrics: metrics})
+	exchange(m, 1)
+	// A second execution of the same call path is the planted breach.
+	m.Emit(trace.Event{Kind: trace.KindCallStart, Node: nodeB,
+		ThreadHost: 1, ThreadProc: 1, Path: []uint32{1}, Module: 3})
+	if got := metrics.Violations(); got != 1 {
+		t.Fatalf("metrics.Violations() = %d, want 1", got)
+	}
+	snap := metrics.Snapshot()
+	if snap.Violations != 1 || snap.ViolationRules["at-most-once"] != 1 {
+		t.Fatalf("snapshot violations = %d, rules = %v",
+			snap.Violations, snap.ViolationRules)
+	}
+	// A clean exchange adds no counts.
+	exchange(m, 2)
+	if got := metrics.Violations(); got != 1 {
+		t.Fatalf("clean exchange moved the counter to %d", got)
+	}
+}
+
 func TestMonitorKindFilter(t *testing.T) {
 	m := New(Options{})
 	want := rules.Kinds()

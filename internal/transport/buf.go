@@ -1,0 +1,62 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Buf is a pooled, reference-counted datagram buffer, the memory unit
+// of the zero-alloc receive path. A transport that delivers packets
+// from a BufPool hands each receiver a Buf alongside the payload
+// slice; the receiver calls Release when the bytes are dead, which
+// returns the buffer to its pool for reuse, and Retain when it stores
+// an alias that outlives the current handler.
+//
+// Releasing is an optimization, never an obligation: a Buf whose
+// references are dropped on the floor is simply collected by the
+// garbage collector (the pool holds no link to outstanding buffers),
+// so forgetting a Release can never corrupt data — it only forfeits
+// reuse. The dangerous direction is over-releasing: a Release without
+// a matching reference hands the buffer back to the pool while bytes
+// are still aliased, so Retain/Release must pair exactly.
+type Buf struct {
+	refs atomic.Int32
+	pool *BufPool
+	data [MaxDatagram]byte
+}
+
+// Bytes returns the buffer's full storage; producers fill a prefix and
+// deliver Bytes()[:n] as the packet payload.
+func (b *Buf) Bytes() []byte { return b.data[:] }
+
+// Retain adds a reference: one more Release is required before the
+// buffer returns to its pool.
+func (b *Buf) Retain() { b.refs.Add(1) }
+
+// Release drops one reference, recycling the buffer when the last
+// holder lets go. Calling it with no outstanding reference is a bug.
+func (b *Buf) Release() {
+	if b.refs.Add(-1) == 0 {
+		b.pool.put(b)
+	}
+}
+
+// BufPool is a free list of datagram buffers. The zero value is ready
+// to use.
+type BufPool struct {
+	p sync.Pool
+}
+
+// Get returns a buffer with one reference held by the caller.
+func (p *BufPool) Get() *Buf {
+	if v := p.p.Get(); v != nil {
+		b := v.(*Buf)
+		b.refs.Store(1)
+		return b
+	}
+	b := &Buf{pool: p}
+	b.refs.Store(1)
+	return b
+}
+
+func (p *BufPool) put(b *Buf) { p.p.Put(b) }

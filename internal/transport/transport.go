@@ -36,14 +36,25 @@ func (a Addr) String() string {
 		byte(a.Host>>24), byte(a.Host>>16), byte(a.Host>>8), byte(a.Host), a.Port)
 }
 
-// Packet is one datagram as delivered to a receiver. Data is a fresh
-// buffer owned by the receiver: the transport never reuses it, and no
-// other delivery (including an injected duplicate) shares its backing
-// array, so the receiver may retain or alias it freely.
+// Packet is one datagram as delivered to a receiver.
+//
+// When Buf is nil, Data is a fresh buffer owned by the receiver: the
+// transport never reuses it, and no other delivery (including an
+// injected duplicate) shares its backing array, so the receiver may
+// retain or alias it freely.
+//
+// When Buf is non-nil, Data aliases Buf's pooled storage and the
+// receiver holds one reference: it must call Buf.Release once the
+// bytes are dead (and Buf.Retain for any alias that outlives its
+// handler), after which Data must not be touched. Dropping the packet
+// without releasing is safe — the buffer falls to the garbage
+// collector instead of the pool — so pooled delivery is a strict
+// optimization over the fresh-buffer contract, never a new hazard.
 type Packet struct {
 	From Addr
 	To   Addr
 	Data []byte
+	Buf  *Buf
 }
 
 // ErrClosed is returned by operations on a closed Endpoint.
@@ -85,6 +96,23 @@ type Multicaster interface {
 	// operation. Per-recipient delivery remains unreliable and
 	// independent (§2.2).
 	Multicast(group []Addr, data []byte) error
+}
+
+// Dispatcher is implemented by endpoints that can deliver incoming
+// datagrams by invoking a handler from their own drain machinery —
+// a ring-buffer hand-off — instead of queueing Packets on the Recv
+// channel. A consumer that installs a handler takes delivery that way
+// exclusively: nothing more arrives on Recv.
+//
+// The handler runs on the endpoint's receive goroutines, one packet
+// at a time per goroutine (a sharded endpoint may run it concurrently
+// from different shards, never concurrently for one shard, so one
+// sender's datagrams keep their arrival order when the network shards
+// by peer). It must not block indefinitely. After Close returns, the
+// handler is never invoked again. Packet ownership is unchanged: the
+// handler owns Data per the Packet contract.
+type Dispatcher interface {
+	SetHandler(fn func(Packet))
 }
 
 // Datagram is one (destination, payload) pair of a batched send.

@@ -3,6 +3,9 @@
 package udptrans
 
 import (
+	"net"
+	"syscall"
+
 	"circus/internal/transport"
 )
 
@@ -11,9 +14,9 @@ import (
 // coalescing in the paired message layer still reduces datagram count;
 // only the syscall amortization is lost.
 
-func (e *Endpoint) sendBatch(dgrams []transport.Datagram) error {
+func sendBatchOn(conn *net.UDPConn, _ syscall.RawConn, dgrams []transport.Datagram) error {
 	for _, d := range dgrams {
-		if _, err := e.conn.WriteToUDP(d.Data, toUDPAddr(d.To)); err != nil {
+		if _, err := conn.WriteToUDP(d.Data, toUDPAddr(d.To)); err != nil {
 			return err
 		}
 	}
@@ -28,6 +31,35 @@ func (e *Endpoint) readLoop() {
 			close(e.recv)
 			return
 		}
-		e.enqueue(toAddr(from), append([]byte(nil), buf[:n]...))
+		a, aerr := toAddr(from)
+		if aerr != nil {
+			continue // non-IPv4 source: the transport cannot name it
+		}
+		e.enqueue(a, append([]byte(nil), buf[:n]...))
+	}
+}
+
+// drainLoop is the portable shard drain: one datagram per read, still
+// into pooled buffers and through the SPSC ring so the upper layers
+// see the identical delivery contract.
+func (s *shard) drainLoop() {
+	to := s.parent.addr
+	for {
+		buf := s.pool.Get()
+		n, from, err := s.conn.ReadFromUDP(buf.Bytes())
+		if err != nil {
+			buf.Release()
+			s.ring.close()
+			return
+		}
+		a, aerr := toAddr(from)
+		if aerr != nil {
+			buf.Release()
+			continue
+		}
+		pkt := transport.Packet{From: a, To: to, Data: buf.Bytes()[:n], Buf: buf}
+		if !s.ring.push(pkt) {
+			buf.Release() // ring full: drop like a kernel buffer
+		}
 	}
 }

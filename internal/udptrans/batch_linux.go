@@ -3,6 +3,7 @@
 package udptrans
 
 import (
+	"net"
 	"syscall"
 	"unsafe"
 
@@ -27,7 +28,12 @@ type mmsghdr struct {
 }
 
 // putSockaddr fills sa with the AF_INET form of a; port and host are
-// stored big-endian as the kernel expects.
+// stored big-endian as the kernel expects. Every transport.Addr is
+// encodable — Host is a 32-bit IPv4 address by construction — except
+// the zero Addr, which Send/SendBatch reject with errBadAddr before
+// any sockaddr is built, so a datagram can never silently go to
+// 0.0.0.0. (IPv6 peers cannot reach this encoding at all: toAddr
+// refuses to shrink a 16-byte address into Host.)
 func putSockaddr(sa *syscall.RawSockaddrInet4, a transport.Addr) {
 	sa.Family = syscall.AF_INET
 	p := (*[2]byte)(unsafe.Pointer(&sa.Port))
@@ -39,9 +45,25 @@ func putSockaddr(sa *syscall.RawSockaddrInet4, a transport.Addr) {
 	sa.Addr[3] = byte(a.Host)
 }
 
-// sendBatch transmits the datagrams with as few sendmmsg calls as the
-// socket buffer allows, waiting for writability between partial sends.
-func (e *Endpoint) sendBatch(dgrams []transport.Datagram) error {
+// fromSockaddr is putSockaddr's inverse for received datagrams; ok is
+// false for a non-IPv4 source, which the caller skips (the transport
+// cannot name such a peer, so no protocol above could reply to it).
+func fromSockaddr(sa *syscall.RawSockaddrInet4) (transport.Addr, bool) {
+	if sa.Family != syscall.AF_INET {
+		return transport.Addr{}, false
+	}
+	return transport.Addr{
+		Host: uint32(sa.Addr[0])<<24 | uint32(sa.Addr[1])<<16 |
+			uint32(sa.Addr[2])<<8 | uint32(sa.Addr[3]),
+		Port: uint16(sa.Port>>8) | uint16(sa.Port)<<8,
+	}, true
+}
+
+// sendBatchOn transmits the datagrams on conn with as few sendmmsg
+// calls as the socket buffer allows, waiting for writability between
+// partial sends. Shared by the single-socket Endpoint and the sharded
+// endpoint's non-io_uring path.
+func sendBatchOn(conn *net.UDPConn, raw syscall.RawConn, dgrams []transport.Datagram) error {
 	sas := make([]syscall.RawSockaddrInet4, len(dgrams))
 	iovs := make([]syscall.Iovec, len(dgrams))
 	hdrs := make([]mmsghdr, len(dgrams))
@@ -60,7 +82,7 @@ func (e *Endpoint) sendBatch(dgrams []transport.Datagram) error {
 	}
 	sent := 0
 	var sysErr error
-	err := e.raw.Write(func(fd uintptr) bool {
+	err := raw.Write(func(fd uintptr) bool {
 		for sent < len(hdrs) {
 			n, _, errno := syscall.Syscall6(sysSENDMMSG, fd,
 				uintptr(unsafe.Pointer(&hdrs[sent])), uintptr(len(hdrs)-sent), 0, 0, 0)
@@ -81,9 +103,95 @@ func (e *Endpoint) sendBatch(dgrams []transport.Datagram) error {
 	return sysErr
 }
 
+// recvBatch is the per-socket receive state for one recvmmsg drain
+// loop: a window of pooled buffers the kernel scatters datagrams into.
+// Handed-off buffers are replaced from the pool slot by slot, so a
+// drained burst costs zero allocations once the pool is warm.
+type recvBatch struct {
+	pool *transport.BufPool
+	bufs [recvBatchSize]*transport.Buf
+	sas  [recvBatchSize]syscall.RawSockaddrInet4
+	iovs [recvBatchSize]syscall.Iovec
+	hdrs [recvBatchSize]mmsghdr
+}
+
+func (rb *recvBatch) init(pool *transport.BufPool) {
+	rb.pool = pool
+	for i := range rb.hdrs {
+		rb.bufs[i] = pool.Get()
+		rb.iovs[i].Base = &rb.bufs[i].Bytes()[0]
+		rb.iovs[i].SetLen(transport.MaxDatagram)
+		h := &rb.hdrs[i].hdr
+		h.Name = (*byte)(unsafe.Pointer(&rb.sas[i]))
+		h.Iov = &rb.iovs[i]
+		h.Iovlen = 1
+	}
+}
+
+// recv drains up to recvBatchSize datagrams in one recvmmsg call,
+// blocking in the runtime poller until the socket is readable. It
+// reports n received datagrams (slot i's source, payload, and buffer
+// are read via take) or an error once the socket is closed.
+func (rb *recvBatch) recv(raw syscall.RawConn) (int, error) {
+	got := 0
+	err := raw.Read(func(fd uintptr) bool {
+		// Namelen is value-result; reset before every call.
+		for i := range rb.hdrs {
+			rb.hdrs[i].hdr.Namelen = uint32(unsafe.Sizeof(rb.sas[i]))
+		}
+		n, _, errno := syscall.Syscall6(sysRECVMMSG, fd,
+			uintptr(unsafe.Pointer(&rb.hdrs[0])), recvBatchSize,
+			syscall.MSG_DONTWAIT, 0, 0)
+		if errno == syscall.EAGAIN {
+			return false // block in the poller until readable
+		}
+		if errno == 0 {
+			got = int(n)
+		}
+		// Any other errno: report zero packets; the outer loop exits
+		// via the closed-socket error from raw.Read or simply retries
+		// on a transient fault.
+		return true
+	})
+	return got, err
+}
+
+// take hands slot i's datagram to the caller as a pooled-buffer packet
+// (the caller inherits the buffer's reference) and re-arms the slot
+// with a fresh buffer. ok is false for an undeliverable (non-IPv4)
+// source; the slot keeps its buffer for the next drain.
+func (rb *recvBatch) take(i int, to transport.Addr) (pkt transport.Packet, ok bool) {
+	from, ok := fromSockaddr(&rb.sas[i])
+	if !ok {
+		return transport.Packet{}, false
+	}
+	n := int(rb.hdrs[i].n)
+	if n > transport.MaxDatagram {
+		n = transport.MaxDatagram
+	}
+	buf := rb.bufs[i]
+	rb.bufs[i] = rb.pool.Get()
+	rb.iovs[i].Base = &rb.bufs[i].Bytes()[0]
+	return transport.Packet{From: from, To: to, Data: buf.Bytes()[:n], Buf: buf}, true
+}
+
+// release returns the window's unconsumed buffers to the pool when the
+// drain loop exits.
+func (rb *recvBatch) release() {
+	for i, b := range rb.bufs {
+		if b != nil {
+			b.Release()
+			rb.bufs[i] = nil
+		}
+	}
+}
+
 // readLoop drains the socket with recvmmsg, copying each datagram into
 // a fresh exactly-sized buffer before handing it upward (the
-// transport.Packet contract: the receiver owns Data).
+// transport.Packet contract: the receiver owns Data). The single-
+// socket Endpoint keeps the copying path: its consumers read from the
+// Recv channel at unknown pace, so pooled buffers would mostly pin
+// the pool rather than save allocation.
 func (e *Endpoint) readLoop() {
 	var (
 		bufs [recvBatchSize][transport.MaxDatagram]byte
@@ -102,7 +210,6 @@ func (e *Endpoint) readLoop() {
 	for {
 		got := 0
 		err := e.raw.Read(func(fd uintptr) bool {
-			// Namelen is value-result; reset before every call.
 			for i := range hdrs {
 				hdrs[i].hdr.Namelen = uint32(unsafe.Sizeof(sas[i]))
 			}
@@ -110,14 +217,11 @@ func (e *Endpoint) readLoop() {
 				uintptr(unsafe.Pointer(&hdrs[0])), recvBatchSize,
 				syscall.MSG_DONTWAIT, 0, 0)
 			if errno == syscall.EAGAIN {
-				return false // block in the poller until readable
+				return false
 			}
 			if errno == 0 {
 				got = int(n)
 			}
-			// Any other errno: report zero packets; the outer loop
-			// exits via the closed-socket error from raw.Read or
-			// simply retries on a transient fault.
 			return true
 		})
 		if err != nil {
@@ -125,20 +229,42 @@ func (e *Endpoint) readLoop() {
 			return
 		}
 		for i := 0; i < got; i++ {
-			sa := &sas[i]
-			if sa.Family != syscall.AF_INET {
+			from, ok := fromSockaddr(&sas[i])
+			if !ok {
 				continue
-			}
-			from := transport.Addr{
-				Host: uint32(sa.Addr[0])<<24 | uint32(sa.Addr[1])<<16 |
-					uint32(sa.Addr[2])<<8 | uint32(sa.Addr[3]),
-				Port: uint16(sa.Port>>8) | uint16(sa.Port)<<8,
 			}
 			n := int(hdrs[i].n)
 			if n > transport.MaxDatagram {
 				n = transport.MaxDatagram
 			}
 			e.enqueue(from, append([]byte(nil), bufs[i][:n]...))
+		}
+	}
+}
+
+// drainLoop is a shard's socket-side goroutine: recvmmsg bursts into
+// pooled buffers, pushed onto the SPSC ring without per-datagram
+// channel operations. It closes the ring when the socket dies, which
+// ends the shard's dispatch loop.
+func (s *shard) drainLoop() {
+	var rb recvBatch
+	rb.init(&s.pool)
+	defer rb.release()
+	to := s.parent.addr
+	for {
+		got, err := rb.recv(s.raw)
+		if err != nil {
+			s.ring.close()
+			return
+		}
+		for i := 0; i < got; i++ {
+			pkt, ok := rb.take(i, to)
+			if !ok {
+				continue
+			}
+			if !s.ring.push(pkt) {
+				pkt.Buf.Release() // ring full: drop like a kernel buffer
+			}
 		}
 	}
 }

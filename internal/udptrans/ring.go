@@ -1,0 +1,110 @@
+package udptrans
+
+import (
+	"sync/atomic"
+
+	"circus/internal/transport"
+)
+
+// spscRing is a bounded single-producer single-consumer queue of
+// packets: the hand-off between a shard's socket drain loop (producer)
+// and its dispatch goroutine (consumer). It replaces a per-datagram
+// channel send with one atomic store per packet plus an occasional
+// wake-up, so draining a burst of datagrams costs no scheduler
+// round-trips while the consumer is busy.
+//
+// The slots are plain memory published by the tail store: the producer
+// writes slot contents before advancing tail (Store is a release), and
+// the consumer reads tail (Load is an acquire) before touching slots,
+// so each packet's fields are visible by the time the consumer can
+// observe its index. Exactly one goroutine may call push/close, and
+// exactly one may call pop.
+type spscRing struct {
+	slots []transport.Packet
+	mask  uint64
+
+	// head (consumer cursor) and tail (producer cursor) only ever
+	// advance; slot i holds the packet with sequence i until consumed.
+	// Padding keeps the two cursors off one cache line so the producer
+	// and consumer do not false-share.
+	head atomic.Uint64
+	_    [7]uint64
+	tail atomic.Uint64
+	_    [7]uint64
+
+	// wake is the consumer's parking lot: the producer tickles it
+	// (non-blocking, capacity 1) after publishing into an empty ring,
+	// and close() closes it to end the consumer's loop.
+	wake   chan struct{}
+	closed atomic.Bool
+}
+
+// newSPSCRing returns a ring with the given capacity, rounded up to a
+// power of two (minimum 2).
+func newSPSCRing(capacity int) *spscRing {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &spscRing{
+		slots: make([]transport.Packet, n),
+		mask:  uint64(n - 1),
+		wake:  make(chan struct{}, 1),
+	}
+}
+
+// push publishes one packet, reporting false when the ring is full
+// (the caller drops the datagram, as a full kernel socket buffer
+// would; the paired message protocol recovers by retransmission).
+func (r *spscRing) push(pkt transport.Packet) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.slots)) {
+		return false
+	}
+	r.slots[t&r.mask] = pkt
+	r.tail.Store(t + 1)
+	// Wake a possibly-parked consumer. The capacity-1 buffer makes
+	// this free while the consumer is already awake and working.
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// pop removes the next packet, blocking in the wake channel while the
+// ring is empty. ok is false once the ring is closed and drained.
+func (r *spscRing) pop() (pkt transport.Packet, ok bool) {
+	h := r.head.Load()
+	for {
+		if r.tail.Load() > h {
+			pkt = r.slots[h&r.mask]
+			r.slots[h&r.mask] = transport.Packet{} // drop the Buf reference
+			r.head.Store(h + 1)
+			return pkt, true
+		}
+		if r.closed.Load() {
+			// Re-check after observing closed: close() happens after
+			// the final push, so an empty ring now stays empty.
+			if r.tail.Load() > h {
+				continue
+			}
+			return transport.Packet{}, false
+		}
+		if _, open := <-r.wake; !open {
+			// Closed while parked; drain whatever was published first.
+			if r.tail.Load() > h {
+				continue
+			}
+			return transport.Packet{}, false
+		}
+	}
+}
+
+// close ends the stream from the producer side; the consumer drains
+// remaining packets and then sees ok=false. Must be called by the
+// producer (or after the producer has stopped pushing).
+func (r *spscRing) close() {
+	r.closed.Store(true)
+	close(r.wake)
+}

@@ -1,0 +1,83 @@
+package udptrans
+
+import (
+	"runtime"
+	"testing"
+
+	"circus/internal/transport"
+)
+
+func TestRingFIFO(t *testing.T) {
+	r := newSPSCRing(4)
+	for i := 0; i < 3; i++ {
+		if !r.push(transport.Packet{From: transport.Addr{Port: uint16(i + 1)}}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		pkt, ok := r.pop()
+		if !ok || pkt.From.Port != uint16(i+1) {
+			t.Fatalf("pop %d = %v %v", i, pkt.From.Port, ok)
+		}
+	}
+}
+
+func TestRingFullDrops(t *testing.T) {
+	r := newSPSCRing(2)
+	if !r.push(transport.Packet{}) || !r.push(transport.Packet{}) {
+		t.Fatal("fill failed")
+	}
+	if r.push(transport.Packet{}) {
+		t.Error("push into full ring succeeded")
+	}
+	if _, ok := r.pop(); !ok {
+		t.Fatal("pop from full ring failed")
+	}
+	if !r.push(transport.Packet{}) {
+		t.Error("push after pop failed")
+	}
+}
+
+func TestRingCloseDrains(t *testing.T) {
+	r := newSPSCRing(8)
+	r.push(transport.Packet{From: transport.Addr{Port: 7}})
+	r.close()
+	pkt, ok := r.pop()
+	if !ok || pkt.From.Port != 7 {
+		t.Fatalf("pop after close = %v %v, want port 7", pkt.From.Port, ok)
+	}
+	if _, ok := r.pop(); ok {
+		t.Error("pop past close succeeded")
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	const total = 10000
+	r := newSPSCRing(64)
+	got := make(chan int, 1)
+	go func() {
+		sum := 0
+		for {
+			pkt, ok := r.pop()
+			if !ok {
+				got <- sum
+				return
+			}
+			sum += int(pkt.From.Host)
+		}
+	}()
+	sent := 0
+	for i := 0; i < total; i++ {
+		// Spin on full: the test producer outruns the consumer, and a
+		// drop would make the checksum meaningless. Yield so a
+		// single-CPU machine lets the consumer drain.
+		for !r.push(transport.Packet{From: transport.Addr{Host: 1}}) {
+			runtime.Gosched()
+		}
+		sent++
+	}
+	r.close()
+	if sum := <-got; sum != sent {
+		t.Errorf("consumer saw %d packets, want %d", sum, sent)
+	}
+}

@@ -1,0 +1,270 @@
+package udptrans
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+
+	"circus/internal/transport"
+)
+
+// ringCapacity bounds each shard's drain-to-dispatch hand-off. At 1472
+// bytes per datagram this is on the order of a kernel socket buffer;
+// overflow drops the datagram exactly as the kernel would, and the
+// paired message protocol retransmits.
+const ringCapacity = 1024
+
+// DisableIOUring forces the sendmmsg/portable batch path even where
+// the io_uring probe would succeed. Set before ListenSharded; used by
+// tests and the experiment harness to measure both paths.
+var DisableIOUring bool
+
+// Sharded is a transport.Endpoint spread across several UDP sockets
+// bound to one port with SO_REUSEPORT (Linux; elsewhere it degrades to
+// a single socket). The kernel hashes each peer's 4-tuple to one
+// socket, so a given peer's datagrams always arrive on the same shard
+// and keep their order, while different peers drain and dispatch on
+// different CPUs in parallel.
+//
+// Each shard runs two goroutines: a drain loop that pulls bursts off
+// the socket (recvmmsg on Linux) into pooled transport.Bufs, and a
+// dispatch loop that consumes a bounded SPSC ring and either invokes
+// the installed Dispatcher handler or forwards to the shared Recv
+// channel. The ring keeps the socket draining while the protocol
+// stack works, without a channel operation per datagram.
+type Sharded struct {
+	shards []*shard
+	addr   transport.Addr
+	recv   chan transport.Packet
+
+	// handler, once set, takes delivery exclusively (transport.Dispatcher).
+	handler atomic.Pointer[func(transport.Packet)]
+
+	sendNext atomic.Uint32 // round-robin shard picker for sends
+	ur       *uring        // io_uring batch sender; nil when unavailable
+
+	dispatchWG sync.WaitGroup // dispatch loops; Close waits for these
+	mu         sync.Mutex
+	closed     bool
+}
+
+type shard struct {
+	parent *Sharded
+	conn   *net.UDPConn
+	raw    syscall.RawConn
+	pool   transport.BufPool
+	ring   *spscRing
+}
+
+var (
+	_ transport.Endpoint    = (*Sharded)(nil)
+	_ transport.BatchSender = (*Sharded)(nil)
+	_ transport.Multicaster = (*Sharded)(nil)
+	_ transport.Dispatcher  = (*Sharded)(nil)
+)
+
+// ListenSharded binds shards UDP sockets to one loopback port. Port 0
+// selects a free port (claimed by the first socket, shared by the
+// rest). shards <= 0 selects runtime.NumCPU(). On platforms without
+// SO_REUSEPORT the endpoint degrades to one socket.
+func ListenSharded(port uint16, shards int) (*Sharded, error) {
+	if shards <= 0 {
+		shards = runtime.NumCPU()
+	}
+	if !reusePortAvailable {
+		shards = 1
+	}
+	se := &Sharded{recv: make(chan transport.Packet, 1024)}
+	for i := 0; i < shards; i++ {
+		conn, err := listenShardSocket(port, shards > 1)
+		if err != nil {
+			se.Close()
+			return nil, err
+		}
+		raw, err := conn.SyscallConn()
+		if err != nil {
+			conn.Close()
+			se.Close()
+			return nil, err
+		}
+		local := conn.LocalAddr().(*net.UDPAddr)
+		a, err := toAddr(local)
+		if err != nil {
+			conn.Close()
+			se.Close()
+			return nil, err
+		}
+		if i == 0 {
+			se.addr = a
+			port = a.Port // later shards join the chosen port
+		} else if a != se.addr {
+			conn.Close()
+			se.Close()
+			return nil, fmt.Errorf("udptrans: shard %d bound %v, want %v", i, a, se.addr)
+		}
+		s := &shard{parent: se, conn: conn, raw: raw, ring: newSPSCRing(ringCapacity)}
+		se.shards = append(se.shards, s)
+	}
+	se.ur = newURing(uringEntries)
+	for _, s := range se.shards {
+		se.dispatchWG.Add(1)
+		go s.dispatchLoop()
+		go s.drainLoop()
+	}
+	return se, nil
+}
+
+// Addr returns the shared bound address.
+func (se *Sharded) Addr() transport.Addr { return se.addr }
+
+// Recv returns the merged incoming channel; unused once a Dispatcher
+// handler is installed.
+func (se *Sharded) Recv() <-chan transport.Packet { return se.recv }
+
+// SetHandler installs fn as the exclusive delivery path
+// (transport.Dispatcher). Packets from different shards may invoke fn
+// concurrently; packets from one peer never do, because the kernel's
+// REUSEPORT hash pins each peer to one shard.
+func (se *Sharded) SetHandler(fn func(transport.Packet)) {
+	se.handler.Store(&fn)
+}
+
+// deliver hands one packet up from a shard's dispatch loop.
+func (se *Sharded) deliver(pkt transport.Packet) {
+	if h := se.handler.Load(); h != nil {
+		(*h)(pkt)
+		return
+	}
+	select {
+	case se.recv <- pkt:
+	default:
+		if pkt.Buf != nil {
+			pkt.Buf.Release() // dropped as a full socket buffer would
+		}
+	}
+}
+
+// dispatchLoop consumes the shard's ring serially, preserving each
+// peer's arrival order.
+func (s *shard) dispatchLoop() {
+	defer s.parent.dispatchDone()
+	for {
+		pkt, ok := s.ring.pop()
+		if !ok {
+			return
+		}
+		s.parent.deliver(pkt)
+	}
+}
+
+func (se *Sharded) dispatchWait() { se.dispatchWG.Wait() }
+func (se *Sharded) dispatchDone() { se.dispatchWG.Done() }
+
+// pickShard spreads sends across the shard sockets. All shards share
+// one local port, so a peer's replies hash to the same receive shard
+// regardless of which socket carried our send.
+func (se *Sharded) pickShard() *shard {
+	n := se.sendNext.Add(1)
+	return se.shards[int(n)%len(se.shards)]
+}
+
+func (se *Sharded) checkOpen() error {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if se.closed {
+		return transport.ErrClosed
+	}
+	return nil
+}
+
+// Send transmits one UDP datagram from one of the shard sockets.
+func (se *Sharded) Send(to transport.Addr, data []byte) error {
+	if len(data) > transport.MaxDatagram {
+		return transport.ErrTooLarge
+	}
+	if to.IsZero() {
+		return errBadAddr(to)
+	}
+	if err := se.checkOpen(); err != nil {
+		return err
+	}
+	_, err := se.pickShard().conn.WriteToUDP(data, toUDPAddr(to))
+	return err
+}
+
+// SendBatch transmits several datagrams in as few kernel crossings as
+// the platform allows: one io_uring_enter when the ring probe
+// succeeded, one sendmmsg(2) otherwise, a write loop on non-Linux.
+func (se *Sharded) SendBatch(dgrams []transport.Datagram) error {
+	for i := range dgrams {
+		if len(dgrams[i].Data) > transport.MaxDatagram {
+			return transport.ErrTooLarge
+		}
+		if dgrams[i].To.IsZero() {
+			return errBadAddr(dgrams[i].To)
+		}
+	}
+	if err := se.checkOpen(); err != nil {
+		return err
+	}
+	s := se.pickShard()
+	if se.ur != nil {
+		if done, err := se.ur.sendBatch(s.raw, dgrams); done {
+			return err
+		}
+		// The ring went unusable mid-flight (for example a seccomp
+		// policy that allowed setup but blocks enter): fall through to
+		// the classic path for this and every later batch.
+		se.ur = nil
+	}
+	return sendBatchOn(s.conn, s.raw, dgrams)
+}
+
+// Multicast sends data to every group member; UDP has no true
+// multicast primitive here, so this is a batched unicast fan-out
+// (§4.3.3's software multicast), one kernel crossing via SendBatch.
+func (se *Sharded) Multicast(group []transport.Addr, data []byte) error {
+	dgrams := make([]transport.Datagram, len(group))
+	for i, to := range group {
+		dgrams[i] = transport.Datagram{To: to, Data: data}
+	}
+	return se.SendBatch(dgrams)
+}
+
+// Close shuts every shard socket and waits for the dispatch loops, so
+// the Dispatcher handler is never invoked after Close returns.
+func (se *Sharded) Close() error {
+	se.mu.Lock()
+	if se.closed {
+		se.mu.Unlock()
+		return nil
+	}
+	se.closed = true
+	se.mu.Unlock()
+	var first error
+	for _, s := range se.shards {
+		if err := s.conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	// Drain loops observe the closed sockets and close their rings;
+	// dispatch loops drain and exit; then Recv closes.
+	se.dispatchWait()
+	close(se.recv)
+	if se.ur != nil {
+		se.ur.Close()
+		se.ur = nil
+	}
+	return first
+}
+
+// Shards reports how many sockets the endpoint spans (for experiment
+// reporting).
+func (se *Sharded) Shards() int { return len(se.shards) }
+
+// UsingIOUring reports whether batched sends go through io_uring (for
+// experiment reporting and tests).
+func (se *Sharded) UsingIOUring() bool { return se.ur != nil }

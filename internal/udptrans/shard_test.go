@@ -1,0 +1,316 @@
+package udptrans
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"circus/internal/transport"
+)
+
+func TestShardedRoundTrip(t *testing.T) {
+	a, err := ListenSharded(0, 2)
+	if err != nil {
+		t.Fatalf("ListenSharded: %v", err)
+	}
+	defer a.Close()
+	b, err := ListenSharded(0, 2)
+	if err != nil {
+		t.Fatalf("ListenSharded: %v", err)
+	}
+	defer b.Close()
+
+	if err := a.Send(b.Addr(), []byte("ping")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case pkt := <-b.Recv():
+		if string(pkt.Data) != "ping" {
+			t.Errorf("data = %q, want ping", pkt.Data)
+		}
+		if pkt.From != a.Addr() {
+			t.Errorf("from = %v, want %v", pkt.From, a.Addr())
+		}
+		if pkt.Buf != nil {
+			pkt.Buf.Release()
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no datagram received")
+	}
+}
+
+func TestShardedHandlerDelivery(t *testing.T) {
+	a, err := ListenSharded(0, 2)
+	if err != nil {
+		t.Fatalf("ListenSharded: %v", err)
+	}
+	defer a.Close()
+	b, err := ListenSharded(0, 2)
+	if err != nil {
+		t.Fatalf("ListenSharded: %v", err)
+	}
+	defer b.Close()
+
+	const n = 50
+	var mu sync.Mutex
+	got := make(map[string]bool)
+	done := make(chan struct{})
+	b.SetHandler(func(pkt transport.Packet) {
+		mu.Lock()
+		got[string(pkt.Data)] = true
+		full := len(got) == n
+		mu.Unlock()
+		if pkt.Buf != nil {
+			pkt.Buf.Release()
+		}
+		if full {
+			close(done)
+		}
+	})
+
+	var batch []transport.Datagram
+	for i := 0; i < n; i++ {
+		batch = append(batch, transport.Datagram{To: b.Addr(), Data: []byte(fmt.Sprintf("m%02d", i))})
+	}
+	if err := a.SendBatch(batch); err != nil {
+		t.Fatalf("SendBatch: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		mu.Lock()
+		seen := len(got)
+		mu.Unlock()
+		t.Fatalf("handler saw %d of %d datagrams", seen, n)
+	}
+}
+
+func TestShardedCloseStopsHandler(t *testing.T) {
+	a, err := ListenSharded(0, 2)
+	if err != nil {
+		t.Fatalf("ListenSharded: %v", err)
+	}
+	var mu sync.Mutex
+	calls := 0
+	a.SetHandler(func(pkt transport.Packet) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		if pkt.Buf != nil {
+			pkt.Buf.Release()
+		}
+	})
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Close has returned: the Dispatcher contract says the handler can
+	// never run again, so this count is final and race-free to read.
+	mu.Lock()
+	final := calls
+	mu.Unlock()
+	_ = final
+	if err := a.Send(a.Addr(), []byte("x")); err != transport.ErrClosed {
+		t.Errorf("Send after close = %v, want ErrClosed", err)
+	}
+	if err := a.SendBatch([]transport.Datagram{{To: transport.Addr{Host: 1, Port: 1}, Data: []byte("x")}}); err != transport.ErrClosed {
+		t.Errorf("SendBatch after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestShardedMulticast(t *testing.T) {
+	a, err := ListenSharded(0, 1)
+	if err != nil {
+		t.Fatalf("ListenSharded: %v", err)
+	}
+	defer a.Close()
+	b, err := Listen(0)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer b.Close()
+	c, err := Listen(0)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer c.Close()
+
+	if err := a.Multicast([]transport.Addr{b.Addr(), c.Addr()}, []byte("hi")); err != nil {
+		t.Fatalf("Multicast: %v", err)
+	}
+	for _, ep := range []*Endpoint{b, c} {
+		select {
+		case pkt := <-ep.Recv():
+			if string(pkt.Data) != "hi" {
+				t.Errorf("data = %q, want hi", pkt.Data)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("multicast datagram not received")
+		}
+	}
+}
+
+func TestSendRejectsZeroAddr(t *testing.T) {
+	a, err := Listen(0)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer a.Close()
+	if err := a.Send(transport.Addr{}, []byte("x")); err == nil {
+		t.Error("Send to zero addr succeeded; want clear encode error")
+	}
+	err = a.SendBatch([]transport.Datagram{
+		{To: a.Addr(), Data: []byte("ok")},
+		{To: transport.Addr{}, Data: []byte("bad")},
+	})
+	if err == nil {
+		t.Error("SendBatch with zero addr succeeded; want clear encode error")
+	}
+
+	s, err := ListenSharded(0, 1)
+	if err != nil {
+		t.Fatalf("ListenSharded: %v", err)
+	}
+	defer s.Close()
+	if err := s.Send(transport.Addr{}, []byte("x")); err == nil {
+		t.Error("sharded Send to zero addr succeeded; want clear encode error")
+	}
+	if err := s.SendBatch([]transport.Datagram{{To: transport.Addr{}, Data: []byte("x")}}); err == nil {
+		t.Error("sharded SendBatch with zero addr succeeded; want clear encode error")
+	}
+}
+
+// TestBatchParity sends the same datagram sequence through the
+// per-datagram path (Send) and the platform batch path (SendBatch),
+// in both directions, and checks the receivers observe identical
+// payload multisets — the fallback-vs-batch contract. With io_uring
+// present it runs the batch leg twice, once per sender.
+func TestBatchParity(t *testing.T) {
+	run := func(t *testing.T, disableURing bool) {
+		old := DisableIOUring
+		DisableIOUring = disableURing
+		defer func() { DisableIOUring = old }()
+
+		a, err := ListenSharded(0, 2)
+		if err != nil {
+			t.Fatalf("ListenSharded: %v", err)
+		}
+		defer a.Close()
+		b, err := ListenSharded(0, 2)
+		if err != nil {
+			t.Fatalf("ListenSharded: %v", err)
+		}
+		defer b.Close()
+
+		const n = 40
+		seq := func(tag string) [][]byte {
+			var out [][]byte
+			for i := 0; i < n; i++ {
+				out = append(out, []byte(fmt.Sprintf("%s-%03d", tag, i)))
+			}
+			return out
+		}
+		collect := func(ep *Sharded, want int) map[string]int {
+			got := make(map[string]int)
+			deadline := time.After(2 * time.Second)
+			for count := 0; count < want; count++ {
+				select {
+				case pkt := <-ep.Recv():
+					got[string(pkt.Data)]++
+					if pkt.Buf != nil {
+						pkt.Buf.Release()
+					}
+				case <-deadline:
+					t.Fatalf("received %d of %d datagrams", count, want)
+				}
+			}
+			return got
+		}
+		diff := func(x, y map[string]int) {
+			t.Helper()
+			for k, v := range x {
+				if y[k] != v {
+					t.Errorf("payload %q: one path saw %d, other %d", k, v, y[k])
+				}
+			}
+		}
+
+		// a -> b: single sends, then the same sequence batched.
+		for _, d := range seq("s") {
+			if err := a.Send(b.Addr(), d); err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+		}
+		single := collect(b, n)
+		var batch []transport.Datagram
+		for _, d := range seq("s") {
+			batch = append(batch, transport.Datagram{To: b.Addr(), Data: d})
+		}
+		if err := a.SendBatch(batch); err != nil {
+			t.Fatalf("SendBatch: %v", err)
+		}
+		batched := collect(b, n)
+		diff(single, batched)
+		diff(batched, single)
+
+		// b -> a: same comparison on the reverse direction.
+		for _, d := range seq("r") {
+			if err := b.Send(a.Addr(), d); err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+		}
+		single = collect(a, n)
+		batch = batch[:0]
+		for _, d := range seq("r") {
+			batch = append(batch, transport.Datagram{To: a.Addr(), Data: d})
+		}
+		if err := b.SendBatch(batch); err != nil {
+			t.Fatalf("SendBatch: %v", err)
+		}
+		batched = collect(a, n)
+		diff(single, batched)
+		diff(batched, single)
+	}
+
+	t.Run("fallback", func(t *testing.T) { run(t, true) })
+	t.Run("platform", func(t *testing.T) { run(t, false) })
+}
+
+// TestIOUringProbe documents which batch sender the platform granted;
+// both outcomes are legal (the probe gate is the point), and when the
+// ring is present the parity test above already exercised it.
+func TestIOUringProbe(t *testing.T) {
+	a, err := ListenSharded(0, 1)
+	if err != nil {
+		t.Fatalf("ListenSharded: %v", err)
+	}
+	defer a.Close()
+	t.Logf("io_uring in use: %v (shards=%d)", a.UsingIOUring(), a.Shards())
+
+	old := DisableIOUring
+	DisableIOUring = true
+	defer func() { DisableIOUring = old }()
+	b, err := ListenSharded(0, 1)
+	if err != nil {
+		t.Fatalf("ListenSharded: %v", err)
+	}
+	defer b.Close()
+	if b.UsingIOUring() {
+		t.Error("DisableIOUring did not force the fallback sender")
+	}
+	// The disabled endpoint must still deliver.
+	if err := b.SendBatch([]transport.Datagram{{To: a.Addr(), Data: []byte("z")}}); err != nil {
+		t.Fatalf("SendBatch (fallback): %v", err)
+	}
+	select {
+	case pkt := <-a.Recv():
+		if string(pkt.Data) != "z" {
+			t.Errorf("data = %q, want z", pkt.Data)
+		}
+		if pkt.Buf != nil {
+			pkt.Buf.Release()
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("fallback datagram not received")
+	}
+}

@@ -8,6 +8,7 @@ package udptrans
 
 import (
 	"encoding/binary"
+	"fmt"
 	"net"
 	"sync"
 	"syscall"
@@ -43,22 +44,44 @@ func Listen(port uint16) (*Endpoint, error) {
 		return nil, err
 	}
 	local := conn.LocalAddr().(*net.UDPAddr)
+	addr, err := toAddr(local)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
 	ep := &Endpoint{
 		conn: conn,
 		raw:  raw,
-		addr: toAddr(local),
+		addr: addr,
 		recv: make(chan transport.Packet, 1024),
 	}
 	go ep.readLoop()
 	return ep, nil
 }
 
-func toAddr(u *net.UDPAddr) transport.Addr {
+// toAddr converts a UDP address to the transport's 32-bit-host form,
+// rejecting anything that is not IPv4: transport.Addr cannot represent
+// a 16-byte address, and the AF_INET sockaddr encoding on the batch
+// send path would silently truncate it.
+func toAddr(u *net.UDPAddr) (transport.Addr, error) {
 	ip4 := u.IP.To4()
+	if ip4 == nil {
+		return transport.Addr{}, fmt.Errorf("udptrans: %v is not an IPv4 address", u.IP)
+	}
 	return transport.Addr{
 		Host: binary.BigEndian.Uint32(ip4),
 		Port: uint16(u.Port),
-	}
+	}, nil
+}
+
+// errBadAddr reports an address the AF_INET wire encoding cannot
+// carry. The zero Addr is the only unrepresentable value reachable
+// through transport.Addr (every non-zero Host/Port pair is a valid
+// IPv4 destination), and sending to it would otherwise surface as the
+// kernel's cryptic EINVAL — or, on the batch path, as a datagram to
+// 0.0.0.0.
+func errBadAddr(a transport.Addr) error {
+	return fmt.Errorf("udptrans: cannot encode %v as an AF_INET destination", a)
 }
 
 func toUDPAddr(a transport.Addr) *net.UDPAddr {
@@ -90,6 +113,9 @@ func (e *Endpoint) Send(to transport.Addr, data []byte) error {
 	if len(data) > transport.MaxDatagram {
 		return transport.ErrTooLarge
 	}
+	if to.IsZero() {
+		return errBadAddr(to)
+	}
 	e.mu.Lock()
 	closed := e.closed
 	e.mu.Unlock()
@@ -106,9 +132,12 @@ func (e *Endpoint) Send(to transport.Addr, data []byte) error {
 // datagram a full sendmsg; batching the coalesced flush of the paired
 // message layer amortizes that per-call overhead.
 func (e *Endpoint) SendBatch(dgrams []transport.Datagram) error {
-	for _, d := range dgrams {
-		if len(d.Data) > transport.MaxDatagram {
+	for i := range dgrams {
+		if len(dgrams[i].Data) > transport.MaxDatagram {
 			return transport.ErrTooLarge
+		}
+		if dgrams[i].To.IsZero() {
+			return errBadAddr(dgrams[i].To)
 		}
 	}
 	e.mu.Lock()
@@ -117,7 +146,7 @@ func (e *Endpoint) SendBatch(dgrams []transport.Datagram) error {
 	if closed {
 		return transport.ErrClosed
 	}
-	return e.sendBatch(dgrams)
+	return sendBatchOn(e.conn, e.raw, dgrams)
 }
 
 // Close shuts the socket; the receive channel closes once the read

@@ -1,0 +1,302 @@
+//go:build linux && (amd64 || arm64)
+
+package udptrans
+
+import (
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+
+	"circus/internal/transport"
+)
+
+// Minimal io_uring plumbing for batched sendmsg: raw io_uring_setup /
+// io_uring_enter plus the two mmap'd rings, no liburing. One batch of
+// datagrams becomes one io_uring_enter that submits every sendmsg SQE
+// and waits for all completions, so a coalesced flush costs a single
+// kernel crossing regardless of fan-out — half the syscalls of even
+// sendmmsg once the paired message layer mixes destinations.
+//
+// Everything is probe-gated: io_uring_setup failing (old kernel's
+// ENOSYS, a seccomp policy's EPERM) just means newURing returns nil
+// and the endpoint keeps its sendmmsg path. A ring that dies later
+// (enter blocked by policy) flips the endpoint back to sendmmsg too,
+// so io_uring is strictly an amortization, never a dependency.
+
+// uring op/flag constants (include/uapi/linux/io_uring.h).
+const (
+	opSENDMSG      = 9
+	enterGETEVENTS = 1
+	offSQRing      = 0
+	offCQRing      = 0x8000000
+	offSQEs        = 0x10000000
+	sqeSize        = 64
+	cqeSize        = 16
+	uringEntries   = 64 // SQ depth; batches larger than this chunk
+	mapPOPULATE    = 0x8000
+)
+
+// sqringOffsets / cqringOffsets mirror io_sqring_offsets and
+// io_cqring_offsets from the uapi header.
+type sqringOffsets struct {
+	head, tail, ringMask, ringEntries, flags, dropped, array, resv1 uint32
+	userAddr                                                        uint64
+}
+
+type cqringOffsets struct {
+	head, tail, ringMask, ringEntries, overflow, cqes, flags, resv1 uint32
+	userAddr                                                        uint64
+}
+
+// uringParams mirrors struct io_uring_params (120 bytes).
+type uringParams struct {
+	sqEntries    uint32
+	cqEntries    uint32
+	flags        uint32
+	sqThreadCPU  uint32
+	sqThreadIdle uint32
+	features     uint32
+	wqFD         uint32
+	resv         [3]uint32
+	sqOff        sqringOffsets
+	cqOff        cqringOffsets
+}
+
+// sqe mirrors the head of struct io_uring_sqe; the trailing union
+// (buf_index, personality, splice bits…) stays zero for sendmsg.
+type sqe struct {
+	opcode   uint8
+	flags    uint8
+	ioprio   uint16
+	fd       int32
+	off      uint64
+	addr     uint64
+	len      uint32
+	msgFlags uint32
+	userData uint64
+	_        [24]byte
+}
+
+// cqe mirrors struct io_uring_cqe.
+type cqe struct {
+	userData uint64
+	res      int32
+	flags    uint32
+}
+
+// uring is one submission/completion ring pair. All submission state
+// is guarded by mu: the paired message flusher is the only steady
+// caller, but Multicast may race it.
+type uring struct {
+	fd     int
+	sqMem  []byte // SQ ring mmap
+	cqMem  []byte // CQ ring mmap
+	sqeMem []byte // SQE array mmap
+
+	sqHead    *uint32
+	sqTail    *uint32
+	sqMask    uint32
+	sqArray   *uint32
+	sqEntries uint32
+	sqes      *sqe
+
+	cqHead *uint32
+	cqTail *uint32
+	cqMask uint32
+	cqes   *cqe
+
+	mu sync.Mutex
+}
+
+func atPtr[T any](mem []byte, off uint32) *T {
+	return (*T)(unsafe.Pointer(&mem[off]))
+}
+
+// newURing probes for io_uring and builds a ring of the given SQ
+// depth, returning nil when the kernel (or the sandbox policy) does
+// not provide it.
+func newURing(entries int) *uring {
+	if DisableIOUring {
+		return nil
+	}
+	var p uringParams
+	fd, _, errno := syscall.Syscall(sysIO_URING_SETUP, uintptr(entries),
+		uintptr(unsafe.Pointer(&p)), 0)
+	if errno != 0 {
+		return nil // ENOSYS, EPERM, EINVAL…: no io_uring here
+	}
+	u := &uring{fd: int(fd)}
+	ok := false
+	defer func() {
+		if !ok {
+			u.Close()
+		}
+	}()
+
+	sqSize := int(p.sqOff.array + p.sqEntries*4)
+	cqSize := int(p.cqOff.cqes + p.cqEntries*cqeSize)
+	var err error
+	u.sqMem, err = syscall.Mmap(int(fd), offSQRing, sqSize,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|mapPOPULATE)
+	if err != nil {
+		return nil
+	}
+	u.cqMem, err = syscall.Mmap(int(fd), offCQRing, cqSize,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|mapPOPULATE)
+	if err != nil {
+		return nil
+	}
+	u.sqeMem, err = syscall.Mmap(int(fd), offSQEs, int(p.sqEntries)*sqeSize,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|mapPOPULATE)
+	if err != nil {
+		return nil
+	}
+
+	u.sqHead = atPtr[uint32](u.sqMem, p.sqOff.head)
+	u.sqTail = atPtr[uint32](u.sqMem, p.sqOff.tail)
+	u.sqMask = *atPtr[uint32](u.sqMem, p.sqOff.ringMask)
+	u.sqArray = atPtr[uint32](u.sqMem, p.sqOff.array)
+	u.sqEntries = p.sqEntries
+	u.sqes = atPtr[sqe](u.sqeMem, 0)
+
+	u.cqHead = atPtr[uint32](u.cqMem, p.cqOff.head)
+	u.cqTail = atPtr[uint32](u.cqMem, p.cqOff.tail)
+	u.cqMask = *atPtr[uint32](u.cqMem, p.cqOff.ringMask)
+	u.cqes = atPtr[cqe](u.cqMem, p.cqOff.cqes)
+	ok = true
+	return u
+}
+
+func (u *uring) sqeAt(i uint32) *sqe {
+	return (*sqe)(unsafe.Pointer(uintptr(unsafe.Pointer(u.sqes)) + uintptr(i)*sqeSize))
+}
+
+func (u *uring) sqArrayAt(i uint32) *uint32 {
+	return (*uint32)(unsafe.Pointer(uintptr(unsafe.Pointer(u.sqArray)) + uintptr(i)*4))
+}
+
+func (u *uring) cqeAt(i uint32) *cqe {
+	return (*cqe)(unsafe.Pointer(uintptr(unsafe.Pointer(u.cqes)) + uintptr(i)*cqeSize))
+}
+
+// sendBatch submits one sendmsg SQE per datagram and waits for every
+// completion before returning (the BatchSender contract: no Data
+// buffer is retained past the call). done=false reports a ring that
+// stopped working — the caller falls back to sendmmsg permanently.
+// A datagram whose completion carries -EAGAIN is dropped, exactly the
+// UDP contract; the paired message layer retransmits.
+func (u *uring) sendBatch(raw syscall.RawConn, dgrams []transport.Datagram) (done bool, err error) {
+	sas := make([]syscall.RawSockaddrInet4, len(dgrams))
+	iovs := make([]syscall.Iovec, len(dgrams))
+	msgs := make([]syscall.Msghdr, len(dgrams))
+	for i := range dgrams {
+		d := &dgrams[i]
+		putSockaddr(&sas[i], d.To)
+		if len(d.Data) > 0 {
+			iovs[i].Base = &d.Data[0]
+		}
+		iovs[i].SetLen(len(d.Data))
+		m := &msgs[i]
+		m.Name = (*byte)(unsafe.Pointer(&sas[i]))
+		m.Namelen = uint32(unsafe.Sizeof(sas[i]))
+		m.Iov = &iovs[i]
+		m.Iovlen = 1
+	}
+
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	done = true
+	werr := raw.Write(func(fd uintptr) bool {
+		for base := 0; base < len(msgs); base += int(u.sqEntries) {
+			n := len(msgs) - base
+			if n > int(u.sqEntries) {
+				n = int(u.sqEntries)
+			}
+			tail := atomic.LoadUint32(u.sqTail)
+			for i := 0; i < n; i++ {
+				idx := (tail + uint32(i)) & u.sqMask
+				e := u.sqeAt(idx)
+				*e = sqe{
+					opcode:   opSENDMSG,
+					fd:       int32(fd),
+					addr:     uint64(uintptr(unsafe.Pointer(&msgs[base+i]))),
+					len:      1,
+					userData: uint64(base + i),
+				}
+				*u.sqArrayAt(idx) = idx
+			}
+			atomic.StoreUint32(u.sqTail, tail+uint32(n))
+
+			submitted := 0
+			for submitted < n {
+				r1, _, errno := syscall.Syscall6(sysIO_URING_ENTER, uintptr(u.fd),
+					uintptr(n-submitted), uintptr(n-submitted), enterGETEVENTS, 0, 0)
+				if errno == syscall.EINTR {
+					continue
+				}
+				if errno != 0 {
+					done = false // ring unusable; caller falls back
+					err = errno
+					return true
+				}
+				submitted += int(r1)
+			}
+
+			// Reap exactly n completions; GETEVENTS above waited for
+			// them all. Individual failures other than EAGAIN/ECONNREFUSED
+			// surface as the batch error (first one wins).
+			head := atomic.LoadUint32(u.cqHead)
+			for reaped := 0; reaped < n; reaped++ {
+				for atomic.LoadUint32(u.cqTail) == head {
+					_, _, errno := syscall.Syscall6(sysIO_URING_ENTER, uintptr(u.fd),
+						0, 1, enterGETEVENTS, 0, 0)
+					if errno != 0 && errno != syscall.EINTR {
+						done = false
+						err = errno
+						atomic.StoreUint32(u.cqHead, head)
+						return true
+					}
+				}
+				c := u.cqeAt(head & u.cqMask)
+				if c.res < 0 {
+					e := syscall.Errno(-c.res)
+					// EAGAIN: socket buffer full — dropped, UDP-style.
+					// ECONNREFUSED: a prior datagram hit a dead port
+					// and the kernel latched the ICMP error; the
+					// datagram itself was never going to arrive.
+					if e != syscall.EAGAIN && e != syscall.ECONNREFUSED && err == nil {
+						err = e
+					}
+				}
+				head++
+			}
+			atomic.StoreUint32(u.cqHead, head)
+		}
+		return true
+	})
+	if werr != nil && err == nil {
+		err = werr
+	}
+	return done, err
+}
+
+// Close unmaps the rings and closes the ring fd.
+func (u *uring) Close() {
+	if u.sqeMem != nil {
+		syscall.Munmap(u.sqeMem)
+		u.sqeMem = nil
+	}
+	if u.cqMem != nil {
+		syscall.Munmap(u.cqMem)
+		u.cqMem = nil
+	}
+	if u.sqMem != nil {
+		syscall.Munmap(u.sqMem)
+		u.sqMem = nil
+	}
+	if u.fd >= 0 {
+		syscall.Close(u.fd)
+		u.fd = -1
+	}
+}

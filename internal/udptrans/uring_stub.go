@@ -1,0 +1,24 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package udptrans
+
+import (
+	"syscall"
+
+	"circus/internal/transport"
+)
+
+// io_uring exists only on Linux; elsewhere the probe always reports
+// absence and batched sends take the portable path.
+
+const uringEntries = 64
+
+type uring struct{}
+
+func newURing(int) *uring { return nil }
+
+func (u *uring) sendBatch(syscall.RawConn, []transport.Datagram) (bool, error) {
+	return false, nil
+}
+
+func (u *uring) Close() {}

@@ -14,6 +14,7 @@ import (
 	"circus/internal/ringmaster"
 	"circus/internal/thread"
 	"circus/internal/trace"
+	"circus/internal/trace/monitor"
 	"circus/internal/transport"
 	"circus/internal/udptrans"
 )
@@ -29,6 +30,7 @@ type nodeConfig struct {
 	multicast bool
 	trace     []trace.Sink
 	metrics   bool
+	monitor   *monitor.Options
 	durable   *Durability
 }
 
@@ -64,6 +66,16 @@ func WithTrace(sink trace.Sink) Option {
 // and a call-latency histogram — queryable via Node.Metrics().
 func WithMetrics() Option {
 	return func(c *nodeConfig) { c.metrics = true }
+}
+
+// WithMonitor attaches the online protocol monitor as a trace sink:
+// invariant breaches (duplicate execution, ack-before-send, …) surface
+// the moment they happen, queryable via Node.Monitor(). When combined
+// with WithMetrics, every breach is also counted per invariant in the
+// node's metrics snapshot, unless opts.Metrics already routes the
+// counts elsewhere.
+func WithMonitor(opts monitor.Options) Option {
+	return func(c *nodeConfig) { c.monitor = &opts }
 }
 
 // WithTimers overrides the paired message protocol timers: the
@@ -108,8 +120,9 @@ func fastSimTimers() pairedmsg.Options {
 type Node struct {
 	rt      *core.Runtime
 	binder  *ringmaster.Client
-	metrics *trace.Metrics // nil unless WithMetrics
-	durable *Durability    // nil unless WithDurability
+	metrics *trace.Metrics   // nil unless WithMetrics
+	monitor *monitor.Monitor // nil unless WithMonitor
+	durable *Durability      // nil unless WithDurability
 
 	// suspicion is shared by every resilient stub of this node, so one
 	// stub's crash evidence spares the others a timeout.
@@ -160,6 +173,14 @@ func newNode(ep transport.Endpoint, msg pairedmsg.Options, opts ...Option) (*Nod
 		metrics = trace.NewMetrics()
 		cfg.trace = append(cfg.trace, metrics)
 	}
+	var mon *monitor.Monitor
+	if cfg.monitor != nil {
+		if cfg.monitor.Metrics == nil {
+			cfg.monitor.Metrics = metrics // nil when metrics are off: monitor counts alone
+		}
+		mon = monitor.New(*cfg.monitor)
+		cfg.trace = append(cfg.trace, mon)
+	}
 	rt := core.NewRuntime(ep, core.Options{
 		Message:          cfg.msg,
 		ManyToOneTimeout: cfg.m2oWait,
@@ -167,7 +188,7 @@ func newNode(ep transport.Endpoint, msg pairedmsg.Options, opts ...Option) (*Nod
 		Multicast:        cfg.multicast,
 		Trace:            trace.Multi(cfg.trace...),
 	})
-	n := &Node{rt: rt, metrics: metrics, durable: cfg.durable, suspicion: core.NewSuspicion(), exports: make(map[string]uint16)}
+	n := &Node{rt: rt, metrics: metrics, monitor: mon, durable: cfg.durable, suspicion: core.NewSuspicion(), exports: make(map[string]uint16)}
 	if len(cfg.binder) > 0 {
 		n.binder = ringmaster.NewClient(rt, Troupe{Members: cfg.binder})
 		rt.SetResolver(n.binder)
@@ -185,6 +206,10 @@ func (n *Node) Runtime() *core.Runtime { return n.rt }
 // Metrics returns the node's metrics aggregator, or nil unless the
 // node was created with WithMetrics.
 func (n *Node) Metrics() *trace.Metrics { return n.metrics }
+
+// Monitor returns the node's online protocol monitor, or nil unless
+// the node was created with WithMonitor.
+func (n *Node) Monitor() *monitor.Monitor { return n.monitor }
 
 // Close shuts the node down.
 func (n *Node) Close() error { return n.rt.Close() }

@@ -1,0 +1,5 @@
+//go:build race
+
+package circus
+
+const raceEnabled = true
