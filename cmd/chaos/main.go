@@ -10,6 +10,13 @@
 // -restart-all the campaign additionally power-fails the entire
 // troupe at once — survivable only because of the logs.
 //
+// With -shards N (N > 1) the campaign runs against a partitioned
+// mesh instead of a single troupe: N consistent-hash shards of
+// -servers members each behind ownership guards, clients routing by
+// key through the epoch-versioned shard map, per-shard repairmen, a
+// live split migrating a range onto a spare shard mid-campaign, and
+// whole-shard kills and partitions joining the fault schedule.
+//
 // With -explore the command runs deterministic schedule exploration
 // instead of fault campaigns: a seeded search over message delivery
 // interleavings of the commit-protocol and repair-window scenarios.
@@ -22,6 +29,7 @@
 //	go run ./cmd/chaos -seed 7 -servers 5 -clients 4 -v
 //	go run ./cmd/chaos -seeds 5 -trace /tmp/traces   # seed<N>.jsonl per campaign
 //	go run ./cmd/chaos -seeds 10 -durable -restart-all
+//	go run ./cmd/chaos -seeds 5 -shards 2 -durable -linearize
 //	go run ./cmd/chaos -explore -schedules 10
 package main
 
@@ -79,6 +87,7 @@ func main() {
 		seeds      = flag.Int("seeds", 1, "run campaigns for seeds 1..N")
 		seed       = flag.Int64("seed", 0, "run a single campaign with this seed (overrides -seeds)")
 		servers    = flag.Int("servers", 3, "KV troupe degree")
+		shards     = flag.Int("shards", 1, "consistent-hash shards; above 1 runs the partitioned-mesh campaign with a live split")
 		clients    = flag.Int("clients", 3, "concurrent client processes")
 		ops        = flag.Int("ops", 20, "minimum put operations per client caller")
 		callers    = flag.Int("callers", 1, "concurrent caller goroutines per client process")
@@ -137,7 +146,7 @@ func main() {
 		fsyncs, snapshots        uint64
 	}
 	for _, s := range list {
-		cfg := chaos.Config{Seed: s, Servers: *servers, Clients: *clients, Ops: *ops, Callers: *callers,
+		cfg := chaos.Config{Seed: s, Servers: *servers, Shards: *shards, Clients: *clients, Ops: *ops, Callers: *callers,
 			Durable: *durable, RestartAll: *restartAll, SnapshotEvery: *snapEvery,
 			Monitor: *monitored, MonitorSample: *monSample, Linearize: *linearize}
 		if *verbose {
@@ -177,6 +186,10 @@ func main() {
 			fmt.Printf(" recoveries=%d fsyncs=%d snapshots=%d delta=%d/%dB full=%d/%dB",
 				res.Recoveries, res.Fsyncs, res.Snapshots,
 				res.DeltaTransfers, res.DeltaBytes, res.FullTransfers, res.FullBytes)
+		}
+		if *shards > 1 {
+			fmt.Printf(" redirects=%d parks=%d refreshes=%d rollbacks=%d",
+				res.Redirects, res.Parks, res.MapRefreshes, res.SplitRollbacks)
 		}
 		if *monitored {
 			fmt.Printf(" monitored=%d/%d", res.MonitorSampled, res.MonitorEvents)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"circus/internal/bench"
+	"circus/internal/meshbench"
 	"circus/internal/netsim"
 	"circus/internal/pairedmsg"
 	"circus/internal/wire"
@@ -225,6 +226,69 @@ func writeBenchJSON(maxDegree int, seed int64) (string, error) {
 		if uring {
 			res.Extra["io_uring"] = 1
 		}
+		doc.Benchmarks = append(doc.Benchmarks, res)
+	}
+
+	// Partitioned-mesh scale-out: closed-loop keyed reads/s through
+	// routing mesh clients against 1/2/4/8 consistent-hash shards of
+	// degree-3 guarded stores, at the network-bound operating point of
+	// meshbench.MeshScaling (1 Mb/s member links, 128 B values, 32 callers
+	// over 16 client runtimes). The committed curve is the scale-out
+	// gate: the 4-shard "calls/s" must stay ≥ 3× the 1-shard figure.
+	for _, shards := range meshbench.MeshShardCounts() {
+		c, err := meshbench.NewMeshCluster(seed+int64(300+shards), shards, 3, 16)
+		if err != nil {
+			return "", err
+		}
+		if err := c.Preload(meshbench.MeshKeyspace); err != nil {
+			c.Close()
+			return "", err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			if err := c.ConcurrentGets(32, b.N, meshbench.MeshKeyspace); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+		})
+		c.Close()
+		res := record(fmt.Sprintf("MeshScale/shards=%d/degree=3/callers=32", shards), r)
+		if res.Extra == nil {
+			res.Extra = make(map[string]float64, 1)
+		}
+		res.Extra["shards"] = float64(shards)
+		doc.Benchmarks = append(doc.Benchmarks, res)
+	}
+
+	// The same mesh over real sharded loopback UDP (2 SO_REUSEPORT
+	// shards per endpoint): no simulated bandwidth cap, so this row
+	// tracks routing-path dispatch cost rather than wire scale-out.
+	for _, shards := range []int{1, 4} {
+		c, err := meshbench.NewMeshClusterUDP(seed+int64(400+shards), shards, 3, 8, 2)
+		if err != nil {
+			return "", err
+		}
+		if err := c.Preload(meshbench.MeshKeyspace); err != nil {
+			c.Close()
+			return "", err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			if err := c.ConcurrentGets(32, b.N, meshbench.MeshKeyspace); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+		})
+		c.Close()
+		res := record(fmt.Sprintf("MeshScaleUDP/shards=%d/degree=3/callers=32", shards), r)
+		if res.Extra == nil {
+			res.Extra = make(map[string]float64, 1)
+		}
+		res.Extra["shards"] = float64(shards)
 		doc.Benchmarks = append(doc.Benchmarks, res)
 	}
 

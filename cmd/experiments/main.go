@@ -6,7 +6,7 @@
 //	go run ./cmd/experiments -run table4.1
 //
 // Experiment IDs: table4.1 table4.2 table4.3 figure4.8 multicast
-// eq5.1 figure5.1 figure6.3 ablation native throughput transport
+// eq5.1 figure5.1 figure6.3 ablation native throughput transport mesh
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"circus/internal/bench"
+	"circus/internal/meshbench"
 	"circus/internal/trace"
 )
 
@@ -140,6 +141,9 @@ func main() {
 		}},
 		{"transport", func() (string, error) {
 			return bench.TransportScaling(16, 3, callIters*10)
+		}},
+		{"mesh", func() (string, error) {
+			return meshbench.MeshScaling(*seed, 3, 32, 16, callIters*10)
 		}},
 	}
 

@@ -42,17 +42,28 @@ const (
 	// locally: the repair half of state transfer (§6.4.1), safe to
 	// apply in any order because keys are unique and values immutable.
 	ProcMerge uint16 = 4
-	// ProcPosition returns the member's state position (the length of
-	// its apply-order log) as 8 bytes big-endian: the rejoin handshake
-	// the repairman uses to choose delta over full state transfer.
+	// ProcPosition returns the member's absolute state position (apply-
+	// order entries applied ever, compacted ones included) as 8 bytes
+	// big-endian: the rejoin handshake the repairman uses to choose
+	// delta over full state transfer.
 	ProcPosition uint16 = 5
 	// ProcDumpSince returns the apply-order suffix from the argument
 	// position (8 bytes big-endian): the delta half of state transfer.
 	ProcDumpSince uint16 = 6
+	// ProcDel deletes a batch of keys (a marshaled []string). Deletes
+	// append tombstone pairs to the apply-order log — so delta transfers
+	// propagate them — and in durable mode are redo-logged and fsynced
+	// like puts. The mesh migration coordinator uses it to drop a moved
+	// key range from its old shard after the epoch flip.
+	ProcDel uint16 = 7
 )
 
 type kvPair struct {
 	Key, Val string
+	// Del marks a tombstone: the pair records the deletion of Key, and
+	// Val is empty. Tombstones live in the apply-order log (and its WAL
+	// records) only until the next snapshot compacts them away.
+	Del bool
 }
 
 // KV is the replicated module under test: a map plus the
@@ -71,9 +82,15 @@ type kvPair struct {
 type KV struct {
 	wal *wal.Log // nil = in-memory member
 
+	// snapMu serializes snapshot compactions: the covered-prefix
+	// truncation must see the same order log the image captured.
+	snapMu sync.Mutex
+
 	mu        sync.Mutex
 	data      map[string]string
-	order     []kvPair          // every applied pair, in apply order
+	order     []kvPair          // applied pairs since the last compaction
+	base      int               // apply-order entries compacted away; position = base + len(order)
+	gen       int               // bumped by Restart, so a stale compaction aborts
 	keyPos    map[string]uint64 // key -> WAL position of its redo record
 	execs     map[string]int
 	conflicts []string // put/merge collisions with a different value
@@ -118,22 +135,37 @@ func (s *KV) Restart() error {
 	defer s.mu.Unlock()
 	s.data = make(map[string]string)
 	s.order = nil
+	s.base = 0
+	s.gen++
 	s.keyPos = make(map[string]uint64)
 	return s.replayLocked(rec)
 }
 
-// replayLocked rebuilds data and order from a recovery image:
-// snapshot pairs (the order log as of the snapshot), then the redo
-// records after it.
+// kvImage is the snapshot wire format: the live pairs plus the
+// apply-order position they cover. Replaying an image costs O(live
+// keys) no matter how many puts and deletes preceded it — tombstones
+// and overwritten history are compacted away at snapshot time.
+type kvImage struct {
+	Position uint64
+	Pairs    []kvPair
+}
+
+// replayLocked rebuilds data and order from a recovery image: the
+// compacted snapshot (live pairs at a recorded apply position), then
+// the redo records after it.
 func (s *KV) replayLocked(rec *wal.Recovered) error {
 	if rec.Snapshot != nil {
-		pairs, err := decodePairs(rec.Snapshot)
-		if err != nil {
-			return err
+		var img kvImage
+		if err := circus.Unmarshal(rec.Snapshot, &img); err != nil {
+			return errors.New("chaos: garbled snapshot: " + err.Error())
 		}
-		for _, p := range pairs {
+		for _, p := range img.Pairs {
 			s.applyLocked(p)
 		}
+		// The image's pairs land at the start of the rebuilt order log;
+		// base re-anchors the member's absolute position so that peers'
+		// position comparisons stay meaningful across the restart.
+		s.base = int(img.Position) - len(s.order)
 	}
 	for _, r := range rec.Records {
 		pairs, err := decodePairs(r)
@@ -151,6 +183,15 @@ func (s *KV) replayLocked(rec *wal.Recovered) error {
 // and what it displaced. Replay and live puts share it, so replayed
 // state is bit-identical to what memory held.
 func (s *KV) applyLocked(p kvPair) (changed, hadOld bool, old string) {
+	if p.Del {
+		old, ok := s.data[p.Key]
+		if !ok {
+			return false, false, "" // idempotent: already gone
+		}
+		delete(s.data, p.Key)
+		s.order = append(s.order, p)
+		return true, true, old
+	}
 	if old, ok := s.data[p.Key]; ok {
 		if old == p.Val {
 			return false, true, old // idempotent duplicate
@@ -171,6 +212,12 @@ func (s *KV) applyLocked(p kvPair) (changed, hadOld bool, old string) {
 func (s *KV) undoLocked(p kvPair, hadOld bool, old string) {
 	if n := len(s.order); n > 0 && s.order[n-1] == p {
 		s.order = s.order[:n-1]
+	}
+	if p.Del {
+		if hadOld {
+			s.data[p.Key] = old
+		}
+		return
 	}
 	if hadOld {
 		s.data[p.Key] = old
@@ -216,18 +263,54 @@ func (s *KV) ackDurable(target uint64) error {
 	return nil
 }
 
-// snapshot writes the order log as a snapshot, truncating the WAL.
-// Position and state are captured under s.mu — appends also happen
-// under s.mu, so the position exactly covers the captured state.
+// snapshot writes the live state as a compacted snapshot, truncating
+// the WAL, then drops the covered apply-order prefix (tombstones
+// included) from memory. Position and state are captured under s.mu —
+// appends also happen under s.mu, so the position exactly covers the
+// captured state. The image holds live pairs only: a delete-heavy
+// history costs O(live keys) to replay, not O(operations ever).
 func (s *KV) snapshot() {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
 	s.mu.Lock()
+	gen := s.gen
 	pos := s.wal.Pos()
-	state, err := circus.Marshal(s.order)
+	covered := len(s.order)
+	img := kvImage{Position: uint64(s.base + covered)}
+	img.Pairs = make([]kvPair, 0, len(s.data))
+	for k, v := range s.data {
+		img.Pairs = append(img.Pairs, kvPair{Key: k, Val: v})
+	}
 	s.mu.Unlock()
+	sort.Slice(img.Pairs, func(i, j int) bool { return img.Pairs[i].Key < img.Pairs[j].Key })
+	state, err := circus.Marshal(img)
 	if err != nil {
 		return
 	}
-	_ = s.wal.SnapshotAt(state, pos) // failure just delays truncation
+	if s.wal.SnapshotAt(state, pos) != nil {
+		return // failure just delays truncation and compaction
+	}
+	s.mu.Lock()
+	if s.gen != gen {
+		// The member restarted under us: replay already rebuilt (and
+		// re-anchored) the order log, so the captured prefix is gone.
+		s.mu.Unlock()
+		return
+	}
+	// Appends that raced in since the capture stay in the suffix; only
+	// the covered prefix is compacted. Retry-durability bookkeeping for
+	// anything the snapshot covers is settled (the image is on disk), so
+	// prune keyPos entries of keys that no longer exist.
+	s.base += covered
+	s.order = append([]kvPair(nil), s.order[covered:]...)
+	for k, p := range s.keyPos {
+		if p <= pos {
+			if _, live := s.data[k]; !live {
+				delete(s.keyPos, k)
+			}
+		}
+	}
+	s.mu.Unlock()
 }
 
 // Dispatch implements circus.Module.
@@ -255,6 +338,15 @@ func (s *KV) Dispatch(call *circus.ServerCall, proc uint16, args []byte) ([]byte
 			return nil, err
 		}
 		if err := s.merge(dump); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	case ProcDel:
+		var keys []string
+		if err := circus.Unmarshal(args, &keys); err != nil {
+			return nil, err
+		}
+		if err := s.del(keys, call.Thread().Key()); err != nil {
 			return nil, err
 		}
 		return nil, nil
@@ -306,13 +398,68 @@ func (s *KV) put(p kvPair, execKey string) error {
 	return s.ackDurable(target)
 }
 
-// merge folds a peer's pairs in, skipping those already present, and
-// in durable mode redo-logs what it added (one batch record) before
-// returning.
+// del applies a batch of tombstones and, for durable members, awaits
+// their durability before acking — the mirror of put. A retry of a
+// delete whose key is already gone waits on the original tombstone
+// record's durability (keyPos), exactly like a retried put whose fsync
+// failed; if the tombstone was already compacted into a snapshot,
+// keyPos is empty and the state is durable by construction.
+func (s *KV) del(keys []string, execKey string) error {
+	s.mu.Lock()
+	if execKey != "" {
+		s.execs[execKey]++
+	}
+	var applied []kvPair
+	var olds []string
+	var target uint64
+	for _, k := range keys {
+		p := kvPair{Key: k, Del: true}
+		changed, _, old := s.applyLocked(p)
+		if changed {
+			applied = append(applied, p)
+			olds = append(olds, old)
+		} else if s.wal != nil {
+			if pos := s.keyPos[k]; pos > target {
+				target = pos
+			}
+		}
+	}
+	if s.wal != nil && len(applied) > 0 {
+		pos, err := s.logLocked(applied)
+		if err != nil {
+			for i := len(applied) - 1; i >= 0; i-- {
+				s.undoLocked(applied[i], true, olds[i])
+			}
+			s.mu.Unlock()
+			return err
+		}
+		if pos > target {
+			target = pos
+		}
+	}
+	s.mu.Unlock()
+	return s.ackDurable(target)
+}
+
+// merge folds a peer's pairs in — adds skipping those already present,
+// tombstones deleting what is — and in durable mode redo-logs what it
+// applied (one batch record) before returning.
 func (s *KV) merge(dump []kvPair) error {
 	s.mu.Lock()
 	var added []kvPair
+	var olds []string
 	for _, p := range dump {
+		if p.Del {
+			old, ok := s.data[p.Key]
+			if !ok {
+				continue
+			}
+			delete(s.data, p.Key)
+			s.order = append(s.order, p)
+			added = append(added, p)
+			olds = append(olds, old)
+			continue
+		}
 		if old, ok := s.data[p.Key]; ok {
 			if old != p.Val {
 				s.conflicts = append(s.conflicts, fmt.Sprintf("merge %q: %q vs %q", p.Key, p.Val, old))
@@ -322,13 +469,14 @@ func (s *KV) merge(dump []kvPair) error {
 		s.data[p.Key] = p.Val
 		s.order = append(s.order, p)
 		added = append(added, p)
+		olds = append(olds, "")
 	}
 	var target uint64
 	if s.wal != nil && len(added) > 0 {
 		pos, err := s.logLocked(added)
 		if err != nil {
 			for i := len(added) - 1; i >= 0; i-- {
-				s.undoLocked(added[i], false, "")
+				s.undoLocked(added[i], added[i].Del, olds[i])
 			}
 			s.mu.Unlock()
 			return err
@@ -339,26 +487,30 @@ func (s *KV) merge(dump []kvPair) error {
 	return s.ackDurable(target)
 }
 
-// Position returns the length of the apply-order log: how much state
-// this member has, in its own ordering.
+// Position returns the member's absolute apply-order position — how
+// much state it has, in its own ordering, counting entries already
+// compacted into a snapshot.
 func (s *KV) Position() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.order)
+	return s.base + len(s.order)
 }
 
-// DumpSince externalizes the apply-order suffix from position from —
-// the delta a briefly-absent member needs. A position beyond the log
-// yields an empty dump.
+// DumpSince externalizes the apply-order suffix from absolute position
+// from — the delta a briefly-absent member needs. A position beyond
+// the log yields an empty dump; a position inside the compacted prefix
+// is an error, which sends the repairman down its full-transfer path.
 func (s *KV) DumpSince(from int) ([]byte, error) {
 	s.mu.Lock()
-	if from < 0 {
-		from = 0
+	if from < s.base {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("chaos: suffix from %d compacted away (base %d)", from, s.base)
 	}
-	if from > len(s.order) {
-		from = len(s.order)
+	rel := from - s.base
+	if rel > len(s.order) {
+		rel = len(s.order)
 	}
-	dump := append([]kvPair(nil), s.order[from:]...)
+	dump := append([]kvPair(nil), s.order[rel:]...)
 	s.mu.Unlock()
 	return circus.Marshal(dump)
 }

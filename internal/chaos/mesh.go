@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"sort"
+
+	"circus"
+)
+
+// This file adapts the KV module to the mesh layer: the routing-key
+// extractor for the guard's ownership check and the state codec the
+// migration controller moves key ranges with. Both are structural
+// (mesh.KeyFunc and mesh.StateCodec), so the KV stays ignorant of the
+// mesh and vice versa.
+
+// KVKeys extracts the routing key from a KV call. Only the keyed data
+// path (put, get) is guarded; dumps, merges, positions, and deletes
+// are repair and migration traffic that addresses a shard on purpose.
+func KVKeys(proc uint16, args []byte) (string, bool) {
+	switch proc {
+	case ProcPut:
+		var p kvPair
+		if circus.Unmarshal(args, &p) != nil {
+			return "", false
+		}
+		return p.Key, true
+	case ProcGet:
+		return string(args), true
+	}
+	return "", false
+}
+
+// KVCodec implements mesh.StateCodec over the KV's repair procedures.
+type KVCodec struct{}
+
+// Procs returns the dump/merge/delete procedure numbers.
+func (KVCodec) Procs() (dump, merge, del uint16) { return ProcDump, ProcMerge, ProcDel }
+
+// Union folds several members' dumps into one sorted dump. Values are
+// immutable per key, so union order cannot matter.
+func (KVCodec) Union(dumps [][]byte) ([]byte, error) {
+	u := make(map[string]string)
+	for _, d := range dumps {
+		pairs, err := decodePairs(d)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pairs {
+			if !p.Del {
+				u[p.Key] = p.Val
+			}
+		}
+	}
+	out := make([]kvPair, 0, len(u))
+	for k, v := range u {
+		out = append(out, kvPair{Key: k, Val: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return circus.Marshal(out)
+}
+
+// Filter returns the subset of a dump whose keys satisfy keep.
+func (KVCodec) Filter(dump []byte, keep func(string) bool) ([]byte, []string, error) {
+	pairs, err := decodePairs(dump)
+	if err != nil {
+		return nil, nil, err
+	}
+	var subset []kvPair
+	var keys []string
+	for _, p := range pairs {
+		if !p.Del && keep(p.Key) {
+			subset = append(subset, p)
+			keys = append(keys, p.Key)
+		}
+	}
+	data, err := circus.Marshal(subset)
+	return data, keys, err
+}
+
+// EncodeKeys externalizes a key batch for ProcDel.
+func (KVCodec) EncodeKeys(keys []string) ([]byte, error) { return circus.Marshal(keys) }
+
+// PutArgs externalizes one put for callers routing through the mesh.
+func PutArgs(key, val string) ([]byte, error) {
+	return circus.Marshal(kvPair{Key: key, Val: val})
+}

@@ -26,6 +26,13 @@ type Config struct {
 	Seed int64
 	// Servers is the KV troupe degree. Default 3.
 	Servers int
+	// Shards, when above one, runs the mesh campaign instead of the
+	// single-troupe one: Shards consistent-hash partitions of the key
+	// space, each its own troupe of Servers members behind an
+	// ownership guard, clients routing through the shard map, and a
+	// live split migrating a range onto a spare shard while the fault
+	// schedule (including whole-shard kills and partitions) plays out.
+	Shards int
 	// Clients is the number of concurrent client processes. Default 3.
 	Clients int
 	// Ops is the number of put operations per client caller. Default 30.
@@ -138,6 +145,14 @@ type Result struct {
 	Reads      int
 	LinearOps  int
 	LinearKeys int
+	// Redirects, Parks, and MapRefreshes aggregate the mesh clients'
+	// routing recoveries; SplitRollbacks counts live-split attempts
+	// the fault schedule forced into rollback before one stuck
+	// (mesh campaigns).
+	Redirects      int64
+	Parks          int64
+	MapRefreshes   int64
+	SplitRollbacks int
 	// Violations lists every invariant breach; empty means the troupe
 	// survived the campaign.
 	Violations []string
@@ -204,6 +219,9 @@ func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.RestartAll && !cfg.Durable {
 		return nil, fmt.Errorf("chaos: RestartAll requires Durable (a whole-troupe power loss without logs loses everything)")
+	}
+	if cfg.Shards > 1 {
+		return runMesh(cfg)
 	}
 	res := &Result{Seed: cfg.Seed,
 		Schedule: GenerateWith(cfg.Seed, cfg.Servers, Faults{Durable: cfg.Durable, RestartAll: cfg.RestartAll})}

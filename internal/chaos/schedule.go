@@ -41,6 +41,20 @@ const (
 	KindDiskSlow
 	// KindDiskHeal lifts the victim's disk faults.
 	KindDiskHeal
+	// KindShardKill power-fails every member of one shard troupe at
+	// once — the mesh analog of KindKillAll. Only durable mesh
+	// campaigns schedule it: a whole shard losing memory without logs
+	// would lose its partition outright.
+	KindShardKill
+	// KindShardRestart powers the killed shard's members back on.
+	KindShardRestart
+	// KindShardPartition isolates one whole shard troupe from
+	// everything else — binder, clients, repairmen, and the other
+	// shards. Its partition of the key space goes dark; a migration
+	// touching it must roll back rather than lose acked writes.
+	KindShardPartition
+	// KindShardHeal removes the shard partition.
+	KindShardHeal
 )
 
 func (k Kind) String() string {
@@ -67,6 +81,14 @@ func (k Kind) String() string {
 		return "disk-slow"
 	case KindDiskHeal:
 		return "disk-heal"
+	case KindShardKill:
+		return "shard-kill"
+	case KindShardRestart:
+		return "shard-restart"
+	case KindShardPartition:
+		return "shard-partition"
+	case KindShardHeal:
+		return "shard-heal"
 	default:
 		return "?"
 	}
@@ -76,17 +98,20 @@ func (k Kind) String() string {
 type Event struct {
 	At       time.Duration
 	Kind     Kind
-	Server   int   // victim server index (Crash, Restart)
-	Minority []int // isolated server indices (Partition)
+	Server   int   // victim member index within its shard (Crash, Restart)
+	Shard    int   // victim shard index (mesh campaigns; 0 otherwise)
+	Minority []int // isolated member indices (Partition)
 	Loss     float64
 }
 
 func (e Event) String() string {
 	switch e.Kind {
 	case KindCrash, KindRestart, KindDiskFull, KindDiskSlow, KindDiskHeal:
-		return fmt.Sprintf("%v %v s%d", e.At.Round(time.Millisecond), e.Kind, e.Server)
+		return fmt.Sprintf("%v %v s%d.%d", e.At.Round(time.Millisecond), e.Kind, e.Shard, e.Server)
+	case KindShardKill, KindShardRestart, KindShardPartition:
+		return fmt.Sprintf("%v %v shard %d", e.At.Round(time.Millisecond), e.Kind, e.Shard)
 	case KindPartition:
-		return fmt.Sprintf("%v %v %v", e.At.Round(time.Millisecond), e.Kind, e.Minority)
+		return fmt.Sprintf("%v %v s%d.%v", e.At.Round(time.Millisecond), e.Kind, e.Shard, e.Minority)
 	case KindLossBurst:
 		return fmt.Sprintf("%v %v %.0f%%", e.At.Round(time.Millisecond), e.Kind, e.Loss*100)
 	default:
@@ -119,6 +144,12 @@ type Faults struct {
 	// server machine killed at once, then restarted to recover from
 	// its own log. Requires Durable.
 	RestartAll bool
+	// Shards, when above one, generates a mesh campaign: member-level
+	// faults pick a victim shard, and the schedule adds a mandatory
+	// whole-shard partition (plus, when Durable, a whole-shard power
+	// loss) so at least one fault lands on an entire partition of the
+	// key space at once.
+	Shards int
 }
 
 // Generate derives the classic fault schedule from seed: the
@@ -153,10 +184,26 @@ func GenerateWith(seed int64, servers int, f Faults) Schedule {
 	if f.RestartAll {
 		kinds = append(kinds, KindKillAll)
 	}
+	if f.Shards > 1 {
+		kinds = append(kinds, KindShardPartition)
+		if f.Durable {
+			kinds = append(kinds, KindShardKill)
+		}
+	}
 	for i := 0; i < rng.Intn(3); i++ {
 		kinds = append(kinds, pool[rng.Intn(len(pool))])
 	}
 	rng.Shuffle(len(kinds), func(i, j int) { kinds[i], kinds[j] = kinds[j], kinds[i] })
+
+	// Mesh campaigns aim every member-level fault at a seed-chosen
+	// shard; the draw is gated so single-troupe schedules stay
+	// byte-identical across this feature's introduction.
+	shard := func() int {
+		if f.Shards > 1 {
+			return rng.Intn(f.Shards)
+		}
+		return 0
+	}
 
 	s := Schedule{Seed: seed}
 	at := jitter(200*time.Millisecond, 150*time.Millisecond)
@@ -165,9 +212,10 @@ func GenerateWith(seed int64, servers int, f Faults) Schedule {
 		switch k {
 		case KindCrash:
 			victim := rng.Intn(servers)
+			sh := shard()
 			s.Events = append(s.Events,
-				Event{At: at, Kind: KindCrash, Server: victim},
-				Event{At: at + hold, Kind: KindRestart, Server: victim})
+				Event{At: at, Kind: KindCrash, Server: victim, Shard: sh},
+				Event{At: at + hold, Kind: KindRestart, Server: victim, Shard: sh})
 		case KindPartition:
 			// Isolate a random minority: fewer than half the servers.
 			k := 1
@@ -177,7 +225,7 @@ func GenerateWith(seed int64, servers int, f Faults) Schedule {
 			perm := rng.Perm(servers)
 			minority := append([]int(nil), perm[:k]...)
 			s.Events = append(s.Events,
-				Event{At: at, Kind: KindPartition, Minority: minority},
+				Event{At: at, Kind: KindPartition, Minority: minority, Shard: shard()},
 				Event{At: at + hold, Kind: KindHeal})
 		case KindLossBurst:
 			loss := 0.15 + 0.25*rng.Float64()
@@ -193,14 +241,30 @@ func GenerateWith(seed int64, servers int, f Faults) Schedule {
 				Event{At: at + hold, Kind: KindRestartAll})
 		case KindDiskFull:
 			victim := rng.Intn(servers)
+			sh := shard()
 			s.Events = append(s.Events,
-				Event{At: at, Kind: KindDiskFull, Server: victim},
-				Event{At: at + hold, Kind: KindDiskHeal, Server: victim})
+				Event{At: at, Kind: KindDiskFull, Server: victim, Shard: sh},
+				Event{At: at + hold, Kind: KindDiskHeal, Server: victim, Shard: sh})
 		case KindDiskSlow:
 			victim := rng.Intn(servers)
+			sh := shard()
 			s.Events = append(s.Events,
-				Event{At: at, Kind: KindDiskSlow, Server: victim},
-				Event{At: at + hold, Kind: KindDiskHeal, Server: victim})
+				Event{At: at, Kind: KindDiskSlow, Server: victim, Shard: sh},
+				Event{At: at + hold, Kind: KindDiskHeal, Server: victim, Shard: sh})
+		case KindShardPartition:
+			sh := rng.Intn(f.Shards)
+			s.Events = append(s.Events,
+				Event{At: at, Kind: KindShardPartition, Shard: sh},
+				Event{At: at + hold, Kind: KindShardHeal})
+		case KindShardKill:
+			// Held longer, like the kill-all: every member of the shard
+			// must recover from its log and rejoin before the next
+			// episode.
+			sh := rng.Intn(f.Shards)
+			hold += jitter(200*time.Millisecond, 200*time.Millisecond)
+			s.Events = append(s.Events,
+				Event{At: at, Kind: KindShardKill, Shard: sh},
+				Event{At: at + hold, Kind: KindShardRestart, Shard: sh})
 		}
 		at += hold + jitter(200*time.Millisecond, 200*time.Millisecond)
 	}

@@ -137,6 +137,16 @@ type ResilientOptions struct {
 	// binding agent, §6.2). A successful rebind retries immediately —
 	// staleness is not congestion, so it is not backed off.
 	Rebind func(ctx context.Context, stale Troupe) (Troupe, error)
+	// RebindOnTotalFailure, when set (and Rebind is set), also consults
+	// the binder after an attempt in which every member failed. The
+	// default rebinds only on StaleBindingError — a member's explicit
+	// verdict — because total silence usually means a partition, where
+	// the binding is fine and re-looking it up is wasted load. A troupe
+	// that can be REPLACED wholesale (every member swapped, as mesh
+	// rebalancing does) never produces a stale verdict: the old members
+	// are simply gone, so total failure is the only staleness signal
+	// there is.
+	RebindOnTotalFailure bool
 	// Suspicion, when set, is a tracker shared with other callers of
 	// the same process, so one caller's crash evidence benefits all.
 	// Nil means a private tracker.
@@ -282,6 +292,12 @@ func (c *ResilientCaller) Call(ctx context.Context, proc uint16, args []byte, op
 			} else {
 				lastErr = rerr
 			}
+		} else if c.opts.RebindOnTotalFailure && c.opts.Rebind != nil {
+			// No member produced a verdict; the troupe may have been
+			// replaced wholesale. Best effort: a fresh binding (if the
+			// binder has one) is installed before the backed-off retry; a
+			// failed lookup leaves the old binding in place.
+			_ = c.rebind(ctx)
 		}
 
 		if serr := c.sleep(ctx, c.backoffDelay(attempt)); serr != nil {

@@ -1,0 +1,86 @@
+package mesh
+
+import (
+	"context"
+	"fmt"
+
+	"circus/internal/ringmaster"
+	"circus/internal/wire"
+)
+
+// DefaultVnodes is the virtual-node count per shard when a map does
+// not specify one.
+const DefaultVnodes = 64
+
+// ShardMap is the epoch-versioned partition table of one mesh
+// service: which shard troupes exist and which of them are parked.
+// The authoritative copy lives in the Ringmaster (published with a
+// compare-and-set on the epoch, so concurrent rebalancers serialize);
+// every guard and client holds a possibly-stale cached copy and
+// reconciles through the epoch number.
+//
+// Parked shards are the migration window: a key whose owner is parked
+// is accepted nowhere — clients back off and retry until the epoch
+// that unparks it. Refusal-then-retry rather than dual-logging keeps
+// the no-lost-update argument trivial: an acked write is always acked
+// by the key's (unique) owner under some epoch, and the migration
+// copies the owner's range only while nothing can write to it.
+type ShardMap struct {
+	// Service is the logical service name, the key under which the map
+	// is published in the Ringmaster.
+	Service string
+	// Epoch versions the map; successors are published at epoch+1.
+	Epoch uint64
+	// Vnodes is the ring's virtual-node count (0 = DefaultVnodes).
+	Vnodes int
+	// Shards lists the shard troupe names, each registered with the
+	// Ringmaster as an ordinary troupe.
+	Shards []string
+	// Parked lists shards whose key ranges are mid-migration.
+	Parked []string
+}
+
+// Ring derives the map's consistent-hash ring.
+func (m *ShardMap) Ring() *Ring { return NewRing(m.Shards, m.Vnodes) }
+
+// IsParked reports whether shard is parked in this map.
+func (m *ShardMap) IsParked(shard string) bool {
+	for _, p := range m.Parked {
+		if p == shard {
+			return true
+		}
+	}
+	return false
+}
+
+// Encode externalizes the map for publication.
+func (m *ShardMap) Encode() ([]byte, error) { return wire.Marshal(*m) }
+
+// DecodeMap internalizes a published map.
+func DecodeMap(data []byte) (*ShardMap, error) {
+	var m ShardMap
+	if err := wire.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("mesh: garbled shard map: %w", err)
+	}
+	return &m, nil
+}
+
+// PublishMap offers m to the binding agent at its epoch; the
+// Ringmaster accepts it only if the epoch is exactly one past the
+// stored one.
+func PublishMap(ctx context.Context, binder *ringmaster.Client, m *ShardMap) error {
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	return binder.PublishMap(ctx, m.Service, m.Epoch, data)
+}
+
+// FetchShardMap retrieves the latest published map for a service.
+func FetchShardMap(ctx context.Context, binder *ringmaster.Client, service string) (*ShardMap, error) {
+	_, data, err := binder.FetchMap(ctx, service)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMap(data)
+}

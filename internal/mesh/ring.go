@@ -1,0 +1,106 @@
+// Package mesh composes many troupes into one partitioned service: a
+// consistent-hash ring assigns every key to a shard, each shard is an
+// ordinary troupe registered with the Ringmaster under its own name
+// (and hence its own troupe ID), and an epoch-versioned shard map —
+// published through the Ringmaster — tells clients and servers who
+// owns what.
+//
+// The paper's machinery is reused at every joint rather than
+// reinvented: clients reach each shard through resilient replicated
+// procedure calls with the binding cache of §6.1; ownership changes
+// ride the same configuration path as membership changes (§6.2) — a
+// new epoch is published, servers learn it and refuse keys they no
+// longer own, and clients rebind on the refusal exactly as they do on
+// a stale troupe ID. Splitting and merging shards moves key ranges
+// with the state-transfer procedures that member rejoin already uses
+// (§6.4.1), so a live rebalancing is, mechanically, a repair the
+// system already knows how to perform.
+package mesh
+
+import "sort"
+
+// hash64 hashes s without allocating: FNV-1a for the byte walk, then
+// a 64-bit finalizer (the murmur3 fmix) for avalanche. Raw FNV-1a of
+// similar strings — workload keys like "c0.g1.k42", vnode labels of
+// one shard — clusters badly: trailing-byte differences barely mix,
+// so one shard's points form a contiguous arc and the "ring" degrades
+// into a few giant ranges. The finalizer spreads them uniformly.
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Ring is a consistent-hash ring over shard names: each shard
+// contributes Vnodes points, and a key belongs to the shard owning
+// the first point at or clockwise after the key's hash. Virtual nodes
+// smooth the partition sizes and, on a split, carve the new shard's
+// range out of every existing shard rather than halving one victim.
+type Ring struct {
+	shards []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int32 // index into shards
+}
+
+// NewRing builds the ring for the given shard names. vnodes <= 0
+// means DefaultVnodes. The point set is a pure function of the names,
+// so every client and server derives the identical ring from the same
+// shard map.
+func NewRing(shards []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{
+		shards: append([]string(nil), shards...),
+		points: make([]ringPoint, 0, len(shards)*vnodes),
+	}
+	var buf [8]byte
+	for i, name := range r.shards {
+		for v := 0; v < vnodes; v++ {
+			buf = [8]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v), '#'}
+			r.points = append(r.points, ringPoint{
+				hash:  hash64(name + string(buf[:5])),
+				shard: int32(i),
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// Owner returns the shard name owning key, empty if the ring is empty.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	// First point with hash >= h, wrapping to points[0] past the end.
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(r.points) {
+		lo = 0
+	}
+	return r.shards[r.points[lo].shard]
+}
+
+// Shards returns the shard names the ring was built over.
+func (r *Ring) Shards() []string { return r.shards }

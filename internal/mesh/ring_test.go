@@ -1,0 +1,139 @@
+package mesh
+
+import (
+	"fmt"
+	"testing"
+
+	"circus/internal/core"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("c%d.g%d.k%d", i%7, i%3, i)
+	}
+	return out
+}
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	shards := []string{"kv/s0", "kv/s1", "kv/s2", "kv/s3"}
+	a, b := NewRing(shards, 64), NewRing(shards, 64)
+	counts := make(map[string]int)
+	for _, k := range keys(4000) {
+		oa, ob := a.Owner(k), b.Owner(k)
+		if oa != ob {
+			t.Fatalf("ring not deterministic: %q -> %q vs %q", k, oa, ob)
+		}
+		if oa == "" {
+			t.Fatalf("key %q owned by nobody", k)
+		}
+		counts[oa]++
+	}
+	for _, s := range shards {
+		if counts[s] < 400 { // 10% of 4000; fair share is 25%
+			t.Fatalf("shard %s owns only %d/4000 keys: ring badly unbalanced (%v)", s, counts[s], counts)
+		}
+	}
+}
+
+// TestRingStability pins the consistent-hashing property the
+// migration protocol relies on: growing the ring moves keys only TO
+// the new shard, shrinking it moves keys only OFF the removed shard.
+// Parking the subject shard's range alone is safe precisely because
+// no other ownership changes.
+func TestRingStability(t *testing.T) {
+	old := NewRing([]string{"kv/s0", "kv/s1", "kv/s2"}, 64)
+	grown := NewRing([]string{"kv/s0", "kv/s1", "kv/s2", "kv/s3"}, 64)
+	movedIn := 0
+	for _, k := range keys(4000) {
+		was, is := old.Owner(k), grown.Owner(k)
+		if was != is {
+			if is != "kv/s3" {
+				t.Fatalf("grow moved %q between old shards: %q -> %q", k, was, is)
+			}
+			movedIn++
+		}
+	}
+	if movedIn == 0 {
+		t.Fatal("grow moved no keys to the new shard")
+	}
+	for _, k := range keys(4000) {
+		was, is := grown.Owner(k), old.Owner(k)
+		if was != "kv/s3" && was != is {
+			t.Fatalf("shrink moved %q between survivors: %q -> %q", k, was, is)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	if o := NewRing(nil, 8).Owner("k"); o != "" {
+		t.Fatalf("empty ring owns %q", o)
+	}
+}
+
+func TestGuardRefusals(t *testing.T) {
+	inner := core.ModuleFunc(func(call *core.ServerCall, proc uint16, args []byte) ([]byte, error) {
+		return []byte("served"), nil
+	})
+	keyFn := func(proc uint16, args []byte) (string, bool) {
+		return string(args), proc == 1
+	}
+	g := NewGuard("kv/s0", inner, keyFn)
+
+	// No map installed: everything passes (bootstrap window).
+	if res, err := g.Dispatch(nil, 1, []byte("anything")); err != nil || string(res) != "served" {
+		t.Fatalf("unmapped guard: %q, %v", res, err)
+	}
+
+	m := &ShardMap{Service: "kv", Epoch: 7, Vnodes: 16, Shards: []string{"kv/s0", "kv/s1"}}
+	g.Install(m)
+	ring := m.Ring()
+	var mine, theirs string
+	for _, k := range keys(200) {
+		switch ring.Owner(k) {
+		case "kv/s0":
+			mine = k
+		case "kv/s1":
+			theirs = k
+		}
+	}
+	if mine == "" || theirs == "" {
+		t.Fatal("could not find keys on both shards")
+	}
+
+	if res, err := g.Dispatch(nil, 1, []byte(mine)); err != nil || string(res) != "served" {
+		t.Fatalf("owned key: %q, %v", res, err)
+	}
+	// Unguarded procs pass regardless of the key.
+	if _, err := g.Dispatch(nil, 2, []byte(theirs)); err != nil {
+		t.Fatalf("unguarded proc refused: %v", err)
+	}
+
+	_, err := g.Dispatch(nil, 1, []byte(theirs))
+	if err == nil {
+		t.Fatal("foreign key served")
+	}
+	// The guard's raw error becomes an AppError at the client; wrap it
+	// the way the call layer does before parsing.
+	owner, epoch, ok := WrongShard(&core.AppError{Msg: err.Error()})
+	if !ok || owner != "kv/s1" || epoch != 7 {
+		t.Fatalf("WrongShard(%v) = %q, %d, %v", err, owner, epoch, ok)
+	}
+
+	g.Install(&ShardMap{Service: "kv", Epoch: 8, Vnodes: 16,
+		Shards: []string{"kv/s0", "kv/s1"}, Parked: []string{"kv/s1"}})
+	_, err = g.Dispatch(nil, 1, []byte(theirs))
+	if err == nil {
+		t.Fatal("parked key served")
+	}
+	epoch, ok = Parked(&core.AppError{Msg: err.Error()})
+	if !ok || epoch != 8 {
+		t.Fatalf("Parked(%v) = %d, %v", err, epoch, ok)
+	}
+
+	// Stale installs are ignored: maps only move forward.
+	g.Install(m)
+	if got := g.Map().Epoch; got != 8 {
+		t.Fatalf("stale install regressed the map to epoch %d", got)
+	}
+}

@@ -1,0 +1,39 @@
+package meshbench
+
+import "testing"
+
+// TestMeshClusterSmoke drives a small simulated mesh end to end:
+// preload through the write path, closed-loop reads through the mesh
+// clients, no routing faults expected on a calm map.
+func TestMeshClusterSmoke(t *testing.T) {
+	c, err := NewMeshCluster(7, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Preload(32); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ConcurrentGets(8, 64, 32); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Redirects != 0 || st.Parks != 0 {
+		t.Fatalf("routing faults on a calm map: %+v", st)
+	}
+}
+
+// TestMeshClusterUDPSmoke runs the same loop over real sharded
+// loopback UDP — the kernel transport under the partition tier.
+func TestMeshClusterUDPSmoke(t *testing.T) {
+	c, err := NewMeshClusterUDP(7, 2, 3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Preload(16); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ConcurrentGets(4, 32, 16); err != nil {
+		t.Fatal(err)
+	}
+}

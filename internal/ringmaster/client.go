@@ -199,6 +199,29 @@ func (c *Client) NewResilientCaller(ctx context.Context, name string, opts core.
 	return core.NewResilientCaller(c.rt, t, opts), nil
 }
 
+// PublishMap offers an epoch-versioned configuration blob for a
+// service name. The binding agent accepts it only if epoch is exactly
+// one past the stored epoch (compare-and-set), so concurrent
+// publishers serialize: exactly one wins each epoch.
+func (c *Client) PublishMap(ctx context.Context, service string, epoch uint64, data []byte) error {
+	_, err := c.call(ctx, ProcPublishMap, publishMapArgs{Service: service, Epoch: epoch, Data: data})
+	return err
+}
+
+// FetchMap returns the latest published configuration blob and its
+// epoch for a service name.
+func (c *Client) FetchMap(ctx context.Context, service string) (uint64, []byte, error) {
+	res, err := c.call(ctx, ProcFetchMap, service)
+	if err != nil {
+		return 0, nil, err
+	}
+	var rep mapReply
+	if err := wire.Unmarshal(res, &rep); err != nil {
+		return 0, nil, err
+	}
+	return rep.Epoch, rep.Data, nil
+}
+
 // ListNames enumerates every registered troupe name.
 func (c *Client) ListNames(ctx context.Context) ([]string, error) {
 	res, err := c.call(ctx, ProcListNames, struct{}{})

@@ -37,6 +37,14 @@ const (
 	ProcRemoveTroupeMember uint16 = 5
 	ProcRebind             uint16 = 6
 	ProcListNames          uint16 = 7
+	// ProcPublishMap/ProcFetchMap store and retrieve small epoch-
+	// versioned configuration blobs keyed by service name — the mesh
+	// layer's shard maps. Publish is compare-and-set on the epoch
+	// (exactly current+1 is accepted), a deterministic transition, so a
+	// replicated Ringmaster stays consistent and two racing rebalancing
+	// coordinators cannot both win the same epoch.
+	ProcPublishMap uint16 = 8
+	ProcFetchMap   uint16 = 9
 )
 
 // WellKnownPort is the degenerate bootstrap binding of §6.3: the
@@ -82,6 +90,17 @@ type rebindArgs struct {
 	StaleID uint64
 }
 
+type publishMapArgs struct {
+	Service string
+	Epoch   uint64
+	Data    []byte
+}
+
+type mapReply struct {
+	Epoch uint64
+	Data  []byte
+}
+
 // entry is the registration record for one troupe name.
 type entry struct {
 	id          uint64
@@ -96,6 +115,7 @@ type entry struct {
 type Service struct {
 	mu      sync.Mutex
 	entries map[string]*entry
+	maps    map[string]mapReply // service -> latest published map
 
 	// InformMembers, when true (the default), makes membership
 	// changes call set_troupe_id at every member of the affected
@@ -109,7 +129,7 @@ type Service struct {
 
 // NewService returns an empty Ringmaster.
 func NewService() *Service {
-	return &Service{entries: make(map[string]*entry), InformMembers: true}
+	return &Service{entries: make(map[string]*entry), maps: make(map[string]mapReply), InformMembers: true}
 }
 
 var _ core.Module = (*Service)(nil)
@@ -172,6 +192,18 @@ func (s *Service) Dispatch(call *core.ServerCall, proc uint16, args []byte) ([]b
 		return s.lookupByName(a.Name)
 	case ProcListNames:
 		return s.listNames()
+	case ProcPublishMap:
+		var a publishMapArgs
+		if err := wire.Unmarshal(args, &a); err != nil {
+			return nil, err
+		}
+		return s.publishMap(a)
+	case ProcFetchMap:
+		var service string
+		if err := wire.Unmarshal(args, &service); err != nil {
+			return nil, err
+		}
+		return s.fetchMap(service)
 	default:
 		return nil, core.ErrNoSuchProc
 	}
@@ -354,6 +386,37 @@ func (s *Service) listNames() ([]byte, error) {
 	return wire.Marshal(names)
 }
 
+// publishMap stores a configuration blob for a service iff the offered
+// epoch is exactly one past the stored one (zero when none): first-
+// writer-wins compare-and-set, so concurrent coordinators serialize.
+func (s *Service) publishMap(a publishMapArgs) ([]byte, error) {
+	s.mu.Lock()
+	cur := s.maps[a.Service].Epoch
+	if a.Epoch != cur+1 {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("ringmaster: stale map publish for %q: have epoch %d, offered %d",
+			a.Service, cur, a.Epoch)
+	}
+	s.maps[a.Service] = mapReply{Epoch: a.Epoch, Data: append([]byte(nil), a.Data...)}
+	s.mu.Unlock()
+	if s.Tracer.Enabled() {
+		s.Tracer.Emit(trace.Event{Kind: trace.KindRegister,
+			Troupe: a.Epoch, N: len(a.Data), Detail: "map:" + a.Service})
+	}
+	return wire.Marshal(a.Epoch)
+}
+
+// fetchMap returns the latest published map for a service.
+func (s *Service) fetchMap(service string) ([]byte, error) {
+	s.mu.Lock()
+	rep, ok := s.maps[service]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("ringmaster: no map published for %q", service)
+	}
+	return wire.Marshal(rep)
+}
+
 // stateRecord is the externalized form of one entry, used for state
 // transfer when a new Ringmaster member joins (§6.4.1).
 type stateRecord struct {
@@ -363,38 +426,61 @@ type stateRecord struct {
 	Members     []wireAddr
 }
 
+// mapStateRecord externalizes one published map for state transfer.
+type mapStateRecord struct {
+	Service string
+	Epoch   uint64
+	Data    []byte
+}
+
+// stateImage is the full externalized Ringmaster state: registrations
+// plus published maps, both sorted for replica determinism.
+type stateImage struct {
+	Troupes []stateRecord
+	Maps    []mapStateRecord
+}
+
 // GetState implements core.StateProvider.
 func (s *Service) GetState() ([]byte, error) {
 	s.mu.Lock()
-	recs := make([]stateRecord, 0, len(s.entries))
+	img := stateImage{Troupes: make([]stateRecord, 0, len(s.entries))}
 	for name, e := range s.entries {
 		r := stateRecord{Name: name, ID: e.id, Incarnation: e.incarnation}
 		for _, m := range e.members {
 			r.Members = append(r.Members, toWire(m))
 		}
-		recs = append(recs, r)
+		img.Troupes = append(img.Troupes, r)
+	}
+	for service, m := range s.maps {
+		img.Maps = append(img.Maps, mapStateRecord{Service: service, Epoch: m.Epoch, Data: m.Data})
 	}
 	s.mu.Unlock()
-	sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
-	return wire.Marshal(recs)
+	sort.Slice(img.Troupes, func(i, j int) bool { return img.Troupes[i].Name < img.Troupes[j].Name })
+	sort.Slice(img.Maps, func(i, j int) bool { return img.Maps[i].Service < img.Maps[j].Service })
+	return wire.Marshal(img)
 }
 
 // SetState implements core.StateProvider.
 func (s *Service) SetState(b []byte) error {
-	var recs []stateRecord
-	if err := wire.Unmarshal(b, &recs); err != nil {
+	var img stateImage
+	if err := wire.Unmarshal(b, &img); err != nil {
 		return err
 	}
-	entries := make(map[string]*entry, len(recs))
-	for _, r := range recs {
+	entries := make(map[string]*entry, len(img.Troupes))
+	for _, r := range img.Troupes {
 		e := &entry{id: r.ID, incarnation: r.Incarnation}
 		for _, w := range r.Members {
 			e.members = append(e.members, fromWire(w))
 		}
 		entries[r.Name] = e
 	}
+	maps := make(map[string]mapReply, len(img.Maps))
+	for _, m := range img.Maps {
+		maps[m.Service] = mapReply{Epoch: m.Epoch, Data: append([]byte(nil), m.Data...)}
+	}
 	s.mu.Lock()
 	s.entries = entries
+	s.maps = maps
 	s.mu.Unlock()
 	return nil
 }

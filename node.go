@@ -163,6 +163,19 @@ func ListenUDP(port uint16, opts ...Option) (*Node, error) {
 	return newNode(ep, pairedmsg.Options{}, opts...)
 }
 
+// ListenUDPSharded creates a node on a sharded UDP endpoint: shards
+// SO_REUSEPORT sockets with per-shard drain loops (and, when the
+// kernel grants it, io_uring batch sends) behind one address. The
+// kernel-transport deployment for multi-core machines; shards of 1 is
+// equivalent to ListenUDP with the pooled receive path.
+func ListenUDPSharded(port uint16, shards int, opts ...Option) (*Node, error) {
+	ep, err := udptrans.ListenSharded(port, shards)
+	if err != nil {
+		return nil, err
+	}
+	return newNode(ep, pairedmsg.Options{}, opts...)
+}
+
 func newNode(ep transport.Endpoint, msg pairedmsg.Options, opts ...Option) (*Node, error) {
 	cfg := nodeConfig{msg: msg}
 	for _, o := range opts {
