@@ -30,6 +30,7 @@
 //	go run ./cmd/chaos -seeds 5 -trace /tmp/traces   # seed<N>.jsonl per campaign
 //	go run ./cmd/chaos -seeds 10 -durable -restart-all
 //	go run ./cmd/chaos -seeds 5 -shards 2 -durable -linearize
+//	go run ./cmd/chaos -seeds 5 -shards 2 -linearize -spread-reads -zipf 1.2
 //	go run ./cmd/chaos -explore -schedules 10
 package main
 
@@ -94,6 +95,10 @@ func main() {
 		monitored  = flag.Bool("monitor", false, "run the online runtime monitor live against each campaign's trace stream")
 		monSample  = flag.Int("monitor-sample", 0, "monitor 1-in-N identity sampling rate (0 = observe everything)")
 		linearize  = flag.Bool("linearize", false, "interleave reads and check the operation history for per-key linearizability")
+		spread     = flag.Bool("spread-reads", false, "route the linearized reads through the mesh spread-read path (one member per read, position tokens); requires -shards > 1 and -linearize")
+		readFrac   = flag.Float64("read-frac", 0.5, "probability each caller follows a write with a read (with -linearize)")
+		zipf       = flag.Float64("zipf", 0, "Zipfian exponent (>1) skewing read-key popularity toward a few hot keys; 0 = uniform")
+		plantStale = flag.Bool("plant-stale-read", false, "plant the stale-read guard defect; the campaign must catch it and report VIOLATED (with -spread-reads)")
 		durable    = flag.Bool("durable", false, "write-ahead log every member; crashes become power losses, disk faults join the schedule")
 		restartAll = flag.Bool("restart-all", false, "power-fail the whole troupe at once mid-campaign (requires -durable)")
 		snapEvery  = flag.Int("snapshot-every", 64, "snapshot cadence in log records (durable mode)")
@@ -148,7 +153,8 @@ func main() {
 	for _, s := range list {
 		cfg := chaos.Config{Seed: s, Servers: *servers, Shards: *shards, Clients: *clients, Ops: *ops, Callers: *callers,
 			Durable: *durable, RestartAll: *restartAll, SnapshotEvery: *snapEvery,
-			Monitor: *monitored, MonitorSample: *monSample, Linearize: *linearize}
+			Monitor: *monitored, MonitorSample: *monSample, Linearize: *linearize,
+			SpreadReads: *spread, ReadFrac: *readFrac, Zipf: *zipf, PlantStaleReadBug: *plantStale}
 		if *verbose {
 			cfg.Log = func(format string, args ...any) {
 				fmt.Printf(format+"\n", args...)
@@ -190,6 +196,11 @@ func main() {
 		if *shards > 1 {
 			fmt.Printf(" redirects=%d parks=%d refreshes=%d rollbacks=%d",
 				res.Redirects, res.Parks, res.MapRefreshes, res.SplitRollbacks)
+		}
+		if *spread {
+			fmt.Printf(" spread=%d bounces=%d escalations=%d widened=%d pushes=%d stale-serves=%d",
+				res.SpreadReads, res.StaleBounces, res.Escalations,
+				res.HotWidenings, res.MapPushes, res.StaleServes)
 		}
 		if *monitored {
 			fmt.Printf(" monitored=%d/%d", res.MonitorSampled, res.MonitorEvents)

@@ -256,9 +256,45 @@ func writeBenchJSON(maxDegree int, seed int64) (string, error) {
 		c.Close()
 		res := record(fmt.Sprintf("MeshScale/shards=%d/degree=3/callers=32", shards), r)
 		if res.Extra == nil {
-			res.Extra = make(map[string]float64, 1)
+			res.Extra = make(map[string]float64, 2)
 		}
 		res.Extra["shards"] = float64(shards)
+		res.Extra["read_frac"] = 1
+		doc.Benchmarks = append(doc.Benchmarks, res)
+	}
+
+	// Read-path scale-out: single-shard degree-3 keyed reads at 16
+	// closed-loop callers, once over the strict quorum read (every
+	// member serializes the value onto its downlink) and once over the
+	// spread read (one member per read, position-token checked). The
+	// committed pair is the read-scaling gate: the spread "calls/s"
+	// must stay ≥ 2× the quorum figure, and -read-smoke re-measures
+	// both against it.
+	for _, mode := range []string{"quorum", "spread"} {
+		c, err := meshbench.NewMeshCluster(seed+int64(500), 1, 3, 16)
+		if err != nil {
+			return "", err
+		}
+		if err := c.Preload(meshbench.MeshKeyspace); err != nil {
+			c.Close()
+			return "", err
+		}
+		w := meshbench.Workload{ReadFrac: 1, Spread: mode == "spread", Seed: seed}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			if err := c.ConcurrentOps(16, b.N, meshbench.MeshKeyspace, w); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+		})
+		c.Close()
+		res := record(fmt.Sprintf("MeshRead/path=%s/shards=1/degree=3/callers=16", mode), r)
+		if res.Extra == nil {
+			res.Extra = make(map[string]float64, 1)
+		}
+		res.Extra["read_frac"] = 1
 		doc.Benchmarks = append(doc.Benchmarks, res)
 	}
 

@@ -36,6 +36,8 @@ func main() {
 	benchJSON := flag.Int("bench-json", 0, "measure hot-path benchmarks up to this replication degree, write BENCH_<n>.json, and exit")
 	packetSmoke := flag.String("packet-smoke", "", "re-measure throughput datagrams/op against this committed BENCH_<n>.json and exit nonzero on a >25% regression")
 	allocSmoke := flag.String("alloc-smoke", "", "re-measure replicated-call allocs/op against this committed BENCH_<n>.json and exit nonzero on a >15% regression")
+	readSmoke := flag.String("read-smoke", "", "re-measure mesh read throughput against this committed BENCH_<n>.json and exit nonzero on a >25% regression")
+	readFrac := flag.Float64("read-frac", 1, "read fraction of the mesh scale-out experiment's workload")
 	mutexProf := flag.String("mutexprofile", "", "record runtime mutex contention during the run and write the profile to this file")
 	cpuProf := flag.String("cpuprofile", "", "record a CPU profile during the run and write it to this file")
 	flag.Parse()
@@ -82,6 +84,14 @@ func main() {
 			log.Fatalf("alloc-smoke: %v", err)
 		}
 		fmt.Println("alloc-smoke: allocs/op within bounds of the committed baseline")
+		return
+	}
+
+	if *readSmoke != "" {
+		if err := runReadSmoke(*readSmoke, *seed); err != nil {
+			log.Fatalf("read-smoke: %v", err)
+		}
+		fmt.Println("read-smoke: mesh read throughput within bounds of the committed baseline")
 		return
 	}
 
@@ -143,7 +153,10 @@ func main() {
 			return bench.TransportScaling(16, 3, callIters*10)
 		}},
 		{"mesh", func() (string, error) {
-			return meshbench.MeshScaling(*seed, 3, 32, 16, callIters*10)
+			return meshbench.MeshScaling(*seed, 3, 32, 16, callIters*10, *readFrac)
+		}},
+		{"spread", func() (string, error) {
+			return meshbench.MeshSpreadScaling(*seed, 3, 16, 16, callIters*10)
 		}},
 	}
 

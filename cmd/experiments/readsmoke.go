@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"circus/internal/meshbench"
+)
+
+// readSmokeTolerance is how far mesh read throughput may fall below
+// the committed baseline before the smoke check fails: the spread-read
+// path exists to make reads scale with the replication degree, and a
+// quiet 25% throughput regression would erase that long before any
+// correctness signal noticed.
+const readSmokeTolerance = 1.25
+
+// runReadSmoke re-measures reads/s for every MeshRead entry of a
+// committed BENCH_<n>.json and returns an error naming each path whose
+// throughput regressed beyond the tolerance. Like the packet smoke it
+// is a smoke test, not a benchmark: one short burst per path, compared
+// against the committed "calls/s" figure.
+func runReadSmoke(baselinePath string, seed int64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+
+	var failures []string
+	checked := 0
+	for _, base := range doc.Benchmarks {
+		want, ok := base.Extra["calls/s"]
+		if !ok || !strings.HasPrefix(base.Name, "MeshRead/") {
+			continue
+		}
+		parts := strings.Split(strings.TrimPrefix(base.Name, "MeshRead/path="), "/")
+		if len(parts) != 4 {
+			continue
+		}
+		mode := parts[0]
+		var shards, degree, callers int
+		if _, err := fmt.Sscanf(strings.Join(parts[1:], "/"), "shards=%d/degree=%d/callers=%d", &shards, &degree, &callers); err != nil {
+			continue
+		}
+		got, err := measureReadThroughput(seed, mode, shards, degree, callers)
+		if err != nil {
+			return fmt.Errorf("%s: %w", base.Name, err)
+		}
+		checked++
+		status := "ok"
+		if got < want/readSmokeTolerance {
+			status = "REGRESSED"
+			failures = append(failures,
+				fmt.Sprintf("%s: %.0f reads/s vs baseline %.0f (floor %.0f)",
+					base.Name, got, want, want/readSmokeTolerance))
+		}
+		fmt.Printf("read-smoke %-44s baseline %8.0f  measured %8.0f  %s\n",
+			base.Name, want, got, status)
+	}
+	if checked == 0 {
+		return fmt.Errorf("%s holds no MeshRead calls/s entries to compare", baselinePath)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("read throughput regressed beyond %.0f%% of baseline:\n  %s",
+			(readSmokeTolerance-1)*100, strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// measureReadThroughput runs one short read-only burst at the MeshRead
+// operating point and reports reads per second.
+func measureReadThroughput(seed int64, mode string, shards, degree, callers int) (float64, error) {
+	total := 120 * callers
+	if total < 500 {
+		total = 500
+	}
+	return meshbench.MeshThroughput(seed+500, shards, degree, callers, 16, total,
+		meshbench.Workload{ReadFrac: 1, Spread: mode == "spread", Seed: seed})
+}

@@ -87,6 +87,10 @@ func meshWriteQuorum(need int) func(n int) circus.Collator {
 // linearizable across the epoch flips.
 func runMesh(cfg Config) (*Result, error) {
 	const service = "kv"
+	if cfg.PlantStaleReadBug {
+		mesh.PlantedStaleReadBug = true
+		defer func() { mesh.PlantedStaleReadBug = false }()
+	}
 	res := &Result{Seed: cfg.Seed,
 		Schedule: GenerateWith(cfg.Seed, cfg.Servers,
 			Faults{Durable: cfg.Durable, RestartAll: cfg.RestartAll, Shards: cfg.Shards})}
@@ -255,6 +259,18 @@ func runMesh(cfg Config) (*Result, error) {
 		}
 		clients[i] = client{node: n, mc: mc}
 	}
+	if cfg.SpreadReads {
+		// Spread-read campaigns also exercise the push half of the map
+		// distribution: every client registers as a Ringmaster watcher,
+		// so epoch flips arrive as pushes and steady-state traffic never
+		// needs a refusal-driven refetch. The pull path stays as the
+		// fallback for anything a push misses.
+		for _, cl := range clients {
+			if err := cl.mc.EnableWatch(ctx); err != nil {
+				return nil, err
+			}
+		}
+	}
 
 	powerLoss := func(s, i int) {
 		sh := shards[s]
@@ -346,18 +362,53 @@ func runMesh(cfg Config) (*Result, error) {
 						failed++
 					}
 					mu.Unlock()
-					if hist != nil && rng.Intn(2) == 0 {
-						// Strict read of a key some caller may have written,
-						// routed to its owner shard but collated over the
-						// full member view — every member of a
-						// majority-sized view must answer identically, or
-						// the read is dropped as unanswered (see the
-						// single-troupe campaign for why). The guard's
-						// refusals land as member errors, so a read against
-						// a mid-migration or mis-routed shard simply drops.
-						rkey := fmt.Sprintf("c%d.g%d.k%d",
-							rng.Intn(cfg.Clients), rng.Intn(cfg.Callers), rng.Intn(op+1))
-						if _, rc, err := clients[ci].mc.ShardCaller(ctx, rkey); err == nil {
+					if hist != nil && rng.Float64() < cfg.ReadFrac {
+						rkey := readKey(rng, cfg, op)
+						if cfg.SpreadReads {
+							// Spread read: one member, chosen by the client's
+							// rotation, answering only at or past the client's
+							// position token. The invoke is recorded before
+							// the call — a late start would unsoundly narrow
+							// the operation's window. Campaign keys are
+							// write-once, so a present value is the value and
+							// is recorded directly; an absent answer is only a
+							// session-level fact (another client's acked write
+							// may not have reached this member), so absence is
+							// confirmed by the strict majority read before it
+							// constrains the history, and dropped otherwise.
+							rp := hist.Invoke(ci*cfg.Callers+gi, linear.Read, rkey, "")
+							out, rerr := clients[ci].mc.SpreadRead(ctx, rkey, ProcGet, []byte(rkey),
+								core.CallOptions{Timeout: 300 * time.Millisecond, Collator: strictRead})
+							switch {
+							case rerr == nil && len(out) > 0:
+								rp.Done(string(out))
+								mu.Lock()
+								reads++
+								mu.Unlock()
+							case rerr == nil:
+								if _, rc, err := clients[ci].mc.ShardCaller(ctx, rkey); err == nil {
+									if tr := rc.Troupe(); tr.Degree() >= majority {
+										out, rerr = clients[ci].node.StubFor(tr).
+											Call(ctx, ProcGet, []byte(rkey), circus.WithTimeout(300*time.Millisecond),
+												circus.WithCollator(strictRead))
+										if rerr == nil {
+											rp.Done(string(out))
+											mu.Lock()
+											reads++
+											mu.Unlock()
+										}
+									}
+								}
+							}
+						} else if _, rc, err := clients[ci].mc.ShardCaller(ctx, rkey); err == nil {
+							// Strict read of a key some caller may have written,
+							// routed to its owner shard but collated over the
+							// full member view — every member of a
+							// majority-sized view must answer identically, or
+							// the read is dropped as unanswered (see the
+							// single-troupe campaign for why). The guard's
+							// refusals land as member errors, so a read against
+							// a mid-migration or mis-routed shard simply drops.
 							if tr := rc.Troupe(); tr.Degree() >= majority {
 								rp := hist.Invoke(ci*cfg.Callers+gi, linear.Read, rkey, "")
 								out, rerr := clients[ci].node.StubFor(tr).
@@ -566,6 +617,22 @@ func runMesh(cfg Config) (*Result, error) {
 		res.Redirects += st.Redirects
 		res.Parks += st.Parks
 		res.MapRefreshes += st.Refreshes
+		res.SpreadReads += st.SpreadReads
+		res.StaleBounces += st.StaleBounces
+		res.Escalations += st.Escalations
+		res.HotWidenings += st.HotWidenings
+		res.MapPushes += st.MapPushes
+		res.StaleServes += st.StaleServes
+	}
+	if res.StaleServes > 0 {
+		// A member answered a spread read from below the demanded
+		// position token. The clients discard such answers, so the
+		// recorded history stays clean — but the guard is broken, and a
+		// campaign that sees one must fail. This is how the planted
+		// stale-read defect is caught.
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("spread reads: %d answers below the client's position token (stale-read guard defect)",
+				res.StaleServes))
 	}
 	for _, sh := range shards {
 		res.Removed += sh.repair.removed

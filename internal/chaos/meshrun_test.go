@@ -83,3 +83,36 @@ func TestMeshCampaignDurableLinearized(t *testing.T) {
 		res.Seed, res.Acked, res.Failed, res.Reads, res.LinearOps, res.LinearKeys,
 		res.Recoveries, res.SplitRollbacks)
 }
+
+// TestMeshCampaignSpreadReads runs the mesh campaign with the
+// spread-read workload: linearized reads routed to one member each
+// under position tokens, Zipf-skewed keys exercising the hot-key
+// widening, and every client registered for Ringmaster map pushes.
+// The recorded history must stay per-key linearizable through the
+// faults, the bounce/escalate ladder, and the live split — and no
+// member may ever answer below a client's token.
+func TestMeshCampaignSpreadReads(t *testing.T) {
+	res, err := Run(Config{Seed: 31, Shards: 2, Ops: 8, Callers: 2,
+		Linearize: true, SpreadReads: true, Zipf: 1.2, Log: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("invariant violations: %v", res.Violations)
+	}
+	if res.Acked == 0 {
+		t.Fatal("no operation was acknowledged during the campaign")
+	}
+	if res.SpreadReads == 0 {
+		t.Fatal("campaign recorded no spread reads")
+	}
+	if res.MapPushes == 0 {
+		t.Fatal("no shard-map push reached a watching client")
+	}
+	if res.StaleServes != 0 {
+		t.Fatalf("members answered %d spread reads below the token", res.StaleServes)
+	}
+	t.Logf("seed %d: acked=%d reads=%d spread=%d bounces=%d escalations=%d widened=%d pushes=%d linear ops=%d",
+		res.Seed, res.Acked, res.Reads, res.SpreadReads, res.StaleBounces,
+		res.Escalations, res.HotWidenings, res.MapPushes, res.LinearOps)
+}

@@ -74,6 +74,28 @@ type Config struct {
 	// removing from the binding, and such a write is legitimately
 	// invisible until the member rejoins and merges.
 	Linearize bool
+	// SpreadReads routes the linearized mesh clients' reads through the
+	// spread-read path — one member per read, chosen by load-aware
+	// rotation, carrying the client's position token — instead of the
+	// strict replicated read. A value answer is recorded directly
+	// (campaign keys are write-once, so a present value is always the
+	// value); an absent answer is inconclusive under the token's session
+	// guarantee and is confirmed by the strict majority read before it
+	// is recorded. Requires Shards > 1 and Linearize.
+	SpreadReads bool
+	// ReadFrac is the probability each caller follows a write with a
+	// read (Linearize mode). Default 0.5.
+	ReadFrac float64
+	// Zipf, when > 1, skews read-key popularity with a Zipfian
+	// distribution of that exponent, so a handful of keys soak up most
+	// reads — the workload the spread path's hot-key widening must
+	// absorb. <= 1 keeps the uniform choice.
+	Zipf float64
+	// PlantStaleReadBug plants the guard-side defect that answers
+	// spread reads from below the demanded position token. The clients'
+	// reply-position audit must catch it: a campaign with the bug
+	// planted must report a violation. Test-only; requires SpreadReads.
+	PlantStaleReadBug bool
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
 	// Trace, when set, additionally receives every node's trace events
@@ -97,6 +119,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SnapshotEvery == 0 {
 		c.SnapshotEvery = 64
+	}
+	if c.ReadFrac == 0 {
+		c.ReadFrac = 0.5
 	}
 	if c.Log == nil {
 		c.Log = func(string, ...any) {}
@@ -153,6 +178,18 @@ type Result struct {
 	Parks          int64
 	MapRefreshes   int64
 	SplitRollbacks int
+	// SpreadReads through StaleServes aggregate the spread-read path
+	// (mesh campaigns with SpreadReads): reads served by one member,
+	// stale refusals bounced past, escalations to the strict replicated
+	// read, hot-key widenings, shard maps installed from Ringmaster
+	// pushes, and — always a violation — answers below the client's
+	// position token.
+	SpreadReads  int64
+	StaleBounces int64
+	Escalations  int64
+	HotWidenings int64
+	MapPushes    int64
+	StaleServes  int64
 	// Violations lists every invariant breach; empty means the troupe
 	// survived the campaign.
 	Violations []string
@@ -211,6 +248,22 @@ func strictRead(n int) circus.Collator {
 	})
 }
 
+// readKey picks which caller's key a read probe targets — often
+// another client's, so reads cross replicas the writer never talked
+// to. With Zipf skew the flattened (client, caller, op) rank space is
+// sampled Zipfian-ly, making rank 0 — c0.g0.k0 — soak up most reads:
+// the hot-key workload the spread path's widening detector must
+// absorb. Without skew every written key is equally likely.
+func readKey(rng *rand.Rand, cfg Config, op int) string {
+	nc, ng := cfg.Clients, cfg.Callers
+	if cfg.Zipf > 1 {
+		z := rand.NewZipf(rng, cfg.Zipf, 1, uint64(nc*ng*(op+1))-1)
+		r := int(z.Uint64())
+		return fmt.Sprintf("c%d.g%d.k%d", r%nc, (r/nc)%ng, r/(nc*ng))
+	}
+	return fmt.Sprintf("c%d.g%d.k%d", rng.Intn(nc), rng.Intn(ng), rng.Intn(op+1))
+}
+
 // Run executes one fault campaign: build a replicated KV troupe with
 // a binding agent and a repairman, launch concurrent clients through
 // resilient stubs, apply the seeded fault schedule, then quiesce,
@@ -219,6 +272,17 @@ func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.RestartAll && !cfg.Durable {
 		return nil, fmt.Errorf("chaos: RestartAll requires Durable (a whole-troupe power loss without logs loses everything)")
+	}
+	if cfg.SpreadReads {
+		if cfg.Shards <= 1 {
+			return nil, fmt.Errorf("chaos: SpreadReads requires Shards > 1 (the spread path is the mesh client's read path)")
+		}
+		if !cfg.Linearize {
+			return nil, fmt.Errorf("chaos: SpreadReads requires Linearize (the spread workload is the linearized read probe)")
+		}
+	}
+	if cfg.PlantStaleReadBug && !cfg.SpreadReads {
+		return nil, fmt.Errorf("chaos: PlantStaleReadBug requires SpreadReads (the defect lives on the spread-read path)")
 	}
 	if cfg.Shards > 1 {
 		return runMesh(cfg)
@@ -431,7 +495,7 @@ func Run(cfg Config) (*Result, error) {
 						failed++
 					}
 					mu.Unlock()
-					if hist != nil && rng.Intn(2) == 0 {
+					if hist != nil && rng.Float64() < cfg.ReadFrac {
 						// Read a key some caller may have written by now —
 						// often another client's, so the read crosses
 						// replicas the writer never talked to. The read
@@ -448,8 +512,7 @@ func Run(cfg Config) (*Result, error) {
 						// recorded write. The resilient stub is wrong here
 						// for the same reason: its suspicion skipping is
 						// built to leave lagging members out.
-						rkey := fmt.Sprintf("c%d.g%d.k%d",
-							rng.Intn(cfg.Clients), rng.Intn(cfg.Callers), rng.Intn(op+1))
+						rkey := readKey(rng, cfg, op)
 						if tr := clients[ci].stub.Troupe(); tr.Degree() >= majority {
 							rp := hist.Invoke(ci*cfg.Callers+gi, linear.Read, rkey, "")
 							out, rerr := clients[ci].node.StubFor(tr).

@@ -397,6 +397,76 @@ func (rt *Runtime) Call(ctx context.Context, dest Troupe, proc uint16, args []by
 	return res, nil
 }
 
+// CallMember performs a one-member procedure call: the call message
+// goes to a single troupe member and that member's lone reply is
+// returned directly, bypassing collation entirely — no collator, no
+// fan-out goroutine, no reply channel beyond the one leg. It is the
+// client half of a spread read (mesh routing a read to one replica):
+// the member still deduplicates by thread ID and call path, so
+// exactly-once execution holds per attempt, but none of the error
+// detection of the replicated call applies — the caller has chosen to
+// trust one member, and must bring its own staleness defense (the
+// mesh layer's position token).
+func (rt *Runtime) CallMember(ctx context.Context, dest Troupe, member int, proc uint16, args []byte, opts CallOptions) ([]byte, error) {
+	if member < 0 || member >= len(dest.Members) {
+		return nil, errors.New("core: member index out of range")
+	}
+	m := dest.Members[member]
+	tc := opts.thread
+	if tc == nil {
+		tc = opts.Thread
+	}
+	if tc == nil {
+		tc = thread.FromContext(ctx)
+	}
+	if tc == nil {
+		tc = rt.NewThread()
+	}
+	if opts.clientTroupe == 0 {
+		opts.clientTroupe = opts.AsTroupe
+	}
+	path := tc.NextCallPath()
+	if rt.tr.EnabledFor(trace.KindCallIssued) {
+		rt.tr.Emit(trace.Event{Kind: trace.KindCallIssued,
+			Troupe: uint64(dest.ID), Proc: proc,
+			ThreadHost: tc.ID().Host, ThreadProc: tc.ID().Proc, Path: path,
+			N: 1})
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = rt.opts.DefaultCallTimeout
+	}
+	callCtx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		callCtx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	hdr := callHeader{
+		ThreadHost:   tc.ID().Host,
+		ThreadProc:   tc.ID().Proc,
+		Path:         path,
+		ClientTroupe: uint64(opts.clientTroupe),
+		DestTroupe:   uint64(dest.ID), // incarnation check still applies (§6.2)
+		Module:       m.Module,
+		Proc:         proc,
+		Args:         args,
+	}
+	data, err := wire.Marshal(hdr)
+	if err != nil {
+		return nil, err
+	}
+	// The one leg runs synchronously on the caller's goroutine; the
+	// buffered channel means callMember's push never blocks.
+	items := make(chan collate.Item, 1)
+	rt.callMember(callCtx, member, m, data, items)
+	it := <-items
+	if it.Err != nil {
+		return nil, it.Err
+	}
+	return it.Data, nil
+}
+
 // summarizeFailure turns a set of all-failed items into the most
 // actionable error: a stale binding beats a crash report, because the
 // client can recover from it by rebinding (§6.1); a unanimous

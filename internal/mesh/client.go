@@ -28,11 +28,18 @@ type Options struct {
 	// MaxParkWaits bounds those retries; a migration stuck longer than
 	// MaxParkWaits*ParkWait surfaces as an error. Zero means 250.
 	MaxParkWaits int
+	// HotKeyRate is the per-key read rate (reads/second, EWMA-smoothed)
+	// above which spread reads widen from the key's affinity member to
+	// whole-troupe rotation. Zero means 64; negative disables widening.
+	HotKeyRate float64
 }
 
 func (o Options) withDefaults() Options {
 	if o.MaxRedirects == 0 {
 		o.MaxRedirects = 4
+	}
+	if o.HotKeyRate == 0 {
+		o.HotKeyRate = 64
 	}
 	if o.ParkWait == 0 {
 		o.ParkWait = 20 * time.Millisecond
@@ -47,7 +54,8 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// ClientStats counts a mesh client's routing recoveries.
+// ClientStats counts a mesh client's routing recoveries and its
+// spread-read traffic.
 type ClientStats struct {
 	// Redirects counts wrong-shard refusals absorbed.
 	Redirects int64
@@ -55,6 +63,24 @@ type ClientStats struct {
 	Parks int64
 	// Refreshes counts shard-map refetches from the Ringmaster.
 	Refreshes int64
+	// MapPushes counts newer maps installed from Ringmaster pushes
+	// (EnableWatch): epochs that arrived before any refusal could.
+	MapPushes int64
+	// SpreadReads counts reads served by a single member.
+	SpreadReads int64
+	// StaleBounces counts spread refusals by members behind the token.
+	StaleBounces int64
+	// Escalations counts spread reads that fell back to the strict
+	// replicated read.
+	Escalations int64
+	// HotWidenings counts cold→hot transitions that widened a key from
+	// its affinity member to whole-troupe rotation.
+	HotWidenings int64
+	// StaleServes counts protocol violations observed by the client: a
+	// member answered a spread read from a position BELOW the demanded
+	// token. Always zero with correct guards; the planted stale-read
+	// bug of the chaos campaigns shows up here.
+	StaleServes int64
 }
 
 // Client is the routing half of a mesh service: it holds a cached
@@ -70,14 +96,25 @@ type Client struct {
 	service string
 	opts    Options
 
-	mu      sync.Mutex
-	m       *ShardMap
-	ring    *Ring
-	callers map[string]*core.ResilientCaller
+	mu       sync.Mutex
+	m        *ShardMap
+	ring     *Ring
+	callers  map[string]*core.ResilientCaller
+	tokens   map[string]uint64 // shard -> position token (spread.go)
+	hot      hotKeys           // per-key read rates (spread.go)
+	watching bool              // push endpoint registered (watch.go)
 
-	redirects atomic.Int64
-	parks     atomic.Int64
-	refreshes atomic.Int64
+	rr atomic.Uint64 // hot-key rotation cursor
+
+	redirects    atomic.Int64
+	parks        atomic.Int64
+	refreshes    atomic.Int64
+	mapPushes    atomic.Int64
+	spreadReads  atomic.Int64
+	staleBounces atomic.Int64
+	escalations  atomic.Int64
+	hotWidenings atomic.Int64
+	staleServes  atomic.Int64
 }
 
 // NewClient fetches the service's shard map from the binding agent
@@ -89,7 +126,9 @@ func NewClient(ctx context.Context, rt *core.Runtime, binder *ringmaster.Client,
 		service: service,
 		opts:    opts.withDefaults(),
 		callers: make(map[string]*core.ResilientCaller),
+		tokens:  make(map[string]uint64),
 	}
+	c.hot = hotKeys{threshold: c.opts.HotKeyRate, rate: make(map[string]*hotStat)}
 	if err := c.Refresh(ctx); err != nil {
 		return nil, err
 	}
@@ -106,9 +145,15 @@ func (c *Client) Map() *ShardMap {
 // Stats returns a snapshot of the routing counters.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
-		Redirects: c.redirects.Load(),
-		Parks:     c.parks.Load(),
-		Refreshes: c.refreshes.Load(),
+		Redirects:    c.redirects.Load(),
+		Parks:        c.parks.Load(),
+		Refreshes:    c.refreshes.Load(),
+		MapPushes:    c.mapPushes.Load(),
+		SpreadReads:  c.spreadReads.Load(),
+		StaleBounces: c.staleBounces.Load(),
+		Escalations:  c.escalations.Load(),
+		HotWidenings: c.hotWidenings.Load(),
+		StaleServes:  c.staleServes.Load(),
 	}
 }
 
@@ -121,10 +166,18 @@ func (c *Client) Refresh(ctx context.Context) error {
 		return err
 	}
 	c.refreshes.Add(1)
+	c.install(m)
+	return nil
+}
+
+// install installs m if its epoch is newer than the cached map's,
+// dropping callers of shards that left, and reports whether it did.
+// Shared by the pull path (Refresh) and the push path (watch.go).
+func (c *Client) install(m *ShardMap) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.m != nil && m.Epoch <= c.m.Epoch {
-		return nil
+		return false
 	}
 	c.m, c.ring = m, m.Ring()
 	live := make(map[string]bool, len(m.Shards))
@@ -136,7 +189,7 @@ func (c *Client) Refresh(ctx context.Context) error {
 			delete(c.callers, name)
 		}
 	}
-	return nil
+	return true
 }
 
 // routes returns the cached map/ring pair.

@@ -19,7 +19,45 @@ const (
 	ProcSetShardMap uint16 = 0xFF00
 	// ProcGetShardMap returns the member's installed map.
 	ProcGetShardMap uint16 = 0xFF01
+	// ProcSpreadRead wraps an inner read so ONE member can answer it
+	// alone: the request carries the client's position token, and the
+	// member refuses (retryably, like a park) unless it has applied at
+	// least that much state — the freshness check that lets a read skip
+	// the strict replicated call without serving the client older state
+	// than it has already seen.
+	ProcSpreadRead uint16 = 0xFF02
 )
+
+// Positioned is the inner-module hook of the spread read: the member's
+// absolute apply-order position, the same number the rejoin handshake
+// exchanges (chaos KV's ProcPosition, the WAL position of durable
+// stores). A module that cannot report a position cannot serve spread
+// reads.
+type Positioned interface {
+	Position() int
+}
+
+// PlantedStaleReadBug, when true, makes every guard skip the
+// position check and answer spread reads from whatever state it has —
+// the planted defect the chaos campaigns must catch via the client's
+// reply-position check. Test-only, like core.PlantedRebindBug.
+var PlantedStaleReadBug = false
+
+// spreadReadArgs is the wire form of a spread read request: the
+// client's position token plus the wrapped inner call.
+type spreadReadArgs struct {
+	MinPos uint64
+	Proc   uint16
+	Args   []byte
+}
+
+// spreadReadReply carries the serving member's position alongside the
+// inner result, so the client can advance its token — and audit that
+// the member really was at least as fresh as demanded.
+type spreadReadReply struct {
+	Pos  uint64
+	Data []byte
+}
 
 // KeyFunc extracts the routing key from a call. guarded=false marks
 // procedures outside the keyed data path — state transfer, repair,
@@ -97,22 +135,71 @@ func (g *Guard) Dispatch(call *core.ServerCall, proc uint16, args []byte) ([]byt
 			return nil, errors.New("mesh: no shard map installed")
 		}
 		return m.Encode()
+	case ProcSpreadRead:
+		return g.spreadRead(call, args)
 	}
 	if key, guarded := g.key(proc, args); guarded {
-		g.mu.Lock()
-		m, ring := g.m, g.ring
-		g.mu.Unlock()
-		if m != nil {
-			owner := ring.Owner(key)
-			if m.IsParked(owner) {
-				return nil, fmt.Errorf("%s%d", parkedPrefix, m.Epoch)
-			}
-			if owner != g.self {
-				return nil, fmt.Errorf("%sepoch=%d owner=%s", wrongShardPrefix, m.Epoch, owner)
-			}
+		if err := g.checkOwnership(key); err != nil {
+			return nil, err
 		}
 	}
 	return g.inner.Dispatch(call, proc, args)
+}
+
+// checkOwnership refuses a keyed call this shard must not serve: the
+// key's owner is parked (mid-migration) or is another shard entirely.
+func (g *Guard) checkOwnership(key string) error {
+	g.mu.Lock()
+	m, ring := g.m, g.ring
+	g.mu.Unlock()
+	if m == nil {
+		return nil
+	}
+	owner := ring.Owner(key)
+	if m.IsParked(owner) {
+		return fmt.Errorf("%s%d", parkedPrefix, m.Epoch)
+	}
+	if owner != g.self {
+		return fmt.Errorf("%sepoch=%d owner=%s", wrongShardPrefix, m.Epoch, owner)
+	}
+	return nil
+}
+
+// spreadRead executes the one-member read path: the same ownership
+// check as any keyed call, then the freshness check against the
+// client's token, then the wrapped read. The position is captured
+// BEFORE the inner dispatch and reported alongside the result — a
+// lower bound on the state the answer reflects, so a client advancing
+// its token to it never demands more than it was shown.
+func (g *Guard) spreadRead(call *core.ServerCall, args []byte) ([]byte, error) {
+	var a spreadReadArgs
+	if err := wire.Unmarshal(args, &a); err != nil {
+		return nil, fmt.Errorf("mesh: garbled spread read: %w", err)
+	}
+	key, guarded := g.key(a.Proc, a.Args)
+	if !guarded {
+		return nil, errors.New("mesh: spread read of an unguarded procedure")
+	}
+	if err := g.checkOwnership(key); err != nil {
+		return nil, err
+	}
+	p, ok := g.inner.(Positioned)
+	if !ok {
+		return nil, errors.New("mesh: inner module does not report a position")
+	}
+	pos := uint64(p.Position())
+	if pos < a.MinPos && !PlantedStaleReadBug {
+		// Behind the client's token: this member has not yet applied
+		// state the client has already observed. Refuse retryably — the
+		// client bounces to a fresher member or escalates to the strict
+		// replicated read.
+		return nil, fmt.Errorf("%s%d need=%d", staleReadPrefix, pos, a.MinPos)
+	}
+	res, err := g.inner.Dispatch(call, a.Proc, a.Args)
+	if err != nil {
+		return nil, err
+	}
+	return wire.Marshal(spreadReadReply{Pos: pos, Data: res})
 }
 
 // guardState is the externalized guard: the installed map rides along
@@ -170,6 +257,7 @@ func (g *Guard) SetState(data []byte) error {
 const (
 	wrongShardPrefix = "mesh: wrong shard: "
 	parkedPrefix     = "mesh: parked: epoch="
+	staleReadPrefix  = "mesh: stale read: pos="
 )
 
 // WrongShard extracts a wrong-shard refusal from a call error,
@@ -183,6 +271,19 @@ func WrongShard(err error) (owner string, epoch uint64, ok bool) {
 		return "", 0, false
 	}
 	return owner, epoch, true
+}
+
+// StaleRead extracts a stale-read refusal from a call error, returning
+// the refusing member's position and the position the client demanded.
+func StaleRead(err error) (pos, need uint64, ok bool) {
+	var app *core.AppError
+	if !errors.As(err, &app) || !strings.HasPrefix(app.Msg, staleReadPrefix) {
+		return 0, 0, false
+	}
+	if _, serr := fmt.Sscanf(app.Msg[len(staleReadPrefix):], "%d need=%d", &pos, &need); serr != nil {
+		return 0, 0, false
+	}
+	return pos, need, true
 }
 
 // Parked extracts a parked refusal from a call error, returning the

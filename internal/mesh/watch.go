@@ -1,0 +1,78 @@
+package mesh
+
+import (
+	"context"
+
+	"circus/internal/core"
+	"circus/internal/ringmaster"
+	"circus/internal/trace"
+)
+
+// This file is the push half of shard-map distribution. The pull model
+// (client calls, guard refuses wrong-shard, client refetches) costs one
+// wasted round trip per client per epoch bump; with pushes the
+// Ringmaster delivers each newly published map straight to registered
+// clients, so in the common case a split or merge completes with ZERO
+// client redirects. The pull path stays as the fallback — watcher
+// registrations are soft state on the Ringmaster, and a client that
+// misses a push recovers through the first refusal exactly as before.
+
+// mapWatcher is the module a watching client exports to receive pushed
+// shard maps from the Ringmaster.
+type mapWatcher struct {
+	c *Client
+}
+
+var _ core.Module = (*mapWatcher)(nil)
+
+// Dispatch implements core.Module: decode the pushed map and install it
+// if newer. A replicated Ringmaster's members push through the
+// publish's own ServerCall, so their legs collate here into one call.
+func (w *mapWatcher) Dispatch(call *core.ServerCall, proc uint16, args []byte) ([]byte, error) {
+	if proc != ringmaster.ProcWatcherPush {
+		return nil, core.ErrNoSuchProc
+	}
+	m, err := DecodeMap(args)
+	if err != nil {
+		return nil, err
+	}
+	if w.c.install(m) {
+		w.c.mapPushes.Add(1)
+		if t := w.c.rt.Tracer(); t.EnabledFor(trace.KindShardMapPush) {
+			t.Emit(trace.Event{Kind: trace.KindShardMapPush,
+				Troupe: m.Epoch, N: len(m.Shards), Detail: m.Service})
+		}
+	}
+	return nil, nil
+}
+
+// EnableWatch registers this client for shard-map pushes: it exports a
+// small watcher module on the client's runtime and subscribes it at the
+// Ringmaster. From then on every accepted publish of the service's map
+// is pushed here and installed immediately, keeping steady-state
+// redirects at zero; the refusal-driven pull path remains the fallback.
+// Idempotent.
+func (c *Client) EnableWatch(ctx context.Context) error {
+	c.mu.Lock()
+	if c.watching {
+		c.mu.Unlock()
+		return nil
+	}
+	c.watching = true
+	c.mu.Unlock()
+	addr := c.rt.Export(&mapWatcher{c: c}, core.ExportOptions{})
+	epoch, data, err := c.binder.WatchMap(ctx, c.service, addr)
+	if err != nil {
+		c.rt.Unexport(addr.Module)
+		c.mu.Lock()
+		c.watching = false
+		c.mu.Unlock()
+		return err
+	}
+	if epoch > 0 && len(data) > 0 {
+		if m, derr := DecodeMap(data); derr == nil {
+			c.install(m)
+		}
+	}
+	return nil
+}

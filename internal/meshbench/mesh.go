@@ -3,6 +3,7 @@ package meshbench
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -62,11 +63,21 @@ type meshPair struct {
 // floor so the measurement is the routing and replication machinery,
 // not the application.
 type meshStore struct {
-	mu sync.Mutex
-	m  map[string]string
+	mu  sync.Mutex
+	m   map[string]string
+	pos int // puts applied — the apply-order position spread reads check
 }
 
 func newMeshStore() *meshStore { return &meshStore{m: make(map[string]string)} }
+
+// Position implements mesh.Positioned so the benchmark store can serve
+// spread reads: one position per applied put, identical across a
+// shard's members because replicated calls apply in collation order.
+func (s *meshStore) Position() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pos
+}
 
 func (s *meshStore) Dispatch(_ *core.ServerCall, proc uint16, args []byte) ([]byte, error) {
 	switch proc {
@@ -77,6 +88,7 @@ func (s *meshStore) Dispatch(_ *core.ServerCall, proc uint16, args []byte) ([]by
 		}
 		s.mu.Lock()
 		s.m[p.Key] = p.Val
+		s.pos++
 		s.mu.Unlock()
 		return nil, nil
 	case ProcMeshGet:
@@ -272,6 +284,14 @@ func (c *MeshCluster) get(ctx context.Context, client int, key string) error {
 	return err
 }
 
+// getSpread routes one keyed read to a single shard member via the
+// spread-read path (position token, stale bounce, quorum escalation).
+func (c *MeshCluster) getSpread(ctx context.Context, client int, key string) error {
+	_, err := c.clients[client].SpreadRead(ctx, key, ProcMeshGet, []byte(key),
+		core.CallOptions{Timeout: 5 * time.Second})
+	return err
+}
+
 func meshKey(n int) string { return fmt.Sprintf("bench.k%05d", n) }
 
 // Preload writes the benchmark keyspace (spreading over the clients),
@@ -293,38 +313,80 @@ func (c *MeshCluster) Preload(keys int) error {
 	return nil
 }
 
-// ConcurrentGets issues total keyed reads over the preloaded keyspace
-// from the given number of closed-loop callers, round-robined over
-// the client runtimes, keys spread across the shards by the
-// consistent hash. Mirrors Cluster.ConcurrentCalls: an atomic counter
-// hands out operations, so faster paths do more work.
-func (c *MeshCluster) ConcurrentGets(callers, total, keyspace int) error {
+// Workload shapes the benchmark operation mix.
+type Workload struct {
+	// ReadFrac is the fraction of operations that are reads; 1 means
+	// read-only, 0 all writes.
+	ReadFrac float64
+	// Zipf, when > 1, skews key popularity with a Zipfian distribution
+	// of that exponent over the keyspace (rank 0 hottest); <= 1 keeps
+	// the uniform spread. The skewed mix is what exercises hot-key
+	// widening: one or two keys soak up most reads.
+	Zipf float64
+	// Spread routes reads through the spread-read path (one member per
+	// read) instead of the strict replicated read.
+	Spread bool
+	// Seed makes each caller's op stream deterministic.
+	Seed int64
+}
+
+// ConcurrentOps issues total keyed operations from the given number of
+// closed-loop callers, round-robined over the client runtimes, keys
+// spread across the shards by the consistent hash. Mirrors
+// Cluster.ConcurrentCalls: an atomic counter hands out operations, so
+// faster paths do more work.
+func (c *MeshCluster) ConcurrentOps(callers, total, keyspace int, w Workload) error {
 	ctx := context.Background()
 	var next int64
 	errc := make(chan error, callers)
-	for w := 0; w < callers; w++ {
-		go func() {
+	for cl := 0; cl < callers; cl++ {
+		go func(cl int) {
+			rng := rand.New(rand.NewSource(w.Seed ^ int64(cl)*0x9E3779B9))
+			var zipf *rand.Zipf
+			if w.Zipf > 1 {
+				zipf = rand.NewZipf(rng, w.Zipf, 1, uint64(keyspace-1))
+			}
 			for {
 				n := atomic.AddInt64(&next, 1) - 1
 				if n >= int64(total) {
 					errc <- nil
 					return
 				}
-				key := meshKey(int(n) % keyspace)
-				if err := c.get(ctx, int(n)%len(c.clients), key); err != nil {
-					errc <- fmt.Errorf("get %q: %w", key, err)
+				kn := int(n) % keyspace
+				if zipf != nil {
+					kn = int(zipf.Uint64())
+				}
+				key := meshKey(kn)
+				client := int(n) % len(c.clients)
+				var err error
+				switch {
+				case rng.Float64() >= w.ReadFrac:
+					err = c.put(ctx, client, key)
+				case w.Spread:
+					err = c.getSpread(ctx, client, key)
+				default:
+					err = c.get(ctx, client, key)
+				}
+				if err != nil {
+					errc <- fmt.Errorf("op on %q: %w", key, err)
 					return
 				}
 			}
-		}()
+		}(cl)
 	}
 	var first error
-	for w := 0; w < callers; w++ {
+	for cl := 0; cl < callers; cl++ {
 		if err := <-errc; err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
+}
+
+// ConcurrentGets issues total strict-quorum keyed reads — the
+// read-only uniform workload the scale-out sweep is built on.
+func (c *MeshCluster) ConcurrentGets(callers, total, keyspace int) error {
+	return c.ConcurrentOps(callers, total, keyspace, Workload{ReadFrac: 1})
 }
 
 // Stats sums the routing counters across the mesh clients.
@@ -335,14 +397,20 @@ func (c *MeshCluster) Stats() mesh.ClientStats {
 		st.Redirects += s.Redirects
 		st.Parks += s.Parks
 		st.Refreshes += s.Refreshes
+		st.MapPushes += s.MapPushes
+		st.SpreadReads += s.SpreadReads
+		st.StaleBounces += s.StaleBounces
+		st.Escalations += s.Escalations
+		st.HotWidenings += s.HotWidenings
+		st.StaleServes += s.StaleServes
 	}
 	return st
 }
 
-// MeshThroughput measures closed-loop aggregate keyed reads/s against
-// a freshly built simulated mesh of the given shard count, after
-// preloading the keyspace through the write path.
-func MeshThroughput(seed int64, shards, degree, callers, clientRuntimes, total int) (float64, error) {
+// MeshThroughput measures closed-loop aggregate keyed ops/s against a
+// freshly built simulated mesh of the given shard count and workload,
+// after preloading the keyspace through the write path.
+func MeshThroughput(seed int64, shards, degree, callers, clientRuntimes, total int, w Workload) (float64, error) {
 	c, err := NewMeshCluster(seed, shards, degree, clientRuntimes)
 	if err != nil {
 		return 0, err
@@ -351,42 +419,87 @@ func MeshThroughput(seed int64, shards, degree, callers, clientRuntimes, total i
 	if err := c.Preload(MeshKeyspace); err != nil {
 		return 0, err
 	}
+	if w.Seed == 0 {
+		w.Seed = seed
+	}
 	start := time.Now()
-	if err := c.ConcurrentGets(callers, total, MeshKeyspace); err != nil {
+	if err := c.ConcurrentOps(callers, total, MeshKeyspace, w); err != nil {
 		return 0, err
 	}
 	return float64(total) / time.Since(start).Seconds(), nil
+}
+
+// MeshReadComparison runs the read-scaling experiment of the spread
+// path: one shard at the given degree, the same caller pool, uniform
+// read-only traffic, once with strict quorum reads and once with
+// spread reads. The strict read costs every member a value-sized
+// downlink serialization per read; the spread read costs one. On the
+// bandwidth-bound benchmark wire the ratio therefore approaches the
+// replication degree.
+func MeshReadComparison(seed int64, degree, callers, clientRuntimes, total int) (quorum, spread float64, err error) {
+	quorum, err = MeshThroughput(seed, 1, degree, callers, clientRuntimes, total,
+		Workload{ReadFrac: 1})
+	if err != nil {
+		return 0, 0, err
+	}
+	spread, err = MeshThroughput(seed, 1, degree, callers, clientRuntimes, total,
+		Workload{ReadFrac: 1, Spread: true})
+	if err != nil {
+		return 0, 0, err
+	}
+	return quorum, spread, nil
 }
 
 // MeshShardCounts is the scale-out sweep: 1, 2, 4, and 8 shards at
 // fixed degree and caller count.
 func MeshShardCounts() []int { return []int{1, 2, 4, 8} }
 
-// MeshScaling sweeps aggregate keyed reads/s across shard counts at a
-// fixed degree and caller count — the scale-out curve of the
-// partitioned mesh. total is the read count per point; the caller
+// MeshScaling sweeps aggregate keyed ops/s across shard counts at a
+// fixed degree, caller count, and read fraction — the scale-out curve
+// of the partitioned mesh. total is the op count per point; the caller
 // pool and the per-host wire stay fixed, so the ratio column is the
 // experiment.
-func MeshScaling(seed int64, degree, callers, clientRuntimes, total int) (string, error) {
+func MeshScaling(seed int64, degree, callers, clientRuntimes, total int, readFrac float64) (string, error) {
 	var b strings.Builder
-	b.WriteString("Partitioned mesh — aggregate keyed reads/s vs shard count\n")
+	b.WriteString("Partitioned mesh — aggregate keyed ops/s vs shard count\n")
 	fmt.Fprintf(&b, "netsim 1 Mb/s per-host links, 200-400 us delay, %d B values, degree %d, %d closed-loop callers over %d client runtimes\n",
 		MeshPayloadBytes, degree, callers, clientRuntimes)
-	fmt.Fprintf(&b, "%-7s %12s %9s\n", "shards", "reads/sec", "scaling")
+	fmt.Fprintf(&b, "%-7s %9s %12s %9s\n", "shards", "readfrac", "ops/sec", "scaling")
 	var base float64
 	for _, shards := range MeshShardCounts() {
-		rps, err := MeshThroughput(seed+int64(shards), shards, degree, callers, clientRuntimes, total)
+		rps, err := MeshThroughput(seed+int64(shards), shards, degree, callers, clientRuntimes, total,
+			Workload{ReadFrac: readFrac})
 		if err != nil {
 			return "", err
 		}
 		if base == 0 {
 			base = rps
 		}
-		fmt.Fprintf(&b, "%-7d %12.0f %8.2fx\n", shards, rps, rps/base)
+		fmt.Fprintf(&b, "%-7d %9.2f %12.0f %8.2fx\n", shards, readFrac, rps, rps/base)
 	}
 	b.WriteString("shape: every member of a key's shard serializes the value onto its own\n")
 	b.WriteString("1 Mb/s downlink, so a shard's member links are the saturated resource;\n")
-	b.WriteString("adding shards adds links, and aggregate reads/s climbs near-linearly\n")
+	b.WriteString("adding shards adds links, and aggregate ops/s climbs near-linearly\n")
 	b.WriteString("until the fixed caller pool, not the mesh, is the bottleneck.\n")
+	return b.String(), nil
+}
+
+// MeshSpreadScaling compares quorum and spread read throughput at one
+// shard — the read-path scale-out table for the experiments binary.
+func MeshSpreadScaling(seed int64, degree, callers, clientRuntimes, total int) (string, error) {
+	quorum, spread, err := MeshReadComparison(seed, degree, callers, clientRuntimes, total)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Spread reads — single-shard keyed reads/s by read path\n")
+	fmt.Fprintf(&b, "netsim 1 Mb/s per-host links, %d B values, degree %d, %d closed-loop callers over %d client runtimes\n",
+		MeshPayloadBytes, degree, callers, clientRuntimes)
+	fmt.Fprintf(&b, "%-8s %12s %9s\n", "path", "reads/sec", "vs base")
+	fmt.Fprintf(&b, "%-8s %12.0f %8.2fx\n", "quorum", quorum, 1.0)
+	fmt.Fprintf(&b, "%-8s %12.0f %8.2fx\n", "spread", spread, spread/quorum)
+	b.WriteString("shape: the strict read serializes the value onto every member's downlink;\n")
+	b.WriteString("the spread read onto one, so reads scale with the replication degree\n")
+	b.WriteString("instead of paying for it.\n")
 	return b.String(), nil
 }

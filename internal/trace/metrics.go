@@ -43,6 +43,7 @@ type PeerCounters struct {
 	Delivered     atomic.Int64 // messages received fully from the peer
 	DupSegments   atomic.Int64
 	DeliveryDrops atomic.Int64 // reassembled messages the full incoming queue refused
+	SpreadReads   atomic.Int64 // spread reads this peer served alone
 }
 
 // NewMetrics returns an empty aggregator.
@@ -108,6 +109,10 @@ func (m *Metrics) Emit(e Event) {
 		m.peer(e.Peer).DupSegments.Add(1)
 	case KindDeliveryDrop:
 		m.peer(e.Peer).DeliveryDrops.Add(1)
+	case KindSpreadRead:
+		if !e.Peer.IsZero() {
+			m.peer(e.Peer).SpreadReads.Add(1)
+		}
 	case KindCollateDone:
 		m.calls.Add(1)
 		if e.Err != "" {
@@ -173,6 +178,7 @@ type PeerSnapshot struct {
 	Delivered     int64
 	DupSegments   int64
 	DeliveryDrops int64
+	SpreadReads   int64
 }
 
 // Snapshot copies the current aggregates.
@@ -205,6 +211,7 @@ func (m *Metrics) Snapshot() Snapshot {
 			Delivered:     p.Delivered.Load(),
 			DupSegments:   p.DupSegments.Load(),
 			DeliveryDrops: p.DeliveryDrops.Load(),
+			SpreadReads:   p.SpreadReads.Load(),
 		}
 	}
 	for id, c := range m.troupes {

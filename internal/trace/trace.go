@@ -83,6 +83,14 @@ const (
 	KindRecover     // recovery replayed the log (N = tail records)
 	KindDeltaRejoin // rejoining member initialized via log-suffix transfer (N = bytes)
 
+	// Mesh read path (internal/mesh). Troupe carries the position token
+	// or the serving member's position.
+	KindSpreadRead     // spread read served by one member (Member = index, Troupe = member's position)
+	KindSpreadStale    // member refused a spread read below the token (Troupe = required position)
+	KindSpreadEscalate // spread read fell back to the strict replicated read
+	KindSpreadWiden    // hot key widened from affinity to whole-troupe rotation
+	KindShardMapPush   // newer shard map installed from a Ringmaster push (Troupe = epoch)
+
 	kindCount // sentinel: number of kinds
 )
 
@@ -120,6 +128,11 @@ var kindNames = [...]string{
 	KindWALSnapshot:   "wal.snapshot",
 	KindRecover:       "recover",
 	KindDeltaRejoin:   "repair.delta-rejoin",
+	KindSpreadRead:     "mesh.spread-read",
+	KindSpreadStale:    "mesh.spread-stale",
+	KindSpreadEscalate: "mesh.spread-escalate",
+	KindSpreadWiden:    "mesh.spread-widen",
+	KindShardMapPush:   "mesh.map-push",
 }
 
 // String returns the stable dotted name of the kind, used in JSONL

@@ -71,6 +71,11 @@ func (s *Store) Recover(rec *wal.Recovered) error {
 	}
 	s.mu.Lock()
 	s.data = data
+	// Re-base the apply-order position to the log's: one redo record
+	// per state-changing commit, so the position a member reported
+	// before the crash is never exceeded by a client token the
+	// recovered member cannot honor.
+	s.commits = rec.SnapshotPos + uint64(len(rec.Records))
 	s.mu.Unlock()
 	return nil
 }

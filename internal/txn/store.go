@@ -43,9 +43,23 @@ type Store struct {
 	wal    *wal.Log
 	snapMu sync.Mutex // serializes background snapshots
 
-	mu     sync.Mutex
-	data   map[string][]byte
-	nextTx uint64
+	mu      sync.Mutex
+	data    map[string][]byte
+	nextTx  uint64
+	commits uint64 // state-changing top-level commits applied (see Position)
+}
+
+// Position returns the store's apply-order position: the number of
+// state-changing top-level commits applied, aligned with the WAL
+// record position for durable stores (one redo record per such
+// commit, and recovery re-bases the counter), so it survives restarts
+// and is comparable across troupe members applying the same commit
+// sequence. This is the freshness bound mesh spread reads check
+// client position tokens against.
+func (s *Store) Position() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int(s.commits)
 }
 
 // SetTrace installs a sink recording transaction commits and aborts
@@ -253,6 +267,9 @@ func (t *Tx) Commit() error {
 		} else {
 			t.store.data[k] = *vp
 		}
+	}
+	if len(writes) > 0 {
+		t.store.commits++
 	}
 	// The redo record is appended while s.mu is held so the log order
 	// equals the apply order; the fsync waits outside the lock (see
